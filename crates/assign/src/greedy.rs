@@ -1,0 +1,102 @@
+//! Greedy approximate assignment, used as an ablation baseline.
+//!
+//! Repeatedly picks the globally cheapest remaining `(row, column)` pair.
+//! Runs in `O(nm log nm)` and is typically close to optimal on the
+//! well-separated cost matrices produced by good embeddings, but can lose on
+//! ambiguous ones — which is exactly what the ablation bench demonstrates.
+
+use crate::matrix::CostMatrix;
+use crate::Assignment;
+
+/// Solves the assignment problem greedily (approximate).
+pub fn greedy(matrix: &CostMatrix) -> Assignment {
+    if matrix.is_empty() {
+        return Assignment { pairs: Vec::new(), total_cost: 0.0 };
+    }
+    let mut entries: Vec<(f64, usize, usize)> = Vec::with_capacity(matrix.rows() * matrix.cols());
+    for r in 0..matrix.rows() {
+        for c in 0..matrix.cols() {
+            let v = matrix.get(r, c);
+            if v.is_finite() {
+                entries.push((v, r, c));
+            }
+        }
+    }
+    // Sort by cost, breaking ties by indices for determinism.
+    entries.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+
+    let mut row_used = vec![false; matrix.rows()];
+    let mut col_used = vec![false; matrix.cols()];
+    let mut pairs = Vec::new();
+    let target = matrix.rows().min(matrix.cols());
+    for (_, r, c) in entries {
+        if pairs.len() == target {
+            break;
+        }
+        if !row_used[r] && !col_used[c] {
+            row_used[r] = true;
+            col_used[c] = true;
+            pairs.push((r, c));
+        }
+    }
+    Assignment::from_pairs(matrix, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sap::shortest_augmenting_path;
+
+    fn cost(rows: Vec<Vec<f64>>) -> CostMatrix {
+        CostMatrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn greedy_finds_obvious_matching() {
+        let m = cost(vec![vec![0.1, 0.9], vec![0.9, 0.1]]);
+        let a = greedy(&m);
+        assert_eq!(a.pairs, vec![(0, 0), (1, 1)]);
+        assert!((a.total_cost - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal() {
+        // Greedy grabs the 1.0 cell first and is then forced into 8.0:
+        // total 9.0, while the optimum is 2.0 + 3.0 = 5.0.
+        let m = cost(vec![vec![1.0, 2.0], vec![3.0, 8.0]]);
+        let g = greedy(&m);
+        let opt = shortest_augmenting_path(&m);
+        assert!((g.total_cost - 9.0).abs() < 1e-12);
+        assert!((opt.total_cost - 5.0).abs() < 1e-12);
+        assert!(g.total_cost >= opt.total_cost);
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        for n in 1..=6usize {
+            let m = CostMatrix::from_fn(n, n + 1, |r, c| ((r * 5 + c * 3) % 7) as f64 + 0.5);
+            let g = greedy(&m);
+            let opt = shortest_augmenting_path(&m);
+            assert!(g.total_cost + 1e-9 >= opt.total_cost);
+            assert_eq!(g.len(), n);
+        }
+    }
+
+    #[test]
+    fn skips_forbidden_entries() {
+        let inf = f64::INFINITY;
+        let m = cost(vec![vec![inf, inf], vec![inf, 1.0]]);
+        let a = greedy(&m);
+        assert_eq!(a.pairs, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(greedy(&CostMatrix::from_rows(vec![]).unwrap()).is_empty());
+    }
+}

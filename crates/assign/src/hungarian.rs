@@ -1,0 +1,184 @@
+//! Kuhn–Munkres (Hungarian) algorithm with dual potentials.
+//!
+//! An independent exact implementation used to cross-check the shortest
+//! augmenting path solver in tests and exposed through
+//! [`AssignmentAlgorithm::Hungarian`](crate::AssignmentAlgorithm::Hungarian)
+//! for the ablation benches.  Forbidden pairs (`f64::INFINITY`) are replaced
+//! by a large finite penalty so the algorithm always completes; pairs that
+//! received the penalty are removed from the returned assignment.
+
+use crate::matrix::CostMatrix;
+use crate::Assignment;
+
+/// Solves the assignment problem with the O(n³) Hungarian algorithm.
+pub fn hungarian(matrix: &CostMatrix) -> Assignment {
+    if matrix.is_empty() {
+        return Assignment { pairs: Vec::new(), total_cost: 0.0 };
+    }
+
+    // The potentials formulation below wants rows <= cols; transpose otherwise.
+    let transposed = matrix.rows() > matrix.cols();
+    let work;
+    let m: &CostMatrix = if transposed {
+        work = matrix.transpose();
+        &work
+    } else {
+        matrix
+    };
+
+    let n = m.rows();
+    let w = m.cols();
+
+    // Penalty for forbidden pairs: larger than any achievable assignment cost
+    // so a forbidden pair is only used when a row has no feasible column.
+    let penalty = (m.max_finite() + 1.0) * (n as f64 + 1.0);
+    let cost = |r: usize, c: usize| -> f64 {
+        let v = m.get(r, c);
+        if v.is_finite() {
+            v
+        } else {
+            penalty
+        }
+    };
+
+    // 1-indexed arrays in the classic formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; w + 1];
+    let mut p = vec![0usize; w + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; w + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; w + 1];
+        let mut used = vec![false; w + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=w {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=w {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = Vec::with_capacity(n);
+    for j in 1..=w {
+        if p[j] != 0 {
+            let row = p[j] - 1;
+            let col = j - 1;
+            // Drop pairs that only exist because of the forbidden-pair penalty.
+            if m.get(row, col).is_finite() {
+                let pair = if transposed { (col, row) } else { (row, col) };
+                pairs.push(pair);
+            }
+        }
+    }
+    Assignment::from_pairs(matrix, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sap::shortest_augmenting_path;
+
+    fn cost(rows: Vec<Vec<f64>>) -> CostMatrix {
+        CostMatrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn matches_known_optimum() {
+        let m = cost(vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ]);
+        let a = hungarian(&m);
+        assert_eq!(a.len(), 3);
+        assert!((a.total_cost - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_matrices_both_orientations() {
+        let wide = cost(vec![vec![3.0, 1.0, 2.0], vec![2.0, 4.0, 6.0]]);
+        let a = hungarian(&wide);
+        assert_eq!(a.len(), 2);
+        assert!((a.total_cost - 3.0).abs() < 1e-9);
+
+        let tall = wide.transpose();
+        let b = hungarian(&tall);
+        assert_eq!(b.len(), 2);
+        assert!((b.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forbidden_pairs_dropped_from_result() {
+        let inf = f64::INFINITY;
+        let m = cost(vec![vec![inf, 2.0], vec![inf, 1.0]]);
+        let a = hungarian(&m);
+        assert_eq!(a.len(), 1);
+        assert!(a.total_cost.is_finite());
+    }
+
+    #[test]
+    fn agrees_with_sap_on_deterministic_grid() {
+        // A structured (non-random) family of matrices exercised at several
+        // sizes; optimal values must agree between the two exact solvers.
+        for n in 1..=8usize {
+            for k in 1..=8usize {
+                let m = CostMatrix::from_fn(n, k, |r, c| {
+                    (((r * 7 + c * 13) % 11) as f64) + 0.25 * ((r + 2 * c) % 5) as f64
+                });
+                let h = hungarian(&m);
+                let s = shortest_augmenting_path(&m);
+                assert_eq!(h.len(), n.min(k));
+                assert_eq!(s.len(), n.min(k));
+                assert!(
+                    (h.total_cost - s.total_cost).abs() < 1e-9,
+                    "disagreement at {n}x{k}: hungarian={} sap={}",
+                    h.total_cost,
+                    s.total_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(hungarian(&CostMatrix::from_rows(vec![]).unwrap()).is_empty());
+        let single = cost(vec![vec![2.0]]);
+        assert_eq!(hungarian(&single).pairs, vec![(0, 0)]);
+    }
+}

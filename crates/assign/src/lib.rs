@@ -1,0 +1,145 @@
+//! # lake-assign
+//!
+//! Linear sum assignment solvers for bipartite value matching.
+//!
+//! The fuzzy value matcher of the paper matches the values of two aligned
+//! columns by solving a *rectangular linear sum assignment problem* over the
+//! matrix of cosine distances (the paper uses scipy's
+//! `linear_sum_assignment`, itself an implementation of the shortest
+//! augmenting path algorithm of Crouse 2016).  This crate provides:
+//!
+//! * [`shortest_augmenting_path`] — exact solver for rectangular matrices,
+//!   the default used by the pipeline (scipy-equivalent);
+//! * [`hungarian`] — classic Kuhn–Munkres with dual potentials, kept as an
+//!   independent exact implementation used to cross-check the first in tests
+//!   and exposed for ablation benches;
+//! * [`greedy`] — a cheap approximate baseline used by the ablation study;
+//! * [`Assignment`] — the solver output, plus helpers for thresholded
+//!   matching (discard assigned pairs whose cost exceeds θ).
+
+pub mod greedy;
+pub mod hungarian;
+pub mod matrix;
+pub mod sap;
+
+pub use greedy::greedy;
+pub use hungarian::hungarian;
+pub use matrix::CostMatrix;
+pub use sap::shortest_augmenting_path;
+
+/// Which algorithm to use when solving an assignment problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AssignmentAlgorithm {
+    /// Exact, rectangular shortest augmenting path (scipy-equivalent).
+    #[default]
+    ShortestAugmentingPath,
+    /// Exact Kuhn–Munkres (Hungarian) algorithm.
+    Hungarian,
+    /// Greedy minimum-cost matching (approximate, ablation baseline).
+    Greedy,
+}
+
+/// The result of solving an assignment problem: a set of (row, column) pairs,
+/// each row and column used at most once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Matched `(row, column)` index pairs, sorted by row.
+    pub pairs: Vec<(usize, usize)>,
+    /// Sum of the costs of the matched pairs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Builds an assignment from pairs, computing the total cost from the
+    /// matrix.
+    pub fn from_pairs(matrix: &CostMatrix, mut pairs: Vec<(usize, usize)>) -> Self {
+        pairs.sort_unstable();
+        let total_cost = pairs.iter().map(|&(r, c)| matrix.get(r, c)).sum();
+        Assignment { pairs, total_cost }
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when nothing was matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Keeps only pairs whose cost is strictly below `threshold`, recomputing
+    /// the total cost.  This realises the paper's rule that assignments whose
+    /// distance is at or above θ are discarded and their values left
+    /// unmatched.
+    pub fn threshold(&self, matrix: &CostMatrix, threshold: f64) -> Assignment {
+        let pairs: Vec<(usize, usize)> = self
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(r, c)| matrix.get(r, c) < threshold)
+            .collect();
+        Assignment::from_pairs(matrix, pairs)
+    }
+
+    /// The column matched to `row`, if any.
+    pub fn column_for(&self, row: usize) -> Option<usize> {
+        self.pairs.iter().find(|&&(r, _)| r == row).map(|&(_, c)| c)
+    }
+}
+
+/// Solves the assignment problem on `matrix` with the chosen algorithm.
+///
+/// Every row is matched to a distinct column whenever `rows <= cols`
+/// (and vice versa); the exact algorithms minimise the total cost.
+pub fn solve(matrix: &CostMatrix, algorithm: AssignmentAlgorithm) -> Assignment {
+    match algorithm {
+        AssignmentAlgorithm::ShortestAugmentingPath => shortest_augmenting_path(matrix),
+        AssignmentAlgorithm::Hungarian => hungarian(matrix),
+        AssignmentAlgorithm::Greedy => greedy(matrix),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_dispatches_to_all_algorithms() {
+        let m = CostMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        for alg in [
+            AssignmentAlgorithm::ShortestAugmentingPath,
+            AssignmentAlgorithm::Hungarian,
+            AssignmentAlgorithm::Greedy,
+        ] {
+            let a = solve(&m, alg);
+            assert_eq!(a.len(), 2);
+            assert!((a.total_cost - 2.0).abs() < 1e-9, "{alg:?} gave {}", a.total_cost);
+        }
+    }
+
+    #[test]
+    fn threshold_drops_expensive_pairs() {
+        let m = CostMatrix::from_rows(vec![vec![0.1, 0.9], vec![0.9, 0.8]]).unwrap();
+        let a = solve(&m, AssignmentAlgorithm::ShortestAugmentingPath);
+        assert_eq!(a.len(), 2);
+        let t = a.threshold(&m, 0.7);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.pairs, vec![(0, 0)]);
+        assert!((t.total_cost - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_for_lookup() {
+        let m = CostMatrix::from_rows(vec![vec![5.0, 1.0], vec![1.0, 5.0]]).unwrap();
+        let a = solve(&m, AssignmentAlgorithm::Hungarian);
+        assert_eq!(a.column_for(0), Some(1));
+        assert_eq!(a.column_for(1), Some(0));
+        assert_eq!(a.column_for(7), None);
+    }
+
+    #[test]
+    fn default_algorithm_is_sap() {
+        assert_eq!(AssignmentAlgorithm::default(), AssignmentAlgorithm::ShortestAugmentingPath);
+    }
+}

@@ -1,0 +1,172 @@
+//! Dense rectangular cost matrices.
+
+use std::fmt;
+
+/// A dense `rows x cols` matrix of non-negative finite costs, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors building a cost matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostMatrixError {
+    /// Row lengths differ.
+    Ragged,
+    /// A cost was NaN.
+    NaNCost,
+}
+
+impl fmt::Display for CostMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostMatrixError::Ragged => write!(f, "rows of a cost matrix must have equal length"),
+            CostMatrixError::NaNCost => write!(f, "cost matrix entries must not be NaN"),
+        }
+    }
+}
+
+impl std::error::Error for CostMatrixError {}
+
+impl CostMatrix {
+    /// Builds a matrix from nested vectors.  Fails on ragged rows or NaNs.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, CostMatrixError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in &rows {
+            if row.len() != ncols {
+                return Err(CostMatrixError::Ragged);
+            }
+            for &v in row {
+                if v.is_nan() {
+                    return Err(CostMatrixError::NaNCost);
+                }
+                data.push(v);
+            }
+        }
+        Ok(CostMatrix { rows: nrows, cols: ncols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = f(r, c);
+                data.push(if v.is_nan() { f64::INFINITY } else { v });
+            }
+        }
+        CostMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// The cost at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when the indices are out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cost matrix index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Transposes the matrix.
+    pub fn transpose(&self) -> CostMatrix {
+        let mut data = vec![0.0; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                data[c * self.rows + r] = self.get(r, c);
+            }
+        }
+        CostMatrix { rows: self.cols, cols: self.rows, data }
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row index out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The largest finite cost in the matrix (0.0 for empty matrices).
+    pub fn max_finite(&self) -> f64 {
+        self.data.iter().copied().filter(|v| v.is_finite()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let m = CostMatrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn rejects_ragged_and_nan() {
+        assert_eq!(
+            CostMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(CostMatrixError::Ragged)
+        );
+        assert_eq!(
+            CostMatrix::from_rows(vec![vec![f64::NAN]]),
+            Err(CostMatrixError::NaNCost)
+        );
+    }
+
+    #[test]
+    fn from_fn_and_transpose() {
+        let m = CostMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_replaces_nan_with_infinity() {
+        let m = CostMatrix::from_fn(1, 1, |_, _| f64::NAN);
+        assert!(m.get(0, 0).is_infinite());
+    }
+
+    #[test]
+    fn max_finite_ignores_infinities() {
+        let m = CostMatrix::from_rows(vec![vec![1.0, f64::INFINITY], vec![3.0, 2.0]]).unwrap();
+        assert_eq!(m.max_finite(), 3.0);
+        let empty = CostMatrix::from_rows(vec![]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.max_finite(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_panics_out_of_range() {
+        let m = CostMatrix::from_rows(vec![vec![1.0]]).unwrap();
+        m.get(1, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for the linear sum assignment solvers (design ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_assign::{solve, AssignmentAlgorithm, CostMatrix};
+
+fn synthetic_matrix(n: usize) -> CostMatrix {
+    // Deterministic pseudo-random costs in [0, 1).
+    CostMatrix::from_fn(n, n, |r, c| {
+        let x = (r.wrapping_mul(2654435761) ^ c.wrapping_mul(40503)) % 1000;
+        x as f64 / 1000.0
+    })
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    group.sample_size(20);
+    for &n in &[50usize, 150, 300] {
+        let matrix = synthetic_matrix(n);
+        for (label, algorithm) in [
+            ("sap", AssignmentAlgorithm::ShortestAugmentingPath),
+            ("hungarian", AssignmentAlgorithm::Hungarian),
+            ("greedy", AssignmentAlgorithm::Greedy),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &matrix, |b, m| {
+                b.iter(|| solve(m, algorithm))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

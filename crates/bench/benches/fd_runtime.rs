@@ -1,0 +1,28 @@
+//! Criterion bench backing Figure 3: regular FD (ALITE) vs Fuzzy FD runtime
+//! on IMDB-style workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_fd_core::{regular_full_disjunction, FuzzyFdConfig, FuzzyFullDisjunction};
+use lake_benchdata::{generate_imdb_benchmark, ImdbConfig};
+use lake_schema_match::align_by_headers;
+
+fn bench_fd_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_runtime");
+    group.sample_size(10);
+    for &size in &[2_000usize, 5_000] {
+        let tables = generate_imdb_benchmark(ImdbConfig { total_tuples: size, seed: 0x1_4DB });
+        let alignment = align_by_headers(&tables);
+
+        group.bench_with_input(BenchmarkId::new("alite", size), &tables, |b, tables| {
+            b.iter(|| regular_full_disjunction(tables, &alignment))
+        });
+        group.bench_with_input(BenchmarkId::new("fuzzy_fd", size), &tables, |b, tables| {
+            let fuzzy = FuzzyFullDisjunction::new(FuzzyFdConfig::default());
+            b.iter(|| fuzzy.integrate(tables, &alignment).expect("fuzzy fd"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd_runtime);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench backing Table 1: value-matching cost per embedding model
+//! on one Auto-Join-style integration set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_fd_core::{match_column_values, FuzzyFdConfig};
+use lake_benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
+use lake_embed::ALL_MODELS;
+use lake_table::Value;
+
+fn bench_value_matching(c: &mut Criterion) {
+    let config = AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
+    let set = generate_autojoin_benchmark(config).remove(0);
+    let columns: Vec<Vec<Value>> = set
+        .columns
+        .iter()
+        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("value_matching");
+    group.sample_size(10);
+    for model in ALL_MODELS {
+        let embedder = model.build();
+        group.bench_with_input(BenchmarkId::from_parameter(model.name()), &columns, |b, cols| {
+            b.iter(|| {
+                let cfg = FuzzyFdConfig { model, ..FuzzyFdConfig::default() };
+                match_column_values(cols, embedder.as_ref(), cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_value_matching);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates **Figure 3**: runtime of regular FD (ALITE) vs Fuzzy FD on the
+//! IMDB-style benchmark for 5K–30K input tuples.
+//!
+//! Run with `cargo run -p lake-bench --release --bin fig3_runtime`.
+//! Pass custom sizes as arguments, e.g. `-- 1000 2000 4000`.
+
+use lake_bench::{fig3, write_results_json};
+use lake_metrics::{format_table, ReportRow};
+
+fn main() {
+    let args: Vec<usize> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let sizes: Vec<usize> =
+        if args.is_empty() { fig3::PAPER_SIZES.to_vec() } else { args };
+
+    eprintln!("Running Figure 3 sweep over sizes {sizes:?} (use --release for meaningful times)");
+    let points = fig3::run(&sizes, 0x1_4DB);
+
+    let rows: Vec<ReportRow> = points
+        .iter()
+        .map(|p| {
+            ReportRow::new(
+                format!("{}", p.requested_tuples),
+                vec![
+                    format!("{}", p.input_tuples),
+                    format!("{:.3}", p.alite_seconds),
+                    format!("{:.3}", p.fuzzy_seconds),
+                    format!("{:.3}", p.matching_seconds),
+                    format!("{:+.1}%", p.overhead() * 100.0),
+                ],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "Figure 3: Runtime comparison of Regular FD (ALITE) with Fuzzy FD (IMDB-style benchmark)",
+            &["S (requested)", "input tuples", "ALITE (s)", "Fuzzy FD (s)", "matching (s)", "overhead"],
+            &rows
+        )
+    );
+    println!("(paper: the two runtime curves almost overlap for all sizes 5K-30K)");
+
+    match write_results_json("fig3_runtime", &points) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write results file: {err}"),
+    }
+}

@@ -1,0 +1,52 @@
+//! # lake-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+//! for paper-vs-measured numbers):
+//!
+//! | Target            | Module / binary                         |
+//! |-------------------|------------------------------------------|
+//! | Table 1           | [`table1`] / `table1_value_matching`     |
+//! | Figure 3          | [`fig3`] / `fig3_runtime`                |
+//! | §3.2 downstream EM| [`downstream`] / `downstream_em`         |
+//! | θ sensitivity     | [`ablation`] / `threshold_ablation`      |
+//! | design ablations  | [`ablation`] / `ablations`               |
+//!
+//! The harness binaries print a plain-text table in the style of the paper
+//! and write a JSON file with the raw numbers next to it (under `results/`).
+
+pub mod ablation;
+pub mod downstream;
+pub mod fig3;
+pub mod table1;
+
+use std::path::PathBuf;
+
+/// Writes a serialisable result to `results/<name>.json` under the current
+/// directory (creating `results/` if needed) and returns the path.
+pub fn write_results_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_written_as_json() {
+        let dir = std::env::temp_dir().join("lake_bench_results_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_results_json("unit_test", &vec![1, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1'));
+        std::env::set_current_dir(old).unwrap();
+    }
+}

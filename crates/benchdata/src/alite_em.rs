@@ -1,0 +1,306 @@
+//! ALITE-style entity-matching benchmark.
+//!
+//! The downstream-task experiment of the paper (§3.2) integrates a set of
+//! tables with regular FD and with Fuzzy FD and then runs entity matching
+//! over each integrated table, scoring against gold entity labels.  This
+//! generator produces such an integration set: person-like entities scattered
+//! over three source tables, with the join attribute (the person's name)
+//! rendered inconsistently across sources — typos, nicknames, case changes,
+//! token reordering — plus *confusable* entities (similar names, different
+//! people) that punish matching decisions made on partial evidence.
+
+use lake_embed::KnowledgeBase;
+use lake_metrics::PairSet;
+use lake_table::{Table, TableBuilder, TupleId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lexicon::words;
+use crate::noise::{apply_transformation, Transformation};
+
+/// Configuration of the entity-matching benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmBenchmarkConfig {
+    /// Number of distinct real-world entities.
+    pub num_entities: usize,
+    /// Fraction of entities that get a *confusable twin*: a different entity
+    /// whose name differs by a single character but whose other attributes
+    /// differ completely.
+    pub confusable_fraction: f64,
+    /// Probability that the join attribute is rendered inconsistently
+    /// (typo / nickname / case / reorder) in the non-canonical tables.
+    pub inconsistency_probability: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for EmBenchmarkConfig {
+    fn default() -> Self {
+        EmBenchmarkConfig {
+            num_entities: 150,
+            confusable_fraction: 0.15,
+            inconsistency_probability: 0.55,
+            seed: 0xE11,
+        }
+    }
+}
+
+/// The generated benchmark: source tables plus the gold base-tuple pairs.
+#[derive(Debug, Clone)]
+pub struct EmBenchmark {
+    /// The source tables (`contacts`, `employment`, `census`).
+    pub tables: Vec<Table>,
+    /// Gold pairs of base tuples referring to the same entity.
+    pub gold: PairSet<TupleId>,
+    /// Number of distinct entities (including confusable twins).
+    pub num_entities: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Entity {
+    name: String,
+    city: String,
+    country: String,
+    employer: String,
+    title: String,
+    birth_year: String,
+}
+
+fn make_entity(i: usize, rng: &mut StdRng) -> Entity {
+    let first = words::first_names();
+    let last = words::last_names();
+    let cities = words::cities();
+    let nouns = words::nouns();
+    let suffixes = words::company_suffixes();
+    let countries = ["Canada", "United States", "Germany", "Spain", "France", "India", "Brazil", "Japan"];
+    let titles = ["Engineer", "Analyst", "Manager", "Director", "Consultant", "Researcher"];
+    Entity {
+        name: format!(
+            "{} {}",
+            first[i % first.len()],
+            last[(i + (i / first.len()) * 17) % last.len()]
+        ),
+        city: cities[rng.gen_range(0..cities.len())].to_string(),
+        country: countries[rng.gen_range(0..countries.len())].to_string(),
+        employer: format!(
+            "{} {}",
+            nouns[rng.gen_range(0..nouns.len())],
+            suffixes[rng.gen_range(0..suffixes.len())]
+        ),
+        title: titles[rng.gen_range(0..titles.len())].to_string(),
+        birth_year: (1950 + rng.gen_range(0..55)).to_string(),
+    }
+}
+
+/// Produces a confusable twin: name differs by one character, everything else
+/// is different.
+fn make_twin(of: &Entity, i: usize, rng: &mut StdRng) -> Entity {
+    let mut twin = make_entity(i * 31 + 17, rng);
+    let mut name_chars: Vec<char> = of.name.chars().collect();
+    let pos = 1 + rng.gen_range(0..name_chars.len().saturating_sub(2).max(1));
+    if pos < name_chars.len() {
+        name_chars[pos] = if name_chars[pos] == 'a' { 'e' } else { 'a' };
+    }
+    twin.name = name_chars.into_iter().collect();
+    // Guarantee the twin's name is not accidentally identical.
+    if twin.name == of.name {
+        twin.name.push('n');
+    }
+    twin
+}
+
+/// Renders the join attribute with a planted inconsistency.  Nicknames are
+/// the most common class: they defeat string-similarity matching but are
+/// resolvable with semantic (knowledge-base) embeddings.
+fn inconsistent_name(name: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..6) {
+        0 | 1 | 2 => {
+            // Nickname of the first name, when known (Robert Smith -> Bob Smith).
+            let mut parts = name.splitn(2, ' ');
+            let first = parts.next().unwrap_or(name);
+            let rest = parts.next().unwrap_or("");
+            let nick = apply_transformation(first, Transformation::Alias, kb, rng);
+            if rest.is_empty() {
+                nick
+            } else {
+                format!("{nick} {rest}")
+            }
+        }
+        3 => apply_transformation(name, Transformation::Typo, kb, rng),
+        4 => apply_transformation(name, Transformation::CaseFold, kb, rng),
+        _ => apply_transformation(name, Transformation::TokenReorder, kb, rng),
+    }
+}
+
+/// Generates the benchmark.
+pub fn generate_em_benchmark(config: EmBenchmarkConfig) -> EmBenchmark {
+    let kb = KnowledgeBase::builtin();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Build the entity population: base entities plus confusable twins.
+    let mut entities: Vec<Entity> = (0..config.num_entities).map(|i| make_entity(i, &mut rng)).collect();
+    let twins = (config.num_entities as f64 * config.confusable_fraction).round() as usize;
+    for i in 0..twins {
+        let twin = make_twin(&entities[i], i, &mut rng);
+        entities.push(twin);
+    }
+
+    // Three source tables covering different attribute subsets.
+    let mut contacts = TableBuilder::new("contacts", ["name", "city", "country"]);
+    let mut employment = TableBuilder::new("employment", ["name", "employer", "title"]);
+    let mut census = TableBuilder::new("census", ["name", "birth_year", "city"]);
+
+    // entity index -> base tuples it produced
+    let mut memberships: Vec<Vec<TupleId>> = vec![Vec::new(); entities.len()];
+    let mut row_counts = [0usize; 3];
+
+    for (idx, entity) in entities.iter().enumerate() {
+        let is_twin = idx >= config.num_entities;
+
+        // contacts: canonical rendering; (almost) every entity present.
+        if !is_twin || rng.gen_bool(0.8) {
+            contacts = contacts.row([entity.name.clone(), entity.city.clone(), entity.country.clone()]);
+            memberships[idx].push(TupleId::new("contacts", row_counts[0]));
+            row_counts[0] += 1;
+        }
+
+        // employment: join attribute often inconsistent; twins usually absent
+        // (so their only evidence elsewhere is the name).
+        if !is_twin && rng.gen_bool(0.85) {
+            let name = if rng.gen_bool(config.inconsistency_probability) {
+                inconsistent_name(&entity.name, &kb, &mut rng)
+            } else {
+                entity.name.clone()
+            };
+            employment = employment.row([name, entity.employer.clone(), entity.title.clone()]);
+            memberships[idx].push(TupleId::new("employment", row_counts[1]));
+            row_counts[1] += 1;
+        }
+
+        // census: another subset with its own inconsistencies.
+        if rng.gen_bool(if is_twin { 0.9 } else { 0.75 }) {
+            let name = if rng.gen_bool(config.inconsistency_probability) {
+                inconsistent_name(&entity.name, &kb, &mut rng)
+            } else {
+                entity.name.clone()
+            };
+            let city = if rng.gen_bool(0.3) {
+                apply_transformation(&entity.city, Transformation::CaseFold, &kb, &mut rng)
+            } else {
+                entity.city.clone()
+            };
+            census = census.row([name, entity.birth_year.clone(), city]);
+            memberships[idx].push(TupleId::new("census", row_counts[2]));
+            row_counts[2] += 1;
+        }
+    }
+
+    let mut gold = PairSet::new();
+    for members in &memberships {
+        gold.insert_cluster(members);
+    }
+
+    EmBenchmark {
+        tables: vec![
+            contacts.build().expect("contacts"),
+            employment.build().expect("employment"),
+            census.build().expect("census"),
+        ],
+        gold,
+        num_entities: entities.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EmBenchmarkConfig {
+        EmBenchmarkConfig { num_entities: 60, ..EmBenchmarkConfig::default() }
+    }
+
+    #[test]
+    fn produces_three_tables_and_gold_pairs() {
+        let bench = generate_em_benchmark(small());
+        assert_eq!(bench.tables.len(), 3);
+        assert!(bench.gold.len() > 30, "gold too small: {}", bench.gold.len());
+        let expected_twins = (60.0 * small().confusable_fraction).round() as usize;
+        assert_eq!(bench.num_entities, 60 + expected_twins);
+        for table in &bench.tables {
+            assert!(table.num_rows() > 30);
+            assert_eq!(table.column_index("name").unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn gold_pairs_reference_real_rows() {
+        let bench = generate_em_benchmark(small());
+        for (a, b) in bench.gold.iter() {
+            for id in [a, b] {
+                let table = bench
+                    .tables
+                    .iter()
+                    .find(|t| t.name() == id.table)
+                    .unwrap_or_else(|| panic!("unknown table {}", id.table));
+                assert!(id.row < table.num_rows(), "row {} out of range", id.row);
+            }
+        }
+    }
+
+    #[test]
+    fn join_attribute_contains_inconsistencies() {
+        let bench = generate_em_benchmark(small());
+        let contacts = &bench.tables[0];
+        let employment = &bench.tables[1];
+        let contact_names: std::collections::HashSet<String> = contacts
+            .column_values(0)
+            .unwrap()
+            .iter()
+            .map(|v| v.render().to_string())
+            .collect();
+        let divergent = employment
+            .column_values(0)
+            .unwrap()
+            .iter()
+            .filter(|v| !contact_names.contains(v.render().as_ref()))
+            .count();
+        assert!(
+            divergent as f64 > employment.num_rows() as f64 * 0.25,
+            "too few inconsistent join values: {divergent}/{}",
+            employment.num_rows()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_em_benchmark(small());
+        let b = generate_em_benchmark(small());
+        assert_eq!(a.tables, b.tables);
+        assert_eq!(a.gold.len(), b.gold.len());
+    }
+
+    #[test]
+    fn confusable_twins_share_similar_names() {
+        let config = EmBenchmarkConfig { num_entities: 40, confusable_fraction: 0.5, ..Default::default() };
+        let bench = generate_em_benchmark(config);
+        assert_eq!(bench.num_entities, 60);
+        // There must exist near-duplicate names across different entities in
+        // the contacts table (the false-positive bait).
+        let names: Vec<String> = bench.tables[0]
+            .column_values(0)
+            .unwrap()
+            .iter()
+            .map(|v| v.render().to_string())
+            .collect();
+        let mut near_duplicates = 0;
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                let d = lake_text::levenshtein(&names[i], &names[j]);
+                if d > 0 && d <= 2 {
+                    near_duplicates += 1;
+                }
+            }
+        }
+        assert!(near_duplicates >= 5, "expected confusable names, found {near_duplicates}");
+    }
+}

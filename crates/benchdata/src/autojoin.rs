@@ -1,0 +1,315 @@
+//! Auto-Join-style fuzzy value-matching benchmark.
+//!
+//! The real Auto-Join benchmark (Zhu, He, Chaudhuri 2017) contains 31
+//! integration sets over 17 topics; each set provides columns whose values
+//! refer to overlapping sets of entities through different surface forms
+//! (case changes, typos, abbreviations, codes, reordered tokens).  This
+//! generator reproduces that structure synthetically: for every set it draws
+//! base entities from a topic lexicon, materialises one aligned column per
+//! "source", applies a per-column transformation profile, and records the
+//! gold value-match pairs.
+
+use lake_embed::KnowledgeBase;
+use lake_metrics::PairSet;
+use lake_table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lexicon::{topic_values, Topic, ALL_TOPICS};
+use crate::noise::{apply_transformation, Transformation};
+
+/// Configuration of the Auto-Join-style benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoJoinConfig {
+    /// Number of integration sets (the original benchmark has 31).
+    pub num_sets: usize,
+    /// Approximate number of values per aligned column (the original averages
+    /// ~150).
+    pub values_per_column: usize,
+    /// Probability that an entity appears in a given non-canonical column.
+    pub presence_probability: f64,
+    /// Random seed; the whole benchmark is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for AutoJoinConfig {
+    fn default() -> Self {
+        AutoJoinConfig {
+            num_sets: 31,
+            values_per_column: 150,
+            presence_probability: 0.85,
+            seed: 0xA07_0401,
+        }
+    }
+}
+
+/// A value within an aligned column set: `(column index, value string)`.
+pub type ColumnValue = (usize, String);
+
+/// One integration set: a group of aligned columns plus the gold value-match
+/// pairs between their values.
+#[derive(Debug, Clone)]
+pub struct ValueMatchingSet {
+    /// Identifier, e.g. `"set07_universities"`.
+    pub id: String,
+    /// Topic the entities are drawn from.
+    pub topic: Topic,
+    /// The aligned columns; each inner vector holds the distinct values of
+    /// one column (clean-clean: no within-column duplicates).
+    pub columns: Vec<Vec<String>>,
+    /// Gold cross-column match pairs.
+    pub gold: PairSet<ColumnValue>,
+}
+
+impl ValueMatchingSet {
+    /// Total number of values across all columns.
+    pub fn total_values(&self) -> usize {
+        self.columns.iter().map(|c| c.len()).sum()
+    }
+
+    /// Materialises the set as single-column tables (named `S0`, `S1`, …)
+    /// so it can be pushed through the full integration pipeline.
+    pub fn tables(&self) -> Vec<Table> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(i, values)| {
+                let mut builder = TableBuilder::new(format!("S{i}"), [format!("{}", self.topic.name())]);
+                for v in values {
+                    builder = builder.row([v.as_str()]);
+                }
+                builder.build().expect("benchmark table construction cannot fail")
+            })
+            .collect()
+    }
+}
+
+/// Generates the benchmark.
+pub fn generate_autojoin_benchmark(config: AutoJoinConfig) -> Vec<ValueMatchingSet> {
+    let kb = KnowledgeBase::builtin();
+    (0..config.num_sets).map(|set_idx| generate_set(set_idx, config, &kb)).collect()
+}
+
+/// The transformation profile of one non-canonical column: a weighted list of
+/// transformation classes the column applies to its values.
+fn column_profile(topic: Topic, column_idx: usize) -> Vec<(Transformation, f64)> {
+    // Topics whose values the knowledge base knows get alias-heavy profiles
+    // (these are the cases where only semantic embedders succeed); the rest
+    // lean on acronyms, abbreviations and typos.
+    // The mix leans deliberately toward transformations that need semantic
+    // knowledge (aliases, codes, acronyms): those are the cases that motivate
+    // the paper and that separate the embedding tiers in Table 1.  Surface
+    // transformations (typos, case, decoration) are present but secondary.
+    let semantic_topic = matches!(topic, Topic::Countries | Topic::Cities);
+    match (semantic_topic, column_idx % 2) {
+        (true, 0) => vec![
+            (Transformation::Identity, 0.12),
+            (Transformation::Alias, 0.58),
+            (Transformation::Typo, 0.10),
+            (Transformation::CaseFold, 0.06),
+            (Transformation::Acronym, 0.08),
+            (Transformation::SuffixDecoration, 0.06),
+        ],
+        (true, _) => vec![
+            (Transformation::Identity, 0.15),
+            (Transformation::Alias, 0.50),
+            (Transformation::Typo, 0.12),
+            (Transformation::UpperCase, 0.08),
+            (Transformation::Acronym, 0.08),
+            (Transformation::StripPunctuation, 0.07),
+        ],
+        (false, 0) => vec![
+            (Transformation::Identity, 0.15),
+            (Transformation::Acronym, 0.40),
+            (Transformation::PrefixAbbreviation, 0.12),
+            (Transformation::Typo, 0.12),
+            (Transformation::CaseFold, 0.08),
+            (Transformation::TokenReorder, 0.08),
+            (Transformation::SuffixDecoration, 0.05),
+        ],
+        (false, _) => vec![
+            (Transformation::Identity, 0.15),
+            (Transformation::Acronym, 0.35),
+            (Transformation::PrefixAbbreviation, 0.15),
+            (Transformation::Typo, 0.12),
+            (Transformation::SuffixDecoration, 0.12),
+            (Transformation::StripPunctuation, 0.11),
+        ],
+    }
+}
+
+fn sample_transformation(profile: &[(Transformation, f64)], rng: &mut StdRng) -> Transformation {
+    let total: f64 = profile.iter().map(|(_, w)| w).sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (t, w) in profile {
+        if draw < *w {
+            return *t;
+        }
+        draw -= w;
+    }
+    profile.last().map(|(t, _)| *t).unwrap_or(Transformation::Identity)
+}
+
+fn generate_set(set_idx: usize, config: AutoJoinConfig, kb: &KnowledgeBase) -> ValueMatchingSet {
+    let topic = ALL_TOPICS[set_idx % ALL_TOPICS.len()];
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(set_idx as u64 * 7919));
+
+    // Draw a fresh slice of the topic's entity space for every set so the 31
+    // sets are not copies of each other.
+    let offset = (set_idx / ALL_TOPICS.len()) * config.values_per_column;
+    let pool = topic_values(topic, offset + config.values_per_column + config.values_per_column / 4);
+    let entities: Vec<&String> = pool[offset..].iter().collect();
+
+    let num_columns = 2 + (set_idx % 2); // alternate between 2 and 3 aligned columns
+    let mut columns: Vec<Vec<String>> = vec![Vec::new(); num_columns];
+    let mut per_column_seen: Vec<std::collections::HashSet<String>> =
+        vec![std::collections::HashSet::new(); num_columns];
+    // entity index -> (column, value) occurrences
+    let mut occurrences: Vec<Vec<ColumnValue>> = vec![Vec::new(); entities.len()];
+
+    for (entity_idx, base) in entities.iter().enumerate() {
+        for col in 0..num_columns {
+            // The canonical column (col 0) contains (almost) every entity;
+            // other columns contain a subset.
+            let present = col == 0
+                || entity_idx < config.values_per_column
+                    && rng.gen_bool(config.presence_probability);
+            // Keep column sizes close to the configured target.
+            if columns[col].len() >= config.values_per_column || !present {
+                continue;
+            }
+            let value = if col == 0 {
+                (*base).clone()
+            } else {
+                let profile = column_profile(topic, col - 1);
+                let transformation = sample_transformation(&profile, &mut rng);
+                apply_transformation(base, transformation, kb, &mut rng)
+            };
+            // Clean-clean guarantee: values inside a column are distinct; on a
+            // collision fall back to the (distinct) base value, and as a last
+            // resort skip the entity for this column.
+            let value = if per_column_seen[col].contains(&value) {
+                (*base).clone()
+            } else {
+                value
+            };
+            if per_column_seen[col].contains(&value) {
+                continue;
+            }
+            per_column_seen[col].insert(value.clone());
+            columns[col].push(value.clone());
+            occurrences[entity_idx].push((col, value));
+        }
+    }
+
+    // Gold pairs: all cross-column pairs of the same entity.
+    let mut gold = PairSet::new();
+    for occ in &occurrences {
+        for i in 0..occ.len() {
+            for j in (i + 1)..occ.len() {
+                if occ[i].0 != occ[j].0 {
+                    gold.insert(occ[i].clone(), occ[j].clone());
+                }
+            }
+        }
+    }
+
+    ValueMatchingSet {
+        id: format!("set{:02}_{}", set_idx, topic.name()),
+        topic,
+        columns,
+        gold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> AutoJoinConfig {
+        AutoJoinConfig { num_sets: 6, values_per_column: 40, presence_probability: 0.85, seed: 11 }
+    }
+
+    #[test]
+    fn generates_requested_number_of_sets() {
+        let sets = generate_autojoin_benchmark(AutoJoinConfig { num_sets: 31, values_per_column: 20, ..AutoJoinConfig::default() });
+        assert_eq!(sets.len(), 31);
+        // 31 sets over 17 topics: every topic appears at least once.
+        let topics: std::collections::HashSet<&str> = sets.iter().map(|s| s.topic.name()).collect();
+        assert_eq!(topics.len(), 17);
+        // Ids are unique.
+        let ids: std::collections::HashSet<&String> = sets.iter().map(|s| &s.id).collect();
+        assert_eq!(ids.len(), 31);
+    }
+
+    #[test]
+    fn columns_are_clean_clean_and_reasonably_sized() {
+        for set in generate_autojoin_benchmark(small_config()) {
+            assert!(set.columns.len() >= 2 && set.columns.len() <= 3);
+            for column in &set.columns {
+                let unique: std::collections::HashSet<&String> = column.iter().collect();
+                assert_eq!(unique.len(), column.len(), "duplicate values in {}", set.id);
+                assert!(column.len() >= 20, "column too small in {}", set.id);
+                assert!(column.len() <= 40);
+            }
+        }
+    }
+
+    #[test]
+    fn gold_pairs_reference_existing_values() {
+        for set in generate_autojoin_benchmark(small_config()) {
+            assert!(!set.gold.is_empty(), "no gold pairs in {}", set.id);
+            for ((col_a, val_a), (col_b, val_b)) in set.gold.iter() {
+                assert_ne!(col_a, col_b);
+                assert!(set.columns[*col_a].contains(val_a));
+                assert!(set.columns[*col_b].contains(val_b));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = generate_autojoin_benchmark(small_config());
+        let b = generate_autojoin_benchmark(small_config());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.columns, y.columns);
+            assert_eq!(x.gold.len(), y.gold.len());
+        }
+    }
+
+    #[test]
+    fn some_gold_pairs_are_non_trivial() {
+        // At least a third of gold pairs should involve values that are not
+        // string-identical — otherwise the benchmark would not measure fuzzy
+        // matching at all.
+        let sets = generate_autojoin_benchmark(small_config());
+        let mut total = 0usize;
+        let mut fuzzy = 0usize;
+        for set in &sets {
+            for ((_, a), (_, b)) in set.gold.iter() {
+                total += 1;
+                if a != b {
+                    fuzzy += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            fuzzy as f64 / total as f64 > 0.3,
+            "only {fuzzy}/{total} gold pairs are fuzzy"
+        );
+    }
+
+    #[test]
+    fn tables_conversion_round_trips_values() {
+        let set = &generate_autojoin_benchmark(small_config())[0];
+        let tables = set.tables();
+        assert_eq!(tables.len(), set.columns.len());
+        for (table, column) in tables.iter().zip(&set.columns) {
+            assert_eq!(table.num_rows(), column.len());
+            assert_eq!(table.num_columns(), 1);
+        }
+    }
+}

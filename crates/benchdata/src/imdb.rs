@@ -1,0 +1,202 @@
+//! IMDB-style efficiency benchmark.
+//!
+//! The paper's Figure 3 measures FD runtime on integration sets sampled from
+//! the public IMDB dump (6 tables, 5K–30K input tuples).  This generator
+//! produces data with the same *shape*: six key-joinable tables
+//! (`title_basics`, `title_ratings`, `title_akas`, `title_crew`,
+//! `title_principals`, `name_basics`) whose row counts scale to a requested
+//! total number of input tuples.  Values are equi-joinable (no fuzziness) —
+//! exactly like the original benchmark — so the experiment isolates the
+//! *overhead* of the fuzzy matching step, which must still scan for fuzzy
+//! matches even though none exist.
+
+use lake_table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lexicon::words;
+
+/// Configuration of the IMDB-style benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImdbConfig {
+    /// Approximate total number of tuples across the six tables
+    /// (the paper sweeps 5 000 – 30 000).
+    pub total_tuples: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig { total_tuples: 5_000, seed: 0x1_4DB }
+    }
+}
+
+/// Generates the six tables.  The actual total tuple count is within a few
+/// percent of `config.total_tuples`.
+pub fn generate_imdb_benchmark(config: ImdbConfig) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Per-title expected tuples: basics 1 + ratings 0.8 + akas 1.3 + crew 1 +
+    // principals 1.8 = 5.9, plus 0.5 name rows per title => ~6.4.
+    let titles = (config.total_tuples as f64 / 6.4).round().max(1.0) as usize;
+    let names = (titles / 2).max(1);
+
+    let adjectives = ["Broken", "Silent", "Golden", "Last", "Hidden", "Lost", "Iron", "Distant"];
+    let nouns = words::nouns();
+    let first = words::first_names();
+    let last = words::last_names();
+
+    let title_of = |i: usize| -> String {
+        format!(
+            "The {} {} {}",
+            adjectives[i % adjectives.len()],
+            nouns[(i / adjectives.len()) % nouns.len()],
+            i
+        )
+    };
+    let name_of = |i: usize| -> String {
+        format!("{} {} {}", first[i % first.len()], last[(i / first.len()) % last.len()], i)
+    };
+    let tconst = |i: usize| format!("tt{:07}", i + 1);
+    let nconst = |i: usize| format!("nm{:07}", i + 1);
+
+    // title_basics: one row per title.
+    let mut basics = TableBuilder::new("title_basics", ["tconst", "primaryTitle", "releaseDate"]);
+    for i in 0..titles {
+        let date = format!(
+            "{:04}-{:02}-{:02}",
+            1930 + (i * 13) % 95,
+            1 + (i * 7) % 12,
+            1 + (i * 11) % 28
+        );
+        basics = basics.row([tconst(i), title_of(i), date]);
+    }
+
+    // title_ratings: ~80% of titles.
+    let mut ratings = TableBuilder::new("title_ratings", ["tconst", "averageRating", "numVotes"]);
+    for i in 0..titles {
+        if rng.gen_bool(0.8) {
+            let rating = format!("{:.2}", 1.0 + (rng.gen_range(0..900) as f64) / 100.0);
+            let votes = rng.gen_range(10..2_000_000).to_string();
+            ratings = ratings.row([tconst(i), rating, votes]);
+        }
+    }
+
+    // title_akas: ~1.3 alternative titles per title.
+    let mut akas = TableBuilder::new("title_akas", ["tconst", "akaTitle"]);
+    for i in 0..titles {
+        let count = if rng.gen_bool(0.3) { 2 } else { 1 };
+        for k in 0..count {
+            let aka = if k == 0 {
+                format!("{} (original)", title_of(i))
+            } else {
+                format!("{} — international cut", title_of(i))
+            };
+            akas = akas.row([tconst(i), aka]);
+        }
+    }
+
+    // title_crew: one director per title.
+    let mut crew = TableBuilder::new("title_crew", ["tconst", "nconst"]);
+    for i in 0..titles {
+        let director = rng.gen_range(0..names);
+        crew = crew.row([tconst(i), nconst(director)]);
+    }
+
+    // title_principals: ~1.8 cast rows per title.
+    let mut principals = TableBuilder::new("title_principals", ["tconst", "nconst", "character"]);
+    for i in 0..titles {
+        let count = if rng.gen_bool(0.8) { 2 } else { 1 };
+        for k in 0..count {
+            let person = rng.gen_range(0..names);
+            let character = format!("Character #{:05}", i * 3 + k);
+            principals = principals.row([tconst(i), nconst(person), character]);
+        }
+    }
+
+    // name_basics: one row per person.
+    let mut name_basics = TableBuilder::new("name_basics", ["nconst", "primaryName", "birthYear"]);
+    for i in 0..names {
+        let birth = (1900 + (i * 17) % 105).to_string();
+        name_basics = name_basics.row([nconst(i), name_of(i), birth]);
+    }
+
+    vec![
+        basics.build().expect("title_basics"),
+        ratings.build().expect("title_ratings"),
+        akas.build().expect("title_akas"),
+        crew.build().expect("title_crew"),
+        principals.build().expect("title_principals"),
+        name_basics.build().expect("name_basics"),
+    ]
+}
+
+/// Total number of tuples across a set of tables.
+pub fn total_tuples(tables: &[Table]) -> usize {
+    tables.iter().map(|t| t.num_rows()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_six_tables_with_requested_scale() {
+        for target in [500usize, 2_000] {
+            let tables = generate_imdb_benchmark(ImdbConfig { total_tuples: target, seed: 1 });
+            assert_eq!(tables.len(), 6);
+            let total = total_tuples(&tables);
+            let deviation = (total as f64 - target as f64).abs() / target as f64;
+            assert!(deviation < 0.15, "total {total} deviates too much from {target}");
+        }
+    }
+
+    #[test]
+    fn keys_are_joinable_across_tables() {
+        let tables = generate_imdb_benchmark(ImdbConfig { total_tuples: 600, seed: 2 });
+        let basics = &tables[0];
+        let ratings = &tables[1];
+        let tconst_col = basics.column_index("tconst").unwrap();
+        let basics_keys: std::collections::HashSet<String> = basics
+            .distinct_values(tconst_col)
+            .unwrap()
+            .iter()
+            .map(|v| v.render().to_string())
+            .collect();
+        let r_col = ratings.column_index("tconst").unwrap();
+        for key in ratings.distinct_values(r_col).unwrap() {
+            assert!(basics_keys.contains(key.render().as_ref()), "dangling key {key}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate_imdb_benchmark(ImdbConfig { total_tuples: 400, seed: 7 });
+        let b = generate_imdb_benchmark(ImdbConfig { total_tuples: 400, seed: 7 });
+        assert_eq!(a, b);
+        let c = generate_imdb_benchmark(ImdbConfig { total_tuples: 400, seed: 8 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schema_matches_the_imdb_shape() {
+        let tables = generate_imdb_benchmark(ImdbConfig::default());
+        let names: Vec<&str> = tables.iter().map(|t| t.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "title_basics",
+                "title_ratings",
+                "title_akas",
+                "title_crew",
+                "title_principals",
+                "name_basics"
+            ]
+        );
+        // Key columns exist where expected.
+        assert!(tables[0].column_index("tconst").is_ok());
+        assert!(tables[4].column_index("nconst").is_ok());
+        assert!(tables[5].column_index("nconst").is_ok());
+    }
+}

@@ -1,0 +1,401 @@
+//! Topic vocabularies used by the benchmark generators.
+//!
+//! The Auto-Join benchmark covers 17 topics (songs, government officials,
+//! universities, …).  Each [`Topic`] here can produce an arbitrary number of
+//! *distinct* base entity names by combining curated word lists
+//! deterministically, so integration sets of ~150 values per column are
+//! generated without shipping large data files.
+
+use lake_embed::KnowledgeBase;
+
+/// The 17 topic domains of the Auto-Join-style benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topic {
+    /// World cities.
+    Cities,
+    /// Countries (aliasable to ISO codes via the knowledge base).
+    Countries,
+    /// Universities and colleges.
+    Universities,
+    /// Song titles.
+    Songs,
+    /// Movie titles.
+    Movies,
+    /// Government officials (person names with titles).
+    GovernmentOfficials,
+    /// Company names.
+    Companies,
+    /// Airports.
+    Airports,
+    /// Book titles.
+    Books,
+    /// Athletes (person names).
+    Athletes,
+    /// Diseases and conditions.
+    Diseases,
+    /// Chemical compounds.
+    Chemicals,
+    /// Programming languages and tools.
+    ProgrammingLanguages,
+    /// Restaurants.
+    Restaurants,
+    /// National parks and landmarks.
+    Parks,
+    /// Newspapers and magazines.
+    Newspapers,
+    /// Street addresses.
+    Streets,
+}
+
+/// All topics, in a fixed order.
+pub const ALL_TOPICS: [Topic; 17] = [
+    Topic::Cities,
+    Topic::Countries,
+    Topic::Universities,
+    Topic::Songs,
+    Topic::Movies,
+    Topic::GovernmentOfficials,
+    Topic::Companies,
+    Topic::Airports,
+    Topic::Books,
+    Topic::Athletes,
+    Topic::Diseases,
+    Topic::Chemicals,
+    Topic::ProgrammingLanguages,
+    Topic::Restaurants,
+    Topic::Parks,
+    Topic::Newspapers,
+    Topic::Streets,
+];
+
+impl Topic {
+    /// Short topic name used in benchmark set identifiers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topic::Cities => "cities",
+            Topic::Countries => "countries",
+            Topic::Universities => "universities",
+            Topic::Songs => "songs",
+            Topic::Movies => "movies",
+            Topic::GovernmentOfficials => "government_officials",
+            Topic::Companies => "companies",
+            Topic::Airports => "airports",
+            Topic::Books => "books",
+            Topic::Athletes => "athletes",
+            Topic::Diseases => "diseases",
+            Topic::Chemicals => "chemicals",
+            Topic::ProgrammingLanguages => "programming_languages",
+            Topic::Restaurants => "restaurants",
+            Topic::Parks => "parks",
+            Topic::Newspapers => "newspapers",
+            Topic::Streets => "streets",
+        }
+    }
+}
+
+const CITIES: &[&str] = &[
+    "Berlin", "Toronto", "Barcelona", "New Delhi", "Boston", "Chicago", "Houston", "Seattle",
+    "Denver", "Atlanta", "Miami", "Portland", "Austin", "Dallas", "Phoenix", "Detroit",
+    "Vancouver", "Montreal", "Ottawa", "Calgary", "London", "Manchester", "Liverpool", "Glasgow",
+    "Paris", "Lyon", "Marseille", "Madrid", "Valencia", "Seville", "Rome", "Milan", "Naples",
+    "Munich", "Hamburg", "Frankfurt", "Cologne", "Vienna", "Zurich", "Geneva", "Amsterdam",
+    "Rotterdam", "Brussels", "Copenhagen", "Stockholm", "Oslo", "Helsinki", "Warsaw", "Prague",
+    "Budapest", "Lisbon", "Porto", "Athens", "Dublin", "Edinburgh", "Tokyo", "Osaka", "Kyoto",
+    "Seoul", "Busan", "Shanghai", "Bangkok", "Singapore", "Jakarta", "Manila", "Mumbai",
+    "Chennai", "Kolkata", "Bangalore", "Hyderabad", "Karachi", "Lahore", "Dhaka", "Cairo",
+    "Lagos", "Nairobi", "Accra", "Casablanca", "Johannesburg", "Cape Town", "Sydney",
+    "Melbourne", "Brisbane", "Perth", "Auckland", "Wellington", "Mexico City", "Guadalajara",
+    "Bogota", "Lima", "Santiago", "Buenos Aires", "Montevideo", "Sao Paulo", "Rio de Janeiro",
+    "Brasilia", "Caracas", "Havana", "San Juan", "Quito",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Robert", "William", "Elizabeth", "Margaret", "Richard", "James", "John", "Michael",
+    "Katherine", "Thomas", "Christopher", "Jennifer", "Alexander", "Edward", "Charles",
+    "Patricia", "Daniel", "Anthony", "Joseph", "Samantha", "Benjamin", "Nicholas", "Jonathan",
+    "Matthew", "Andrew", "Steven", "Timothy", "Gregory", "Victoria", "Rebecca", "Susan",
+    "Deborah", "Barbara", "Frederick", "Lawrence", "Ronald", "Donald", "Kenneth", "Raymond",
+    "Stephanie", "Maria", "Sofia", "Lucas", "Olivia", "Emma", "Noah", "Liam", "Ava", "Mia",
+    "Ethan",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+];
+
+const ADJECTIVES: &[&str] = &[
+    "Silent", "Golden", "Broken", "Endless", "Midnight", "Electric", "Crimson", "Silver",
+    "Wandering", "Hidden", "Distant", "Burning", "Frozen", "Gentle", "Restless", "Shining",
+    "Lonely", "Velvet", "Wild", "Quiet", "Lost", "Rising", "Falling", "Secret", "Ancient",
+    "Neon", "Paper", "Glass", "Iron", "Emerald",
+];
+
+const NOUNS: &[&str] = &[
+    "River", "Mountain", "Sky", "Garden", "Ocean", "Highway", "Mirror", "Shadow", "Harbor",
+    "Forest", "Desert", "Island", "Bridge", "Tower", "Window", "Lantern", "Compass", "Anthem",
+    "Horizon", "Echo", "Ember", "Meadow", "Thunder", "Voyage", "Harvest", "Canyon", "Beacon",
+    "Orchard", "Clockwork", "Labyrinth",
+];
+
+const COMPANY_SUFFIXES: &[&str] =
+    &["Systems", "Industries", "Holdings", "Technologies", "Analytics", "Logistics", "Partners",
+      "Dynamics", "Networks", "Laboratories", "Solutions", "Energy", "Capital", "Foods", "Motors"];
+
+const DISEASES: &[&str] = &[
+    "Influenza", "Measles", "Malaria", "Cholera", "Tuberculosis", "Hepatitis", "Diabetes",
+    "Asthma", "Pneumonia", "Bronchitis", "Arthritis", "Anemia", "Migraine", "Dermatitis",
+    "Gastritis", "Sinusitis", "Tonsillitis", "Meningitis", "Tetanus", "Typhoid", "Dengue",
+    "Rabies", "Mumps", "Rubella", "Pertussis", "Scarlet Fever", "Lyme Disease", "Psoriasis",
+    "Epilepsy", "Glaucoma",
+];
+
+const CHEM_PREFIXES: &[&str] = &[
+    "Sodium", "Potassium", "Calcium", "Magnesium", "Ammonium", "Ferric", "Ferrous", "Copper",
+    "Zinc", "Barium", "Lithium", "Aluminium", "Silver", "Lead", "Nickel", "Cobalt", "Manganese",
+    "Chromium", "Titanium", "Strontium",
+];
+
+const CHEM_SUFFIXES: &[&str] = &[
+    "Chloride", "Sulfate", "Nitrate", "Carbonate", "Phosphate", "Hydroxide", "Oxide", "Bromide",
+    "Iodide", "Acetate", "Citrate", "Fluoride", "Silicate", "Borate", "Chromate",
+];
+
+const LANGUAGES: &[&str] = &[
+    "Rust", "Python", "JavaScript", "TypeScript", "Java", "Kotlin", "Swift", "Objective-C",
+    "C", "C++", "C#", "Go", "Ruby", "PHP", "Perl", "Haskell", "OCaml", "Erlang", "Elixir",
+    "Scala", "Clojure", "Julia", "R", "MATLAB", "Fortran", "COBOL", "Ada", "Lua", "Dart",
+    "Groovy", "F#", "Prolog", "Scheme", "Racket", "Zig", "Nim", "Crystal", "Elm", "PureScript",
+    "Solidity",
+];
+
+const NP_SUFFIXES: &[&str] =
+    &["National Park", "State Park", "Nature Reserve", "Wildlife Refuge", "National Monument"];
+
+const PAPER_SUFFIXES: &[&str] =
+    &["Times", "Herald", "Tribune", "Gazette", "Chronicle", "Observer", "Courier", "Post",
+      "Journal", "Daily News"];
+
+const STREET_SUFFIXES: &[&str] = &["Street", "Avenue", "Boulevard", "Road", "Lane", "Drive"];
+
+const RESTAURANT_STYLES: &[&str] = &[
+    "Bistro", "Trattoria", "Grill", "Kitchen", "Cafe", "Diner", "Cantina", "Brasserie",
+    "Steakhouse", "Tavern", "Pizzeria", "Noodle House", "Bakery", "Chophouse", "Eatery",
+];
+
+fn pick(list: &[&'static str], i: usize) -> &'static str {
+    list[i % list.len()]
+}
+
+/// Returns `n` distinct base entity names for a topic.  Generation is purely
+/// index-driven (no randomness), so the same `(topic, n)` always yields the
+/// same values; the Auto-Join generator then applies per-column fuzzy
+/// transformations on top.
+pub fn topic_values(topic: Topic, n: usize) -> Vec<String> {
+    // Country names come from the knowledge base so that alias (code)
+    // transformations are available; load them once, not per value.
+    let countries: Vec<String> = if topic == Topic::Countries {
+        KnowledgeBase::builtin()
+            .groups_with_prefix("country:")
+            .into_iter()
+            .map(|g| g.aliases[0].clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut i = 0usize;
+    while out.len() < n {
+        let mut value = compose(topic, i, &countries);
+        if seen.contains(&value) {
+            // The composition space of a topic is finite; once it is
+            // exhausted, disambiguate with a Roman-numeral-style suffix the
+            // way real catalogues do ("Influenza (II)", "Riverside Park (IV)").
+            value = format!("{value} ({})", roman(1 + i / 100));
+        }
+        if seen.insert(value.clone()) {
+            out.push(value);
+        }
+        i += 1;
+        assert!(i < n * 200 + 10_000, "could not generate {n} distinct values for {topic:?}");
+    }
+    out
+}
+
+/// Small Roman numeral helper for catalogue-style disambiguation.
+fn roman(mut n: usize) -> String {
+    let table = [
+        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"), (90, "XC"), (50, "L"),
+        (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+    ];
+    let mut out = String::new();
+    for (value, symbol) in table {
+        while n >= value {
+            out.push_str(symbol);
+            n -= value;
+        }
+    }
+    out
+}
+
+fn compose(topic: Topic, i: usize, countries: &[String]) -> String {
+    match topic {
+        Topic::Cities => {
+            if i < CITIES.len() {
+                CITIES[i].to_string()
+            } else {
+                format!("{} {}", pick(&["North", "South", "East", "West", "New", "Port", "Lake"], i / CITIES.len()), pick(CITIES, i))
+            }
+        }
+        Topic::Countries => {
+            if i < countries.len() {
+                countries[i].clone()
+            } else {
+                // Fictional countries once the real list is exhausted.
+                format!(
+                    "Republic of {} {}",
+                    pick(ADJECTIVES, i / NOUNS.len()),
+                    pick(NOUNS, i)
+                )
+            }
+        }
+        Topic::Universities => match i % 3 {
+            0 => format!("University of {}", pick(CITIES, i / 3)),
+            1 => format!("{} Institute of Technology", pick(CITIES, i / 3)),
+            _ => format!("{} State University", pick(CITIES, i / 3)),
+        },
+        Topic::Songs => format!("{} {}", pick(ADJECTIVES, i % ADJECTIVES.len()), pick(NOUNS, i / ADJECTIVES.len())),
+        Topic::Movies => format!("The {} {}", pick(ADJECTIVES, i / NOUNS.len()), pick(NOUNS, i)),
+        Topic::GovernmentOfficials => format!(
+            "Senator {} {}",
+            pick(FIRST_NAMES, i % FIRST_NAMES.len()),
+            pick(LAST_NAMES, i / FIRST_NAMES.len())
+        ),
+        Topic::Companies => format!(
+            "{} {}",
+            pick(NOUNS, i % NOUNS.len()),
+            pick(COMPANY_SUFFIXES, i / NOUNS.len())
+        ),
+        Topic::Airports => format!("{} International Airport", pick(CITIES, i)),
+        Topic::Books => format!(
+            "A {} of {}",
+            pick(&["History", "Theory", "Portrait", "Study", "Song", "Memory", "Garden"], i / NOUNS.len()),
+            pick(NOUNS, i)
+        ),
+        Topic::Athletes => format!(
+            "{} {}",
+            pick(FIRST_NAMES, i % FIRST_NAMES.len()),
+            pick(LAST_NAMES, (i / FIRST_NAMES.len()) + 7)
+        ),
+        Topic::Diseases => {
+            if i < DISEASES.len() {
+                DISEASES[i].to_string()
+            } else {
+                format!("Chronic {}", pick(DISEASES, i))
+            }
+        }
+        Topic::Chemicals => format!(
+            "{} {}",
+            pick(CHEM_PREFIXES, i % CHEM_PREFIXES.len()),
+            pick(CHEM_SUFFIXES, i / CHEM_PREFIXES.len())
+        ),
+        Topic::ProgrammingLanguages => {
+            if i < LANGUAGES.len() {
+                LANGUAGES[i].to_string()
+            } else {
+                format!("{} {}", pick(LANGUAGES, i), (1 + i / LANGUAGES.len()))
+            }
+        }
+        Topic::Restaurants => format!(
+            "{} {}",
+            pick(ADJECTIVES, i % ADJECTIVES.len()),
+            pick(RESTAURANT_STYLES, i / ADJECTIVES.len())
+        ),
+        Topic::Parks => format!(
+            "{} {}",
+            pick(NOUNS, i % NOUNS.len()),
+            pick(NP_SUFFIXES, i / NOUNS.len())
+        ),
+        Topic::Newspapers => format!(
+            "The {} {}",
+            pick(CITIES, i % CITIES.len()),
+            pick(PAPER_SUFFIXES, i / CITIES.len())
+        ),
+        Topic::Streets => format!(
+            "{} {} {}",
+            100 + (i * 7) % 899,
+            pick(NOUNS, i % NOUNS.len()),
+            pick(STREET_SUFFIXES, i / NOUNS.len())
+        ),
+    }
+}
+
+/// Word lists reused by other generators (people names for the EM benchmark,
+/// cities for addresses, …).
+pub mod words {
+    /// First names.
+    pub fn first_names() -> &'static [&'static str] {
+        super::FIRST_NAMES
+    }
+    /// Last names.
+    pub fn last_names() -> &'static [&'static str] {
+        super::LAST_NAMES
+    }
+    /// City names.
+    pub fn cities() -> &'static [&'static str] {
+        super::CITIES
+    }
+    /// Company-name suffixes.
+    pub fn company_suffixes() -> &'static [&'static str] {
+        super::COMPANY_SUFFIXES
+    }
+    /// Generic nouns.
+    pub fn nouns() -> &'static [&'static str] {
+        super::NOUNS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seventeen_topics() {
+        assert_eq!(ALL_TOPICS.len(), 17);
+        let names: HashSet<&str> = ALL_TOPICS.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn values_are_distinct_and_deterministic() {
+        for topic in ALL_TOPICS {
+            let a = topic_values(topic, 200);
+            let b = topic_values(topic, 200);
+            assert_eq!(a, b, "non-deterministic for {topic:?}");
+            let unique: HashSet<&String> = a.iter().collect();
+            assert_eq!(unique.len(), 200, "duplicates for {topic:?}");
+            assert!(a.iter().all(|v| !v.trim().is_empty()));
+        }
+    }
+
+    #[test]
+    fn country_values_are_knowledge_base_canonical_names() {
+        let kb = KnowledgeBase::builtin();
+        let values = topic_values(Topic::Countries, 50);
+        let known = values.iter().filter(|v| kb.concept_of(v).is_some()).count();
+        assert!(known >= 45, "only {known}/50 countries known to the KB");
+    }
+
+    #[test]
+    fn requesting_few_values_works() {
+        assert_eq!(topic_values(Topic::Cities, 3).len(), 3);
+        assert!(topic_values(Topic::Songs, 0).is_empty());
+    }
+}

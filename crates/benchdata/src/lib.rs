@@ -1,0 +1,34 @@
+//! # lake-benchdata
+//!
+//! Synthetic benchmark generators standing in for the paper's datasets
+//! (DESIGN.md §3 documents each substitution):
+//!
+//! * [`autojoin`] — an Auto-Join-style fuzzy value-matching benchmark:
+//!   31 integration sets over 17 topics, each a set of aligned columns whose
+//!   values are fuzzy variants of shared entities, with gold match pairs.
+//!   Drives the Table 1 experiment.
+//! * [`alite_em`] — an ALITE-style entity-matching benchmark: entities
+//!   scattered over several source tables with planted inconsistencies and
+//!   gold entity labels.  Drives the §3.2 downstream-task experiment.
+//! * [`imdb`] — an IMDB-schema-shaped efficiency benchmark: six key-joinable
+//!   tables sampled to a requested total tuple count (5K–30K).  Drives the
+//!   Figure 3 runtime experiment.
+//! * [`lexicon`] — topic vocabularies (cities, songs, movies, people, …) and
+//!   alias groups shared by the generators.
+//! * [`noise`] — the deterministic fuzzy transformations (typos, case
+//!   changes, abbreviations, aliases, token reordering) the generators plant
+//!   and the matcher is later asked to undo.
+//!
+//! All generators are seeded and fully deterministic.
+
+pub mod alite_em;
+pub mod autojoin;
+pub mod imdb;
+pub mod lexicon;
+pub mod noise;
+
+pub use alite_em::{generate_em_benchmark, EmBenchmark, EmBenchmarkConfig};
+pub use autojoin::{generate_autojoin_benchmark, AutoJoinConfig, ValueMatchingSet};
+pub use imdb::{generate_imdb_benchmark, ImdbConfig};
+pub use lexicon::{topic_values, Topic, ALL_TOPICS};
+pub use noise::{apply_transformation, Transformation};

@@ -1,0 +1,280 @@
+//! Fuzzy transformations planted by the benchmark generators.
+//!
+//! These mirror the transformation classes catalogued by Auto-Join (Zhu, He,
+//! Chaudhuri 2017): formatting changes, typos, abbreviations, aliases and
+//! token-level edits.  Each transformation is deterministic given the RNG
+//! passed in, and the generators record which values were derived from which
+//! base entity, so the gold standard is exact by construction.
+
+use lake_embed::KnowledgeBase;
+use lake_text::{acronym, words};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The transformation classes a column can apply to its values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transformation {
+    /// Keep the value unchanged.
+    Identity,
+    /// Lower-case the whole value (`Barcelona` → `barcelona`).
+    CaseFold,
+    /// Upper-case the whole value.
+    UpperCase,
+    /// A single-character typo: substitution, deletion, insertion or swap.
+    Typo,
+    /// Replace the value with a knowledge-base alias (country code, nickname,
+    /// city alias) when one exists, otherwise fall back to a typo.
+    Alias,
+    /// Replace a multi-word value by its acronym (`New York City` → `NYC`).
+    Acronym,
+    /// Truncate each word to a prefix (`Department` → `Dept`).
+    PrefixAbbreviation,
+    /// Reorder the first two tokens and add a comma (`Jane Doe` → `Doe, Jane`).
+    TokenReorder,
+    /// Append a short suffix token (`Berlin` → `Berlin (city)`).
+    SuffixDecoration,
+    /// Remove punctuation and collapse case (`U.S. Steel Corp.` → `us steel corp`).
+    StripPunctuation,
+}
+
+/// All transformation classes, for sweeps and documentation.
+pub const ALL_TRANSFORMATIONS: [Transformation; 10] = [
+    Transformation::Identity,
+    Transformation::CaseFold,
+    Transformation::UpperCase,
+    Transformation::Typo,
+    Transformation::Alias,
+    Transformation::Acronym,
+    Transformation::PrefixAbbreviation,
+    Transformation::TokenReorder,
+    Transformation::SuffixDecoration,
+    Transformation::StripPunctuation,
+];
+
+/// Applies a transformation to a base value, using `kb` for alias lookups and
+/// `rng` for the randomised classes (typo position, suffix choice).
+///
+/// Transformations that do not apply to a particular value (e.g. acronym of a
+/// single word) degrade gracefully to a milder transformation so the output
+/// is always a plausible fuzzy variant of the input.
+pub fn apply_transformation(
+    value: &str,
+    transformation: Transformation,
+    kb: &KnowledgeBase,
+    rng: &mut StdRng,
+) -> String {
+    match transformation {
+        Transformation::Identity => value.to_string(),
+        Transformation::CaseFold => value.to_lowercase(),
+        Transformation::UpperCase => value.to_uppercase(),
+        Transformation::Typo => apply_typo(value, rng),
+        Transformation::Alias => match alias_of(value, kb, rng) {
+            Some(alias) => alias,
+            None => apply_typo(value, rng),
+        },
+        Transformation::Acronym => {
+            let tokens = words(value);
+            if tokens.len() >= 2 {
+                acronym(value)
+            } else {
+                value.to_uppercase()
+            }
+        }
+        Transformation::PrefixAbbreviation => {
+            let tokens: Vec<String> = value.split_whitespace().map(|t| t.to_string()).collect();
+            if tokens.is_empty() {
+                return value.to_string();
+            }
+            tokens
+                .iter()
+                .map(|t| {
+                    if t.chars().count() > 5 {
+                        let prefix: String = t.chars().take(4).collect();
+                        format!("{prefix}.")
+                    } else {
+                        t.clone()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        Transformation::TokenReorder => {
+            let tokens: Vec<&str> = value.split_whitespace().collect();
+            if tokens.len() >= 2 {
+                let mut reordered = vec![tokens[tokens.len() - 1].to_string()];
+                reordered.push(tokens[..tokens.len() - 1].join(" "));
+                format!("{}, {}", reordered[0], reordered[1])
+            } else {
+                value.to_string()
+            }
+        }
+        Transformation::SuffixDecoration => {
+            let suffixes = [" (official)", " (alt)", " *", " - record", " [1]"];
+            format!("{}{}", value, suffixes[rng.gen_range(0..suffixes.len())])
+        }
+        Transformation::StripPunctuation => {
+            let stripped: String = value
+                .chars()
+                .filter(|c| c.is_alphanumeric() || c.is_whitespace())
+                .collect();
+            let collapsed = stripped.split_whitespace().collect::<Vec<_>>().join(" ");
+            if collapsed.is_empty() {
+                value.to_string()
+            } else {
+                collapsed.to_lowercase()
+            }
+        }
+    }
+}
+
+/// Introduces one character-level typo.
+fn apply_typo(value: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        return value.to_string();
+    }
+    let mut out = chars.clone();
+    // Prefer positions inside the word, not the first character, so the typo
+    // looks like real data entry noise.
+    let pos = if chars.len() > 2 { 1 + rng.gen_range(0..chars.len() - 1) } else { 0 };
+    match rng.gen_range(0..4) {
+        0 => {
+            // duplicate a character ("Berlin" -> "Berlinn")
+            out.insert(pos, chars[pos]);
+        }
+        1 if chars.len() > 3 => {
+            // delete a character
+            out.remove(pos);
+        }
+        2 if pos + 1 < chars.len() => {
+            // swap adjacent characters
+            out.swap(pos, pos + 1);
+        }
+        _ => {
+            // substitute with a neighbouring letter
+            let replacement = match chars[pos].to_ascii_lowercase() {
+                'a' => 's',
+                'e' => 'r',
+                'i' => 'o',
+                'o' => 'p',
+                'n' => 'm',
+                't' => 'r',
+                c if c.is_ascii_digit() => '0',
+                _ => 'x',
+            };
+            out[pos] = if chars[pos].is_uppercase() {
+                replacement.to_ascii_uppercase()
+            } else {
+                replacement
+            };
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Picks a knowledge-base alias different from the value itself, if any.
+fn alias_of(value: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> Option<String> {
+    let concept = kb.concept_of(value)?.to_string();
+    let group = kb.groups().into_iter().find(|g| g.concept == concept)?;
+    let alternatives: Vec<&String> = group
+        .aliases
+        .iter()
+        .filter(|a| !a.eq_ignore_ascii_case(value))
+        .collect();
+    if alternatives.is_empty() {
+        return None;
+    }
+    Some(alternatives[rng.gen_range(0..alternatives.len())].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn identity_and_case_transformations() {
+        let kb = KnowledgeBase::builtin();
+        let mut r = rng();
+        assert_eq!(apply_transformation("Berlin", Transformation::Identity, &kb, &mut r), "Berlin");
+        assert_eq!(apply_transformation("Berlin", Transformation::CaseFold, &kb, &mut r), "berlin");
+        assert_eq!(apply_transformation("Berlin", Transformation::UpperCase, &kb, &mut r), "BERLIN");
+    }
+
+    #[test]
+    fn typo_changes_the_string_but_keeps_it_close() {
+        let kb = KnowledgeBase::builtin();
+        let mut r = rng();
+        for value in ["Berlin", "Barcelona", "University of Toronto"] {
+            let noisy = apply_transformation(value, Transformation::Typo, &kb, &mut r);
+            assert_ne!(noisy, value);
+            assert!(lake_text::levenshtein(&noisy, value) <= 2);
+        }
+    }
+
+    #[test]
+    fn alias_uses_knowledge_base() {
+        let kb = KnowledgeBase::builtin();
+        let mut r = rng();
+        let alias = apply_transformation("Canada", Transformation::Alias, &kb, &mut r);
+        assert_ne!(alias, "Canada");
+        assert!(kb.same_concept(&alias, "Canada"), "alias {alias} should denote Canada");
+        // Unknown values degrade to a typo rather than staying identical.
+        let fallback = apply_transformation("Zzyzx Corp", Transformation::Alias, &kb, &mut r);
+        assert_ne!(fallback, "Zzyzx Corp");
+    }
+
+    #[test]
+    fn acronym_and_prefix_abbreviation() {
+        let kb = KnowledgeBase::builtin();
+        let mut r = rng();
+        assert_eq!(
+            apply_transformation("New York City", Transformation::Acronym, &kb, &mut r),
+            "NYC"
+        );
+        let abbrev =
+            apply_transformation("Department of Transportation", Transformation::PrefixAbbreviation, &kb, &mut r);
+        assert!(abbrev.starts_with("Depa."));
+        assert!(abbrev.len() < "Department of Transportation".len());
+    }
+
+    #[test]
+    fn token_reorder_and_decoration() {
+        let kb = KnowledgeBase::builtin();
+        let mut r = rng();
+        assert_eq!(
+            apply_transformation("Jane Doe", Transformation::TokenReorder, &kb, &mut r),
+            "Doe, Jane"
+        );
+        let decorated = apply_transformation("Berlin", Transformation::SuffixDecoration, &kb, &mut r);
+        assert!(decorated.starts_with("Berlin"));
+        assert!(decorated.len() > "Berlin".len());
+    }
+
+    #[test]
+    fn strip_punctuation() {
+        let kb = KnowledgeBase::builtin();
+        let mut r = rng();
+        assert_eq!(
+            apply_transformation("U.S. Steel Corp.", Transformation::StripPunctuation, &kb, &mut r),
+            "us steel corp"
+        );
+    }
+
+    #[test]
+    fn transformations_are_deterministic_given_the_rng_seed() {
+        let kb = KnowledgeBase::builtin();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for t in ALL_TRANSFORMATIONS {
+            assert_eq!(
+                apply_transformation("University of Toronto", t, &kb, &mut r1),
+                apply_transformation("University of Toronto", t, &kb, &mut r2)
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Configuration of the Fuzzy Full Disjunction pipeline.
+
+use lake_assign::AssignmentAlgorithm;
+use lake_embed::EmbeddingModel;
+
+/// How the bipartite value-matching step is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentStrategy {
+    /// Always use the exact solver configured in
+    /// [`FuzzyFdConfig::assignment_algorithm`].
+    AlwaysExact,
+    /// Use the exact solver up to `max_side` values per side and fall back to
+    /// the greedy solver beyond that.  Large residual matrices only occur on
+    /// key-like columns with tens of thousands of distinct values, where the
+    /// O(n³) exact solvers become the bottleneck.
+    ExactUpTo {
+        /// Largest per-side size still solved exactly.
+        max_side: usize,
+    },
+}
+
+impl Default for AssignmentStrategy {
+    fn default() -> Self {
+        AssignmentStrategy::ExactUpTo { max_side: 1_500 }
+    }
+}
+
+/// Parameters of Fuzzy Full Disjunction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzyFdConfig {
+    /// Matching threshold θ: assignments whose cosine distance is **not**
+    /// strictly below θ are discarded.  The paper reports θ = 0.7 as the best
+    /// setting and we default to it.
+    pub theta: f32,
+    /// Embedding model used to embed cell values (Table 1 compares the five
+    /// tiers; Mistral is the paper's default).
+    pub model: EmbeddingModel,
+    /// Exact assignment algorithm used for bipartite matching.
+    pub assignment_algorithm: AssignmentAlgorithm,
+    /// When to fall back from the exact solver.
+    pub assignment_strategy: AssignmentStrategy,
+    /// Match identical strings across columns before running the embedding /
+    /// assignment machinery.  Identical values are at distance 0, so this is
+    /// purely an optimisation (it is what keeps the fuzzy overhead negligible
+    /// on equi-join workloads like the IMDB benchmark); disable it to force
+    /// every value through the assignment path.
+    pub exact_match_first: bool,
+    /// Minimum number of characters a value must have to participate in fuzzy
+    /// (non-exact) matching.  Very short values ("1", "A") carry too little
+    /// signal and are matched only exactly.
+    pub min_fuzzy_length: usize,
+}
+
+impl Default for FuzzyFdConfig {
+    fn default() -> Self {
+        FuzzyFdConfig {
+            theta: 0.7,
+            model: EmbeddingModel::Mistral,
+            assignment_algorithm: AssignmentAlgorithm::ShortestAugmentingPath,
+            assignment_strategy: AssignmentStrategy::default(),
+            exact_match_first: true,
+            min_fuzzy_length: 2,
+        }
+    }
+}
+
+impl FuzzyFdConfig {
+    /// Convenience constructor overriding only the threshold.
+    pub fn with_theta(theta: f32) -> Self {
+        FuzzyFdConfig { theta, ..FuzzyFdConfig::default() }
+    }
+
+    /// Convenience constructor overriding only the embedding model.
+    pub fn with_model(model: EmbeddingModel) -> Self {
+        FuzzyFdConfig { model, ..FuzzyFdConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = FuzzyFdConfig::default();
+        assert!((config.theta - 0.7).abs() < 1e-6);
+        assert_eq!(config.model, EmbeddingModel::Mistral);
+        assert!(config.exact_match_first);
+        assert_eq!(config.assignment_algorithm, AssignmentAlgorithm::ShortestAugmentingPath);
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert!((FuzzyFdConfig::with_theta(0.5).theta - 0.5).abs() < 1e-6);
+        assert_eq!(FuzzyFdConfig::with_model(EmbeddingModel::Bert).model, EmbeddingModel::Bert);
+    }
+
+    #[test]
+    fn default_strategy_caps_exact_solver() {
+        match AssignmentStrategy::default() {
+            AssignmentStrategy::ExactUpTo { max_side } => assert!(max_side >= 500),
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

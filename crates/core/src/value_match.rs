@@ -1,0 +1,428 @@
+//! The Match Values component (paper §2.1–2.2).
+//!
+//! Given a set of aligned columns, partition their values into disjoint
+//! groups of fuzzily-matching values (Definition 2) and pick a representative
+//! per group.  The implementation follows the paper's iterative procedure:
+//! start from the first column, bipartite-match the current *combined column*
+//! against the next column (linear sum assignment over cosine distances,
+//! discarding assignments at distance ≥ θ), merge matched values, and repeat
+//! until every column has been folded in.
+
+use std::collections::HashMap;
+
+use lake_assign::{solve, Assignment, AssignmentAlgorithm, CostMatrix};
+use lake_embed::{Embedder, Vector};
+use lake_table::Value;
+
+use crate::config::{AssignmentStrategy, FuzzyFdConfig};
+
+/// Index of a column within one aligned column set (0 = first/earliest table).
+pub type ColumnPosition = usize;
+
+/// A group of values (across aligned columns) determined to denote the same
+/// thing, together with the representative value that will replace all of
+/// them before the equi-join Full Disjunction runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueGroup {
+    /// The member values, tagged with the column they came from.
+    pub members: Vec<(ColumnPosition, Value)>,
+    /// The representative (most frequent member; ties go to the earliest
+    /// column, per the paper's rule).
+    pub representative: Value,
+}
+
+impl ValueGroup {
+    /// All cross-column member pairs of this group — the unit the Table 1
+    /// experiment scores against gold pairs.
+    pub fn cross_column_pairs(&self) -> Vec<((ColumnPosition, Value), (ColumnPosition, Value))> {
+        let mut out = Vec::new();
+        for i in 0..self.members.len() {
+            for j in (i + 1)..self.members.len() {
+                if self.members[i].0 != self.members[j].0 {
+                    out.push((self.members[i].clone(), self.members[j].clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of member values.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the group has a single member (nothing was matched to it).
+    pub fn is_singleton(&self) -> bool {
+        self.members.len() <= 1
+    }
+}
+
+/// Matches values across aligned columns using a configured embedder.
+pub struct ValueMatcher<'a> {
+    embedder: &'a dyn Embedder,
+    config: FuzzyFdConfig,
+}
+
+/// Internal working state of one group during the iterative matching.
+struct WorkingGroup {
+    members: Vec<(ColumnPosition, Value)>,
+    representative: Value,
+    embedding: Vector,
+}
+
+impl<'a> ValueMatcher<'a> {
+    /// Creates a matcher.
+    pub fn new(embedder: &'a dyn Embedder, config: FuzzyFdConfig) -> Self {
+        ValueMatcher { embedder, config }
+    }
+
+    /// Matches the values of a set of aligned columns.
+    ///
+    /// `columns[i]` holds the values of the i-th aligned column in table
+    /// order; duplicates and nulls are tolerated (nulls are ignored, and the
+    /// clean-clean assumption means duplicates within a column are simply
+    /// collapsed).
+    pub fn match_values(&self, columns: &[Vec<Value>]) -> Vec<ValueGroup> {
+        // Global occurrence counts drive representative selection.
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for column in columns {
+            for value in column {
+                if value.is_present() {
+                    *counts.entry(value.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut groups: Vec<WorkingGroup> = Vec::new();
+        for (position, column) in columns.iter().enumerate() {
+            let distinct = distinct_present(column);
+            if position == 0 || groups.is_empty() {
+                for value in distinct {
+                    groups.push(self.singleton(position, value));
+                }
+                continue;
+            }
+            self.fold_column(&mut groups, position, distinct, &counts);
+        }
+
+        groups
+            .into_iter()
+            .map(|g| ValueGroup { members: g.members, representative: g.representative })
+            .collect()
+    }
+
+    /// Folds one more column into the current combined column (the groups).
+    fn fold_column(
+        &self,
+        groups: &mut Vec<WorkingGroup>,
+        position: ColumnPosition,
+        values: Vec<Value>,
+        counts: &HashMap<Value, usize>,
+    ) {
+        // Which groups already absorbed a value from this column (bipartite
+        // constraint: at most one value per column per group).
+        let mut group_taken = vec![false; groups.len()];
+        let mut leftover: Vec<Value> = Vec::new();
+
+        // Pass 1: exact matches (identical values are at distance 0, so the
+        // assignment would match them anyway — doing it first is the
+        // optimisation that keeps equi-join workloads cheap).
+        if self.config.exact_match_first {
+            let mut member_index: HashMap<Value, usize> = HashMap::new();
+            for (g_idx, group) in groups.iter().enumerate() {
+                for (_, member) in &group.members {
+                    member_index.entry(member.clone()).or_insert(g_idx);
+                }
+            }
+            for value in values {
+                match member_index.get(&value) {
+                    Some(&g_idx) if !group_taken[g_idx] => {
+                        groups[g_idx].members.push((position, value));
+                        group_taken[g_idx] = true;
+                        self.refresh_representative(&mut groups[g_idx], counts);
+                    }
+                    _ => leftover.push(value),
+                }
+            }
+        } else {
+            leftover = values;
+        }
+
+        // Pass 2: fuzzy matching of the leftovers against the untaken groups.
+        let candidate_groups: Vec<usize> = (0..groups.len()).filter(|&i| !group_taken[i]).collect();
+        let fuzzy_values: Vec<Value> = leftover
+            .iter()
+            .filter(|v| v.render().chars().count() >= self.config.min_fuzzy_length)
+            .cloned()
+            .collect();
+        let mut matched_values: Vec<bool> = vec![false; leftover.len()];
+
+        if !candidate_groups.is_empty() && !fuzzy_values.is_empty() {
+            let value_embeddings: Vec<Vector> =
+                fuzzy_values.iter().map(|v| self.embedder.embed(&v.render())).collect();
+            let matrix = CostMatrix::from_fn(candidate_groups.len(), fuzzy_values.len(), |r, c| {
+                groups[candidate_groups[r]].embedding.cosine_distance(&value_embeddings[c]) as f64
+            });
+            let assignment = self.solve_assignment(&matrix);
+            let accepted = assignment.threshold(&matrix, self.config.theta as f64);
+            for (row, col) in &accepted.pairs {
+                let g_idx = candidate_groups[*row];
+                let value = fuzzy_values[*col].clone();
+                groups[g_idx].members.push((position, value.clone()));
+                self.refresh_representative(&mut groups[g_idx], counts);
+                // Mark the original leftover slot as matched.
+                if let Some(slot) = leftover
+                    .iter()
+                    .enumerate()
+                    .position(|(i, v)| !matched_values[i] && *v == value)
+                {
+                    matched_values[slot] = true;
+                }
+            }
+        }
+
+        // Pass 3: everything still unmatched becomes a new singleton group —
+        // "left in a singleton set represented by its embedding".
+        for (idx, value) in leftover.into_iter().enumerate() {
+            if !matched_values[idx] {
+                groups.push(self.singleton(position, value));
+            }
+        }
+    }
+
+    fn solve_assignment(&self, matrix: &CostMatrix) -> Assignment {
+        let algorithm = match self.config.assignment_strategy {
+            AssignmentStrategy::AlwaysExact => self.config.assignment_algorithm,
+            AssignmentStrategy::ExactUpTo { max_side } => {
+                if matrix.rows().max(matrix.cols()) <= max_side {
+                    self.config.assignment_algorithm
+                } else {
+                    AssignmentAlgorithm::Greedy
+                }
+            }
+        };
+        solve(matrix, algorithm)
+    }
+
+    fn singleton(&self, position: ColumnPosition, value: Value) -> WorkingGroup {
+        let embedding = self.embedder.embed(&value.render());
+        WorkingGroup { members: vec![(position, value.clone())], representative: value, embedding }
+    }
+
+    /// Recomputes the representative (most frequent member, ties to the
+    /// earliest column) and its embedding.
+    fn refresh_representative(&self, group: &mut WorkingGroup, counts: &HashMap<Value, usize>) {
+        let mut best: Option<(&(ColumnPosition, Value), usize)> = None;
+        for member in &group.members {
+            let count = counts.get(&member.1).copied().unwrap_or(1);
+            let better = match best {
+                None => true,
+                Some((current, current_count)) => {
+                    count > current_count || (count == current_count && member.0 < current.0)
+                }
+            };
+            if better {
+                best = Some((member, count));
+            }
+        }
+        if let Some(((_, value), _)) = best {
+            if *value != group.representative {
+                group.representative = value.clone();
+                group.embedding = self.embedder.embed(&group.representative.render());
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: match the values of aligned columns with a given
+/// embedder and configuration.
+pub fn match_column_values(
+    columns: &[Vec<Value>],
+    embedder: &dyn Embedder,
+    config: FuzzyFdConfig,
+) -> Vec<ValueGroup> {
+    ValueMatcher::new(embedder, config).match_values(columns)
+}
+
+fn distinct_present(column: &[Value]) -> Vec<Value> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for value in column {
+        if value.is_present() && seen.insert(value.clone()) {
+            out.push(value.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_embed::EmbeddingModel;
+
+    fn values(strings: &[&str]) -> Vec<Value> {
+        strings.iter().map(|s| Value::text(*s)).collect()
+    }
+
+    fn mistral_groups(columns: &[Vec<Value>]) -> Vec<ValueGroup> {
+        let embedder = EmbeddingModel::Mistral.build();
+        match_column_values(columns, embedder.as_ref(), FuzzyFdConfig::default())
+    }
+
+    #[test]
+    fn example4_city_columns() {
+        // Figure 2 / Example 4 of the paper: three aligned City columns.
+        let columns = vec![
+            values(&["Berlinn", "Toronto", "Barcelona", "New Delhi"]),
+            values(&["Toronto", "Boston", "Berlin", "Barcelona"]),
+            values(&["Berlin", "barcelona", "Boston"]),
+        ];
+        let groups = mistral_groups(&columns);
+
+        // Expected combined column: Berlin, Toronto, Barcelona, New Delhi, Boston.
+        assert_eq!(groups.len(), 5, "{groups:#?}");
+
+        let rep_of = |needle: &str| {
+            groups
+                .iter()
+                .find(|g| g.members.iter().any(|(_, v)| v == &Value::text(needle)))
+                .map(|g| g.representative.clone())
+        };
+        // Berlin appears twice, Berlinn once → Berlin is the representative.
+        assert_eq!(rep_of("Berlinn"), Some(Value::text("Berlin")));
+        // barcelona (lower case) resolves to the majority spelling Barcelona.
+        assert_eq!(rep_of("barcelona"), Some(Value::text("Barcelona")));
+        // New Delhi stays a singleton.
+        let delhi = groups.iter().find(|g| g.representative == Value::text("New Delhi")).unwrap();
+        assert!(delhi.is_singleton());
+        // Boston appears in two columns and groups together.
+        let boston = groups.iter().find(|g| g.representative == Value::text("Boston")).unwrap();
+        assert_eq!(boston.len(), 2);
+    }
+
+    #[test]
+    fn country_codes_match_with_semantic_embedder_only() {
+        let columns = vec![
+            values(&["Germany", "Canada", "Spain", "India"]),
+            values(&["CA", "US", "DE", "ES"]),
+        ];
+        let semantic = mistral_groups(&columns);
+        // Germany–DE, Canada–CA, Spain–ES matched; India and US unmatched:
+        // 4 + 2 - 3 = hold on: groups = 4 originals, DE/CA/ES join them, US new → 5.
+        assert_eq!(semantic.len(), 5, "{semantic:#?}");
+        let canada = semantic
+            .iter()
+            .find(|g| g.members.iter().any(|(_, v)| v == &Value::text("CA")))
+            .unwrap();
+        assert!(canada.members.iter().any(|(_, v)| v == &Value::text("Canada")));
+
+        // The surface-only embedder bridges at most as many code pairs as the
+        // semantic one (codes like "DE" share no surface with "Germany"), and
+        // it must not correctly resolve the full Germany↔DE pair.
+        let fasttext = EmbeddingModel::FastText.build();
+        let surface =
+            match_column_values(&columns, fasttext.as_ref(), FuzzyFdConfig::default());
+        let matched = |groups: &[ValueGroup]| groups.iter().filter(|g| !g.is_singleton()).count();
+        assert!(matched(&surface) <= matched(&semantic));
+        let germany_surface = surface
+            .iter()
+            .find(|g| g.members.iter().any(|(_, v)| v == &Value::text("Germany")))
+            .unwrap();
+        assert!(
+            !germany_surface.members.iter().any(|(_, v)| v == &Value::text("DE")),
+            "FastText should not resolve Germany ↔ DE: {surface:#?}"
+        );
+    }
+
+    #[test]
+    fn exact_matches_group_without_fuzzy_work() {
+        let columns = vec![values(&["alpha", "beta"]), values(&["beta", "gamma"])];
+        let embedder = EmbeddingModel::FastText.build();
+        let config = FuzzyFdConfig { theta: 0.0, ..FuzzyFdConfig::default() }; // fuzzy disabled
+        let groups = match_column_values(&columns, embedder.as_ref(), config);
+        assert_eq!(groups.len(), 3);
+        let beta = groups.iter().find(|g| g.representative == Value::text("beta")).unwrap();
+        assert_eq!(beta.len(), 2);
+    }
+
+    #[test]
+    fn bipartite_constraint_prevents_double_matching() {
+        // Two near-identical variants in the second column both want "Berlin";
+        // only one of them may join the group (clean-clean: they must denote
+        // different things because they are in the same column).
+        let columns = vec![values(&["Berlin"]), values(&["Berlinn", "Berlln"])];
+        let groups = mistral_groups(&columns);
+        let berlin_groups: Vec<&ValueGroup> = groups
+            .iter()
+            .filter(|g| g.members.iter().any(|(_, v)| v == &Value::text("Berlin")))
+            .collect();
+        assert_eq!(berlin_groups.len(), 1);
+        assert_eq!(berlin_groups[0].len(), 2, "exactly one variant joins: {groups:#?}");
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn representative_ties_prefer_the_earlier_column() {
+        let columns = vec![values(&["Colour"]), values(&["Color"])];
+        let embedder = EmbeddingModel::Mistral.build();
+        let groups = match_column_values(&columns, embedder.as_ref(), FuzzyFdConfig::default());
+        if groups.len() == 1 {
+            // Both appear once; the tie goes to the first column's value.
+            assert_eq!(groups[0].representative, Value::text("Colour"));
+        }
+    }
+
+    #[test]
+    fn nulls_and_duplicates_are_ignored() {
+        let columns = vec![
+            vec![Value::text("x"), Value::Null, Value::text("x")],
+            vec![Value::Null, Value::text("x")],
+        ];
+        let groups = mistral_groups(&columns);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mistral_groups(&[]).is_empty());
+        assert!(mistral_groups(&[vec![], vec![]]).is_empty());
+        // First column empty, second column seeds the groups.
+        let groups = mistral_groups(&[vec![], values(&["a", "b"])]);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn cross_column_pairs_enumerates_matches() {
+        let group = ValueGroup {
+            members: vec![
+                (0, Value::text("Canada")),
+                (1, Value::text("CA")),
+                (2, Value::text("CAN")),
+            ],
+            representative: Value::text("Canada"),
+        };
+        assert_eq!(group.cross_column_pairs().len(), 3);
+        let singleton =
+            ValueGroup { members: vec![(0, Value::text("x"))], representative: Value::text("x") };
+        assert!(singleton.cross_column_pairs().is_empty());
+    }
+
+    #[test]
+    fn strict_threshold_disables_fuzzy_matching() {
+        let columns = vec![values(&["Berlinn"]), values(&["Berlin"])];
+        let embedder = EmbeddingModel::Mistral.build();
+        let none = match_column_values(
+            &columns,
+            embedder.as_ref(),
+            FuzzyFdConfig { theta: 0.0, ..FuzzyFdConfig::default() },
+        );
+        assert_eq!(none.len(), 2);
+        let loose = match_column_values(
+            &columns,
+            embedder.as_ref(),
+            FuzzyFdConfig { theta: 0.7, ..FuzzyFdConfig::default() },
+        );
+        assert_eq!(loose.len(), 1);
+    }
+}

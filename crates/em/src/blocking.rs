@@ -1,0 +1,120 @@
+//! Blocking: cheap candidate-pair generation.
+//!
+//! Comparing every pair of integrated tuples is quadratic; blocking restricts
+//! comparisons to tuples that share at least one *blocking key* — a
+//! normalised word token or a character-trigram of one of their values.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use lake_fd::IntegratedTuple;
+use lake_text::{char_ngrams, normalize_aggressive, words};
+
+/// The blocking keys of one integrated tuple: every normalised word token of
+/// every non-null value, plus the leading character trigram of each token
+/// (which lets typo variants land in the same block).
+pub fn blocking_keys(tuple: &IntegratedTuple) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for value in tuple.values() {
+        if value.is_null() {
+            continue;
+        }
+        let text = normalize_aggressive(&value.render());
+        for token in words(&text) {
+            if token.len() >= 2 {
+                if let Some(gram) = char_ngrams(&token, 3).into_iter().next() {
+                    keys.insert(format!("g:{gram}"));
+                }
+                keys.insert(format!("t:{token}"));
+            }
+        }
+    }
+    keys
+}
+
+/// Candidate pairs of tuple indices that share at least one blocking key.
+/// Oversized blocks (more than `max_block_size` members) are skipped — they
+/// correspond to uninformative keys such as "the" and would reintroduce the
+/// quadratic blow-up blocking exists to avoid.
+pub fn candidate_pairs(tuples: &[IntegratedTuple], max_block_size: usize) -> Vec<(usize, usize)> {
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (idx, tuple) in tuples.iter().enumerate() {
+        for key in blocking_keys(tuple) {
+            blocks.entry(key).or_default().push(idx);
+        }
+    }
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for members in blocks.values() {
+        if members.len() < 2 || members.len() > max_block_size {
+            continue;
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (a, b) = (members[i].min(members[j]), members[i].max(members[j]));
+                pairs.insert((a, b));
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::{ProvenanceSet, Value};
+
+    fn tuple(values: &[&str]) -> IntegratedTuple {
+        IntegratedTuple::new(
+            values
+                .iter()
+                .map(|s| if s.is_empty() { Value::Null } else { Value::text(*s) })
+                .collect(),
+            ProvenanceSet::empty(),
+        )
+    }
+
+    #[test]
+    fn keys_cover_tokens_and_trigrams() {
+        let keys = blocking_keys(&tuple(&["New York", ""]));
+        assert!(keys.contains("t:new"));
+        assert!(keys.contains("t:york"));
+        assert!(keys.contains("g:new"));
+        assert!(keys.contains("g:yor"));
+    }
+
+    #[test]
+    fn null_only_tuples_have_no_keys() {
+        assert!(blocking_keys(&tuple(&["", ""])).is_empty());
+    }
+
+    #[test]
+    fn candidates_require_a_shared_key() {
+        let tuples = vec![
+            tuple(&["Berlin", "Germany"]),
+            tuple(&["Berlim", "Germany"]), // typo still shares "ber" trigram / "germany"
+            tuple(&["Toronto", "Canada"]),
+        ];
+        let pairs = candidate_pairs(&tuples, 50);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(!pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn oversized_blocks_are_skipped() {
+        let tuples: Vec<IntegratedTuple> =
+            (0..20).map(|_| tuple(&["common"])).collect();
+        let pairs = candidate_pairs(&tuples, 5);
+        assert!(pairs.is_empty());
+        let pairs = candidate_pairs(&tuples, 100);
+        assert_eq!(pairs.len(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn typo_variants_share_a_trigram_block() {
+        let tuples = vec![tuple(&["Barcelona"]), tuple(&["Barcelonna"])];
+        let pairs = candidate_pairs(&tuples, 10);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Thresholded matching, clustering and evaluation.
+
+use lake_fd::components::UnionFind;
+use lake_fd::IntegratedTable;
+use lake_metrics::{ConfusionCounts, PairSet, PrecisionRecall};
+use lake_table::TupleId;
+
+use crate::blocking::candidate_pairs;
+use crate::similarity::weighted_record_similarity;
+
+/// Parameters of the entity matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmOptions {
+    /// Minimum record similarity for a candidate pair to be declared a match.
+    pub threshold: f64,
+    /// Maximum block size considered during blocking.
+    pub max_block_size: usize,
+    /// Weight columns by their value distinctiveness (distinct / non-null).
+    /// Low-cardinality attributes (country codes, job titles) then cannot
+    /// make two different entities look alike on their own.  On by default.
+    pub distinctiveness_weights: bool,
+}
+
+impl Default for EmOptions {
+    fn default() -> Self {
+        EmOptions { threshold: 0.86, max_block_size: 64, distinctiveness_weights: true }
+    }
+}
+
+/// Per-column weights derived from value distinctiveness: the fraction of
+/// distinct values among the column's non-null cells (clamped to a small
+/// positive floor so no shared column is ignored completely).
+pub fn column_weights(table: &IntegratedTable) -> Vec<f64> {
+    let num_columns = table.columns().len();
+    let mut distinct: Vec<std::collections::HashSet<&lake_table::Value>> =
+        vec![std::collections::HashSet::new(); num_columns];
+    let mut non_null = vec![0usize; num_columns];
+    for tuple in table.tuples() {
+        for (c, value) in tuple.values().iter().enumerate() {
+            if value.is_present() {
+                non_null[c] += 1;
+                distinct[c].insert(value);
+            }
+        }
+    }
+    (0..num_columns)
+        .map(|c| {
+            if non_null[c] == 0 {
+                0.0
+            } else {
+                (distinct[c].len() as f64 / non_null[c] as f64).max(0.02)
+            }
+        })
+        .collect()
+}
+
+/// The output of entity matching over an integrated table.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// Matched pairs of tuple indices (above threshold), sorted.
+    pub matched_pairs: Vec<(usize, usize)>,
+    /// Entity clusters (connected components of the match graph), each a
+    /// sorted list of tuple indices; singletons included.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl EmResult {
+    /// Expands the clusters to pairs of *base tuples* using the integrated
+    /// tuples' provenance.  Two base tuples are predicted to be the same
+    /// entity when their integrated tuples fall in the same cluster — in
+    /// particular, base tuples already merged into one integrated tuple by FD
+    /// are automatically predicted as matches.
+    pub fn base_tuple_pairs(&self, table: &IntegratedTable) -> PairSet<TupleId> {
+        let mut pairs = PairSet::new();
+        for cluster in &self.clusters {
+            let mut members: Vec<TupleId> = Vec::new();
+            for &idx in cluster {
+                members.extend(table.tuples()[idx].provenance().iter().cloned());
+            }
+            members.sort();
+            members.dedup();
+            pairs.insert_cluster(&members);
+        }
+        pairs
+    }
+
+    /// Evaluates the base-tuple pair predictions against gold pairs.
+    pub fn evaluate(&self, table: &IntegratedTable, gold: &PairSet<TupleId>) -> PrecisionRecall {
+        self.confusion(table, gold).scores()
+    }
+
+    /// Confusion counts of the base-tuple pair predictions against gold pairs.
+    pub fn confusion(&self, table: &IntegratedTable, gold: &PairSet<TupleId>) -> ConfusionCounts {
+        self.base_tuple_pairs(table).confusion_against(gold)
+    }
+}
+
+/// Runs blocking, scoring, thresholding and clustering over an integrated
+/// table.
+pub fn match_entities(table: &IntegratedTable, options: EmOptions) -> EmResult {
+    let tuples = table.tuples();
+    let candidates = candidate_pairs(tuples, options.max_block_size);
+    let weights = if options.distinctiveness_weights {
+        column_weights(table)
+    } else {
+        vec![1.0; table.columns().len()]
+    };
+
+    let mut matched_pairs = Vec::new();
+    let mut uf = UnionFind::new(tuples.len());
+    for (i, j) in candidates {
+        let sim = weighted_record_similarity(&tuples[i], &tuples[j], &weights);
+        if sim >= options.threshold {
+            matched_pairs.push((i, j));
+            uf.union(i, j);
+        }
+    }
+    matched_pairs.sort_unstable();
+    let clusters = uf.groups();
+    EmResult { matched_pairs, clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_fd::{full_disjunction, IntegrationSchema};
+    use lake_table::TableBuilder;
+
+    /// Two source tables describing the same three people, with a typo in one
+    /// name; gold says row i of A matches row i of B.
+    fn people_setup() -> (IntegratedTable, PairSet<TupleId>) {
+        let tables = vec![
+            TableBuilder::new("A", ["name", "city"])
+                .row(["Alice Johnson", "Boston"])
+                .row(["Bob Smith", "Denver"])
+                .row(["Carol Diaz", "Austin"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("B", ["name", "email"])
+                .row(["Alice Jonson", "alice@example.com"])
+                .row(["Bob Smith", "bob@example.com"])
+                .row(["Carol Diaz", "carol@example.com"])
+                .build()
+                .unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let integrated = full_disjunction(&schema, &tables);
+        let mut gold = PairSet::new();
+        for i in 0..3 {
+            gold.insert(TupleId::new("A", i), TupleId::new("B", i));
+        }
+        (integrated, gold)
+    }
+
+    #[test]
+    fn matches_equal_and_typo_names() {
+        let (integrated, gold) = people_setup();
+        let result = match_entities(&integrated, EmOptions::default());
+        let scores = result.evaluate(&integrated, &gold);
+        assert!(scores.recall > 0.9, "recall {scores:?}");
+        assert!(scores.precision > 0.9, "precision {scores:?}");
+    }
+
+    #[test]
+    fn fd_merged_tuples_count_as_matches_automatically() {
+        let (integrated, gold) = people_setup();
+        // Even a matcher that never matches anything gets the exact-name
+        // pairs right, because FD already merged them.
+        let result = match_entities(&integrated, EmOptions { threshold: 1.1, ..EmOptions::default() });
+        let pairs = result.base_tuple_pairs(&integrated);
+        assert!(pairs.len() >= 2, "FD provenance should produce base pairs");
+        let scores = result.evaluate(&integrated, &gold);
+        assert!(scores.precision > 0.99);
+        assert!(scores.recall >= 0.6);
+    }
+
+    #[test]
+    fn clusters_cover_all_tuples() {
+        let (integrated, _) = people_setup();
+        let result = match_entities(&integrated, EmOptions::default());
+        let covered: usize = result.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, integrated.len());
+    }
+
+    #[test]
+    fn low_threshold_overmatches_and_hurts_precision() {
+        let (integrated, gold) = people_setup();
+        let strict = match_entities(&integrated, EmOptions::default()).evaluate(&integrated, &gold);
+        let sloppy = match_entities(&integrated, EmOptions { threshold: 0.01, ..EmOptions::default() })
+            .evaluate(&integrated, &gold);
+        assert!(sloppy.precision <= strict.precision);
+        assert!(sloppy.recall >= strict.recall);
+    }
+}

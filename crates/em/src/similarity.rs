@@ -1,0 +1,141 @@
+//! Attribute-wise similarity between integrated tuples.
+
+use lake_fd::IntegratedTuple;
+use lake_text::{levenshtein_similarity, monge_elkan, normalize};
+
+/// Similarity between two integrated tuples in `[0, 1]` with uniform column
+/// weights.  See [`weighted_record_similarity`] for the weighted form the
+/// matcher uses.
+pub fn record_similarity(a: &IntegratedTuple, b: &IntegratedTuple) -> f64 {
+    let weights = vec![1.0; a.values().len()];
+    weighted_record_similarity(a, b, &weights)
+}
+
+/// Weighted similarity between two integrated tuples in `[0, 1]`.
+///
+/// For every integrated column where both tuples have a value, the column
+/// contributes the better of Monge–Elkan (token-order tolerant, averaged over
+/// both directions) and normalised Levenshtein similarity of the rendered
+/// values, scaled by the column's weight.  Columns where only one tuple has a
+/// value are skipped: partial tuples are compared only on their common
+/// evidence, which is exactly why partially-integrated tables make entity
+/// matching harder (less common evidence → noisier scores).
+///
+/// `weights[c]` is the weight of integrated column `c`; the matcher derives
+/// them from each column's value distinctiveness so that low-cardinality
+/// attributes (a `country` column with eight values, a `title` column with
+/// six) cannot make two different entities look alike on their own.
+///
+/// Returns 0.0 when the tuples share no non-null column with positive weight.
+pub fn weighted_record_similarity(a: &IntegratedTuple, b: &IntegratedTuple, weights: &[f64]) -> f64 {
+    debug_assert_eq!(a.values().len(), weights.len(), "one weight per integrated column");
+    let mut total = 0.0;
+    let mut weight_sum = 0.0;
+    for (c, (va, vb)) in a.values().iter().zip(b.values()).enumerate() {
+        if va.is_null() || vb.is_null() {
+            continue;
+        }
+        let weight = weights.get(c).copied().unwrap_or(1.0);
+        if weight <= 0.0 {
+            continue;
+        }
+        let sa = normalize(&va.render());
+        let sb = normalize(&vb.render());
+        let sim = if sa == sb {
+            1.0
+        } else {
+            // Monge–Elkan is asymmetric; average both directions so the
+            // record similarity is symmetric.
+            let me = 0.5 * (monge_elkan(&sa, &sb) + monge_elkan(&sb, &sa));
+            me.max(levenshtein_similarity(&sa, &sb))
+        };
+        total += weight * sim;
+        weight_sum += weight;
+    }
+    if weight_sum == 0.0 {
+        0.0
+    } else {
+        total / weight_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::{ProvenanceSet, Value};
+
+    fn tuple(values: &[&str]) -> IntegratedTuple {
+        IntegratedTuple::new(
+            values
+                .iter()
+                .map(|s| if s.is_empty() { Value::Null } else { Value::text(*s) })
+                .collect(),
+            ProvenanceSet::empty(),
+        )
+    }
+
+    #[test]
+    fn identical_tuples_have_similarity_one() {
+        let a = tuple(&["Berlin", "Germany"]);
+        assert!((record_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn typos_score_high_unrelated_scores_low() {
+        let a = tuple(&["Berlin", "Germany"]);
+        let b = tuple(&["Berlinn", "Germany"]);
+        let c = tuple(&["Toronto", "Canada"]);
+        assert!(record_similarity(&a, &b) > 0.85);
+        assert!(record_similarity(&a, &c) < 0.5);
+    }
+
+    #[test]
+    fn comparison_uses_only_shared_columns() {
+        let a = tuple(&["Berlin", "Germany", ""]);
+        let b = tuple(&["Berlin", "", "63%"]);
+        // Only the first column is shared and it matches exactly.
+        assert!((record_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_tuples_score_zero() {
+        let a = tuple(&["Berlin", ""]);
+        let b = tuple(&["", "Germany"]);
+        assert_eq!(record_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_tuples_can_be_deceptively_similar() {
+        // The false-positive mechanism of the paper's §3.2: two different
+        // entities look identical when the distinguishing attribute is
+        // missing from one of the partial tuples.
+        let springfield_il = tuple(&["Springfield", "Illinois"]);
+        let springfield_mo_partial = tuple(&["Springfield", ""]);
+        assert!((record_similarity(&springfield_il, &springfield_mo_partial) - 1.0).abs() < 1e-12);
+        // With the full tuple the difference is visible.
+        let springfield_mo = tuple(&["Springfield", "Missouri"]);
+        assert!(record_similarity(&springfield_il, &springfield_mo) < 0.9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = tuple(&["Jane Doe", "NYC"]);
+        let b = tuple(&["Doe, Jane", "New York"]);
+        assert!((record_similarity(&a, &b) - record_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_the_score_toward_distinctive_columns() {
+        // Same low-cardinality attribute (column 1), different names (column 0).
+        let a = tuple(&["Alice Johnson", "Engineer"]);
+        let b = tuple(&["Robert Miller", "Engineer"]);
+        let uniform = record_similarity(&a, &b);
+        let weighted = weighted_record_similarity(&a, &b, &[1.0, 0.05]);
+        assert!(weighted < uniform, "down-weighting the shared title must lower the score");
+        // Zero-weight columns are ignored entirely.
+        let only_title = weighted_record_similarity(&a, &b, &[0.0, 1.0]);
+        assert!((only_title - 1.0).abs() < 1e-12);
+        // No shared positively-weighted column → 0.
+        assert_eq!(weighted_record_similarity(&a, &b, &[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-value embedding memoisation.
+//!
+//! Columns in the Auto-Join benchmark contain ~150 distinct values each, and
+//! the same value ("Toronto") appears in many rows and many columns.  The
+//! cache guarantees each distinct string is embedded exactly once per run,
+//! which is also how the paper's implementation amortises LLM inference cost.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::embedder::Embedder;
+use crate::vector::Vector;
+
+/// A thread-safe memoising wrapper around any [`Embedder`].
+pub struct EmbeddingCache<E: Embedder> {
+    inner: E,
+    cache: Mutex<HashMap<String, Vector>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl<E: Embedder> EmbeddingCache<E> {
+    /// Wraps an embedder with an empty cache.
+    pub fn new(inner: E) -> Self {
+        EmbeddingCache {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// The wrapped embedder.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Number of distinct values embedded so far.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` when nothing has been embedded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters, for diagnostics.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            *self.hits.lock().expect("cache poisoned"),
+            *self.misses.lock().expect("cache poisoned"),
+        )
+    }
+
+    /// Clears the cache (counters included).
+    pub fn clear(&self) {
+        self.cache.lock().expect("cache poisoned").clear();
+        *self.hits.lock().expect("cache poisoned") = 0;
+        *self.misses.lock().expect("cache poisoned") = 0;
+    }
+}
+
+impl<E: Embedder> Embedder for EmbeddingCache<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn embed(&self, value: &str) -> Vector {
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            if let Some(v) = cache.get(value) {
+                *self.hits.lock().expect("cache poisoned") += 1;
+                return v.clone();
+            }
+        }
+        let v = self.inner.embed(value);
+        *self.misses.lock().expect("cache poisoned") += 1;
+        self.cache.lock().expect("cache poisoned").insert(value.to_string(), v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashingNgramEmbedder;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        assert!(cache.is_empty());
+        let a = cache.embed("Toronto");
+        let b = cache.embed("Toronto");
+        let _c = cache.embed("Boston");
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn cached_results_match_uncached() {
+        let raw = HashingNgramEmbedder::new();
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        assert_eq!(raw.embed("Berlin"), cache.embed("Berlin"));
+        assert_eq!(cache.name(), "FastText");
+        assert_eq!(cache.dim(), raw.dim());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        cache.embed("x");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let cache = std::sync::Arc::new(EmbeddingCache::new(HashingNgramEmbedder::new()));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                c.embed(&format!("value-{}", i % 2));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+    }
+}

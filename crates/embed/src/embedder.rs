@@ -1,0 +1,112 @@
+//! The [`Embedder`] trait and small helpers shared by all embedders.
+
+use crate::vector::Vector;
+
+/// Anything that can map a cell value (a string) to a fixed-dimension vector.
+///
+/// Implementations must be deterministic: the same input string always yields
+/// the same vector.  Matching quality depends entirely on the geometry the
+/// embedder induces — values that refer to the same real-world entity should
+/// end up close in cosine distance.
+pub trait Embedder: Send + Sync {
+    /// Short human-readable name (used in experiment reports, e.g. "Mistral").
+    fn name(&self) -> &str;
+
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Embeds one cell value.
+    fn embed(&self, value: &str) -> Vector;
+
+    /// Cosine distance between the embeddings of two values.  Convenience
+    /// wrapper; performance-sensitive callers should embed once and reuse the
+    /// vectors (see [`EmbeddingCache`](crate::EmbeddingCache)).
+    fn distance(&self, a: &str, b: &str) -> f32 {
+        self.embed(a).cosine_distance(&self.embed(b))
+    }
+}
+
+impl Embedder for Box<dyn Embedder> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn dim(&self) -> usize {
+        self.as_ref().dim()
+    }
+
+    fn embed(&self, value: &str) -> Vector {
+        self.as_ref().embed(value)
+    }
+}
+
+/// Cosine distance between two already-computed embeddings.
+pub fn cosine_distance_between(a: &Vector, b: &Vector) -> f32 {
+    a.cosine_distance(b)
+}
+
+/// A stable 64-bit FNV-1a hash, used by all embedders so that vectors are
+/// identical across runs, platforms and processes.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Splitmix64: turns a hash into a well-mixed pseudo-random stream seed.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic pseudo-random unit-ish vector derived from a seed.  Every
+/// distinct seed produces an (almost surely) distinct direction; used to give
+/// tokens, n-grams and semantic concepts their base directions.
+pub(crate) fn seeded_direction(seed: u64, dim: usize) -> Vector {
+    let mut components = Vec::with_capacity(dim);
+    let mut state = seed;
+    for i in 0..dim {
+        state = splitmix64(state ^ (i as u64).wrapping_mul(0x9e37_79b9));
+        // Map to [-1, 1).
+        let unit = (state >> 11) as f32 / (1u64 << 53) as f32;
+        components.push(unit * 2.0 - 1.0);
+    }
+    Vector::new(components).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_discriminating() {
+        assert_eq!(fnv1a(b"berlin"), fnv1a(b"berlin"));
+        assert_ne!(fnv1a(b"berlin"), fnv1a(b"boston"));
+        assert_ne!(fnv1a(b""), fnv1a(b"a"));
+    }
+
+    #[test]
+    fn seeded_direction_is_deterministic_unit() {
+        let a = seeded_direction(42, 32);
+        let b = seeded_direction(42, 32);
+        assert_eq!(a, b);
+        assert!((a.norm() - 1.0).abs() < 1e-5);
+        let c = seeded_direction(43, 32);
+        assert!(a.cosine_similarity(&c).abs() < 0.6, "different seeds should diverge");
+    }
+
+    #[test]
+    fn distance_between_helper() {
+        let a = Vector::new(vec![1.0, 0.0]);
+        let b = Vector::new(vec![0.0, 1.0]);
+        assert!((cosine_distance_between(&a, &b) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,170 @@
+//! FastText-style hashing n-gram embedder.
+//!
+//! Each padded character n-gram and each word token of the (normalised) input
+//! is hashed to a deterministic pseudo-random direction; the value embedding
+//! is the normalised sum.  Two strings that share many character n-grams
+//! (typos, case changes, plural/singular, small edits) get high cosine
+//! similarity; strings with disjoint surfaces (e.g. `"Germany"` vs `"DE"`)
+//! do not — exactly the strength and the weakness the paper reports for
+//! FastText in Table 1.
+
+use lake_text::{padded_char_ngrams, words};
+
+use crate::embedder::{fnv1a, seeded_direction, Embedder};
+use crate::vector::Vector;
+
+/// Configuration and state of the hashing n-gram embedder.
+#[derive(Debug, Clone)]
+pub struct HashingNgramEmbedder {
+    name: String,
+    dim: usize,
+    min_ngram: usize,
+    max_ngram: usize,
+    word_weight: f32,
+}
+
+impl HashingNgramEmbedder {
+    /// Default configuration: 64 dimensions, n-grams of length 2–4, word
+    /// tokens weighted slightly higher than character n-grams.
+    pub fn new() -> Self {
+        HashingNgramEmbedder::with_config(64, 2, 4, 2.5)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `min_ngram == 0` or `min_ngram > max_ngram`.
+    pub fn with_config(dim: usize, min_ngram: usize, max_ngram: usize, word_weight: f32) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(min_ngram > 0 && min_ngram <= max_ngram, "invalid n-gram range");
+        HashingNgramEmbedder {
+            name: "FastText".to_string(),
+            dim,
+            min_ngram,
+            max_ngram,
+            word_weight,
+        }
+    }
+
+    /// Overrides the reported model name (used when the embedder is wrapped
+    /// by a simulated LM).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Embeds the *surface form* of a string: the n-gram/word hash sum before
+    /// normalisation.  Exposed so [`SimulatedLmEmbedder`](crate::SimulatedLmEmbedder)
+    /// can combine it with a semantic component.
+    pub fn surface_vector(&self, value: &str) -> Vector {
+        let mut acc = Vector::zeros(self.dim);
+        let mut any = false;
+        for n in self.min_ngram..=self.max_ngram {
+            for gram in padded_char_ngrams(value, n) {
+                let seed = fnv1a(gram.as_bytes()) ^ (n as u64).wrapping_mul(0x51_7c_c1_b7);
+                acc.add_scaled(&seeded_direction(seed, self.dim), 1.0);
+                any = true;
+            }
+        }
+        for word in words(value) {
+            let seed = fnv1a(word.as_bytes()) ^ xw_seed();
+            acc.add_scaled(&seeded_direction(seed, self.dim), self.word_weight);
+            any = true;
+        }
+        if !any {
+            return Vector::zeros(self.dim);
+        }
+        acc
+    }
+}
+
+// Salt separating the word-token hash space from the n-gram hash space.
+#[inline]
+fn xw_seed() -> u64 {
+    0xDEAD_BEEF_1234_5678
+}
+
+impl Default for HashingNgramEmbedder {
+    fn default() -> Self {
+        HashingNgramEmbedder::new()
+    }
+}
+
+impl Embedder for HashingNgramEmbedder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, value: &str) -> Vector {
+        self.surface_vector(value).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let e = HashingNgramEmbedder::new();
+        assert_eq!(e.embed("Berlin"), e.embed("Berlin"));
+        assert_eq!(e.dim(), 64);
+        assert_eq!(e.name(), "FastText");
+    }
+
+    #[test]
+    fn typos_are_close_unrelated_far() {
+        let e = HashingNgramEmbedder::new();
+        let typo = e.distance("Berlinn", "Berlin");
+        let unrelated = e.distance("Berlin", "Toronto");
+        assert!(typo < 0.45, "typo distance too large: {typo}");
+        assert!(unrelated > 0.6, "unrelated distance too small: {unrelated}");
+        assert!(typo < unrelated);
+    }
+
+    #[test]
+    fn case_differences_vanish() {
+        let e = HashingNgramEmbedder::new();
+        assert!(e.distance("barcelona", "Barcelona") < 1e-5);
+    }
+
+    #[test]
+    fn abbreviations_are_far_for_surface_embedder() {
+        // The documented weakness: no semantic knowledge, so country codes
+        // do not match country names.
+        let e = HashingNgramEmbedder::new();
+        assert!(e.distance("Germany", "DE") > 0.55);
+        assert!(e.distance("Canada", "CA") > 0.3);
+    }
+
+    #[test]
+    fn empty_strings_get_zero_vector() {
+        let e = HashingNgramEmbedder::new();
+        assert!(e.embed("").is_zero());
+        assert_eq!(e.embed("x").cosine_similarity(&e.embed("")), 0.0);
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = HashingNgramEmbedder::new();
+        for s in ["Berlin", "New Delhi", "83%", "a"] {
+            assert!((e.embed(s).norm() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        HashingNgramEmbedder::with_config(0, 2, 4, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n-gram range")]
+    fn bad_ngram_range_rejected() {
+        HashingNgramEmbedder::with_config(8, 3, 2, 1.0);
+    }
+}

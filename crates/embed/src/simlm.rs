@@ -1,0 +1,284 @@
+//! Simulated pre-trained language model embedders.
+//!
+//! See DESIGN.md §3: the paper embeds cell values with BERT/RoBERTa/Llama3/
+//! Mistral.  This reproduction replaces them with a deterministic simulation
+//! whose embedding of a value combines three channels:
+//!
+//! 1. **surface** — the hashing n-gram vector (typos, case, shared tokens);
+//! 2. **semantic** — a direction shared by all aliases of a concept the model
+//!    "knows" (drawn from [`KnowledgeBase`]), plus an acronym channel that
+//!    ties `"New York City"` to `"NYC"`-like short forms;
+//! 3. **noise** — a per-value deterministic perturbation modelling the
+//!    imperfection of real embeddings.
+//!
+//! Two parameters distinguish model tiers: `semantic_coverage` (the fraction
+//! of concepts the model knows, decided deterministically per concept) and
+//! `noise`.  Better models know more concepts and are less noisy, which is
+//! what produces the Table 1 ordering FastText < BERT < RoBERTa < Llama3 <
+//! Mistral.
+
+use lake_text::{acronym, words};
+
+use crate::embedder::{fnv1a, seeded_direction, splitmix64, Embedder};
+use crate::hashing::HashingNgramEmbedder;
+use crate::knowledge::KnowledgeBase;
+use crate::vector::Vector;
+
+/// Tunable parameters of a simulated LM tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimLmParams {
+    /// Fraction of knowledge-base concepts the model knows (0.0–1.0).
+    pub semantic_coverage: f64,
+    /// Magnitude of the deterministic per-value noise component.
+    pub noise: f32,
+    /// Weight of the semantic (concept) channel relative to the surface
+    /// channel (which has weight 1.0).
+    pub semantic_weight: f32,
+    /// Weight of the acronym channel.
+    pub acronym_weight: f32,
+}
+
+impl Default for SimLmParams {
+    fn default() -> Self {
+        SimLmParams { semantic_coverage: 0.9, noise: 0.1, semantic_weight: 1.6, acronym_weight: 1.3 }
+    }
+}
+
+/// A deterministic, lexicon-backed stand-in for a pre-trained LM embedder.
+#[derive(Debug, Clone)]
+pub struct SimulatedLmEmbedder {
+    name: String,
+    surface: HashingNgramEmbedder,
+    knowledge: KnowledgeBase,
+    params: SimLmParams,
+}
+
+impl SimulatedLmEmbedder {
+    /// Creates a simulated LM with the built-in knowledge base.
+    pub fn new(name: impl Into<String>, params: SimLmParams) -> Self {
+        SimulatedLmEmbedder {
+            name: name.into(),
+            surface: HashingNgramEmbedder::new(),
+            knowledge: KnowledgeBase::builtin(),
+            params,
+        }
+    }
+
+    /// Replaces the knowledge base (e.g. with [`KnowledgeBase::empty`] to
+    /// ablate semantic knowledge).
+    pub fn with_knowledge(mut self, knowledge: KnowledgeBase) -> Self {
+        self.knowledge = knowledge;
+        self
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> SimLmParams {
+        self.params
+    }
+
+    /// Whether this model "knows" a given concept: a deterministic coin flip
+    /// keyed by (model name, concept) and biased by `semantic_coverage`, so a
+    /// weaker model knows a strict-ish subset of what a stronger one knows
+    /// only statistically, exactly like real pre-training coverage.
+    fn knows(&self, concept: &str) -> bool {
+        if self.params.semantic_coverage >= 1.0 {
+            return true;
+        }
+        if self.params.semantic_coverage <= 0.0 {
+            return false;
+        }
+        // Hash only the concept so that tiers with higher coverage know a
+        // superset in expectation: a concept's "difficulty" is fixed and a
+        // model knows it iff its coverage exceeds that difficulty.
+        let difficulty = (splitmix64(fnv1a(concept.as_bytes())) >> 11) as f64 / (1u64 << 53) as f64;
+        difficulty < self.params.semantic_coverage
+    }
+
+    /// The acronym key of a value: multi-word values map to their acronym,
+    /// short single-token values (2–5 letters) map to themselves.  Values
+    /// sharing an acronym key receive a shared embedding component.
+    fn acronym_key(value: &str) -> Option<String> {
+        let tokens = words(value);
+
+        if tokens.len() >= 2 && tokens.len() <= 6 {
+            let acr = acronym(value);
+            if acr.len() >= 2 {
+                return Some(acr.to_lowercase());
+            }
+        } else if tokens.len() == 1 {
+            let tok = &tokens[0];
+            if (2..=5).contains(&tok.len()) && tok.chars().all(|c| c.is_alphabetic()) {
+                return Some(tok.to_lowercase());
+            }
+        }
+        None
+    }
+}
+
+impl Embedder for SimulatedLmEmbedder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.surface.dim()
+    }
+
+    fn embed(&self, value: &str) -> Vector {
+        let dim = self.dim();
+        let surface = self.surface.surface_vector(value).normalized();
+        if surface.is_zero() {
+            // Empty / null-like values embed to zero so they never match.
+            return Vector::zeros(dim);
+        }
+        let mut out = surface;
+
+        // Semantic channel: shared direction per known concept.
+        if let Some(concept) = self.knowledge.concept_of(value) {
+            if self.knows(concept) {
+                let seed = fnv1a(format!("concept:{concept}").as_bytes());
+                out.add_scaled(&seeded_direction(seed, dim), self.params.semantic_weight);
+            }
+        }
+
+        // Token-level semantic channel: individual words of a multi-word
+        // value that denote a known concept contribute a (weaker) shared
+        // direction — this is what lets "Bob Smith" land near "Robert Smith"
+        // or "NYC Marathon" near "New York City Marathon".
+        let tokens = words(value);
+        if tokens.len() >= 2 {
+            let token_weight = self.params.semantic_weight * 0.7 / (tokens.len() as f32).sqrt();
+            for token in &tokens {
+                if let Some(concept) = self.knowledge.concept_of(token) {
+                    if self.knows(concept) {
+                        let seed = fnv1a(format!("concept:{concept}").as_bytes());
+                        out.add_scaled(&seeded_direction(seed, dim), token_weight);
+                    }
+                }
+            }
+        }
+
+        // Acronym channel: ties expansions to their short forms.  Gated by the
+        // same coverage mechanism (keyed by the acronym string).
+        if let Some(acr) = Self::acronym_key(value) {
+            if self.knows(&format!("acronym:{acr}")) {
+                let seed = fnv1a(format!("acronym:{acr}").as_bytes());
+                out.add_scaled(&seeded_direction(seed, dim), self.params.acronym_weight);
+            }
+        }
+
+        // Deterministic per-value noise, keyed by model and value.
+        if self.params.noise > 0.0 {
+            let seed = fnv1a(format!("noise:{}:{}", self.name, value).as_bytes());
+            out.add_scaled(&seeded_direction(seed, dim), self.params.noise);
+        }
+
+        out.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mistral_like() -> SimulatedLmEmbedder {
+        SimulatedLmEmbedder::new(
+            "TestLM",
+            SimLmParams { semantic_coverage: 1.0, noise: 0.05, ..SimLmParams::default() },
+        )
+    }
+
+    #[test]
+    fn deterministic_and_unit_norm() {
+        let e = mistral_like();
+        assert_eq!(e.embed("Canada"), e.embed("Canada"));
+        assert!((e.embed("Canada").norm() - 1.0).abs() < 1e-5);
+        assert!(e.embed("").is_zero());
+    }
+
+    #[test]
+    fn known_aliases_become_close() {
+        let e = mistral_like();
+        let d_alias = e.distance("Canada", "CA");
+        let d_unrelated = e.distance("Canada", "Germany");
+        assert!(d_alias < 0.6, "alias distance too large: {d_alias}");
+        assert!(d_unrelated > 0.7, "unrelated distance too small: {d_unrelated}");
+    }
+
+    #[test]
+    fn typos_remain_close_via_surface_channel() {
+        let e = mistral_like();
+        assert!(e.distance("Berlinn", "Berlin") < 0.6);
+        assert!(e.distance("barcelona", "Barcelona") < 0.35);
+    }
+
+    #[test]
+    fn acronym_channel_ties_expansions() {
+        let e = mistral_like();
+        let d = e.distance("New York City", "NYC");
+        assert!(d < 0.65, "acronym distance too large: {d}");
+    }
+
+    #[test]
+    fn zero_coverage_disables_semantics() {
+        let no_sem = SimulatedLmEmbedder::new(
+            "NoSem",
+            SimLmParams { semantic_coverage: 0.0, noise: 0.0, acronym_weight: 0.0, ..SimLmParams::default() },
+        );
+        let with_sem = mistral_like();
+        assert!(no_sem.distance("Canada", "CA") > with_sem.distance("Canada", "CA"));
+    }
+
+    #[test]
+    fn higher_coverage_knows_more_concepts() {
+        let weak = SimulatedLmEmbedder::new(
+            "Weak",
+            SimLmParams { semantic_coverage: 0.3, ..SimLmParams::default() },
+        );
+        let strong = SimulatedLmEmbedder::new(
+            "Strong",
+            SimLmParams { semantic_coverage: 0.95, ..SimLmParams::default() },
+        );
+        let concepts: Vec<String> = (0..200).map(|i| format!("country:c{i}")).collect();
+        let weak_known = concepts.iter().filter(|c| weak.knows(c)).count();
+        let strong_known = concepts.iter().filter(|c| strong.knows(c)).count();
+        assert!(strong_known > weak_known, "strong {strong_known} <= weak {weak_known}");
+        // Monotone subset property: everything the weak model knows, the
+        // strong model knows too (difficulty is a property of the concept).
+        for c in &concepts {
+            if weak.knows(c) {
+                assert!(strong.knows(c));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_identity() {
+        let noisy = SimulatedLmEmbedder::new(
+            "Noisy",
+            SimLmParams { noise: 0.4, ..SimLmParams::default() },
+        );
+        // Identical strings still embed identically (noise is value-keyed).
+        assert!(noisy.distance("Toronto", "Toronto") < 1e-6);
+        // Noise is model-specific: two tiers disagree on the same value.
+        let other = SimulatedLmEmbedder::new(
+            "Other",
+            SimLmParams { noise: 0.4, ..SimLmParams::default() },
+        );
+        let a = noisy.embed("Toronto");
+        let b = other.embed("Toronto");
+        assert!(a.cosine_distance(&b) > 1e-4);
+    }
+
+    #[test]
+    fn custom_knowledge_base_is_honoured() {
+        let mut kb = KnowledgeBase::empty();
+        kb.add_group("genre:scifi", ["Science Fiction", "Sci-Fi"]);
+        let e = SimulatedLmEmbedder::new(
+            "Custom",
+            SimLmParams { semantic_coverage: 1.0, noise: 0.0, ..SimLmParams::default() },
+        )
+        .with_knowledge(kb);
+        assert!(e.distance("Science Fiction", "Sci-Fi") < 0.7);
+    }
+}

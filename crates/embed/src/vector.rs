@@ -1,0 +1,173 @@
+//! Dense embedding vectors and the cosine geometry used for value matching.
+
+/// A dense embedding vector (`f32` components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector {
+    components: Vec<f32>,
+}
+
+impl Vector {
+    /// Creates a vector from raw components.
+    pub fn new(components: Vec<f32>) -> Self {
+        Vector { components }
+    }
+
+    /// The zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        Vector { components: vec![0.0; dim] }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[f32] {
+        &self.components
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.components.iter().map(|c| c * c).sum::<f32>().sqrt()
+    }
+
+    /// `true` when every component is zero (or the vector is empty).
+    pub fn is_zero(&self) -> bool {
+        self.components.iter().all(|c| *c == 0.0)
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    /// Panics when dimensions differ.
+    pub fn dot(&self, other: &Vector) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
+        self.components.iter().zip(&other.components).map(|(a, b)| a * b).sum()
+    }
+
+    /// Adds `other * scale` into this vector in place.
+    pub fn add_scaled(&mut self, other: &Vector, scale: f32) {
+        assert_eq!(self.dim(), other.dim(), "vector dimension mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a += b * scale;
+        }
+    }
+
+    /// Returns a copy scaled to unit norm (zero vectors stay zero).
+    pub fn normalized(&self) -> Vector {
+        let n = self.norm();
+        if n == 0.0 {
+            return self.clone();
+        }
+        Vector { components: self.components.iter().map(|c| c / n).collect() }
+    }
+
+    /// Cosine similarity in `[-1, 1]`.  Zero vectors have similarity 0 with
+    /// everything (including other zero vectors) so that empty values never
+    /// fuzzily match anything.
+    pub fn cosine_similarity(&self, other: &Vector) -> f32 {
+        let na = self.norm();
+        let nb = other.norm();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    /// Cosine distance in `[0, 2]` (`1 - cosine_similarity`).
+    pub fn cosine_distance(&self, other: &Vector) -> f32 {
+        1.0 - self.cosine_similarity(other)
+    }
+
+    /// The element-wise mean of a non-empty set of vectors; `None` when the
+    /// iterator is empty.  Used to build column-level signatures for schema
+    /// matching.
+    pub fn mean<'a>(vectors: impl IntoIterator<Item = &'a Vector>) -> Option<Vector> {
+        let mut iter = vectors.into_iter();
+        let first = iter.next()?;
+        let mut acc = first.clone();
+        let mut count = 1usize;
+        for v in iter {
+            acc.add_scaled(v, 1.0);
+            count += 1;
+        }
+        let scale = 1.0 / count as f32;
+        for c in &mut acc.components {
+            *c *= scale;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_dot() {
+        let a = Vector::new(vec![3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let b = Vector::new(vec![1.0, 0.0]);
+        assert!((a.dot(&b) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_range_and_identity() {
+        let a = Vector::new(vec![1.0, 2.0, 3.0]);
+        assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-6);
+        let opposite = Vector::new(vec![-1.0, -2.0, -3.0]);
+        assert!((a.cosine_similarity(&opposite) + 1.0).abs() < 1e-6);
+        let orthogonal = Vector::new(vec![0.0, 0.0, 0.0]);
+        assert_eq!(a.cosine_similarity(&orthogonal), 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_complements_similarity() {
+        let a = Vector::new(vec![1.0, 0.0]);
+        let b = Vector::new(vec![0.0, 1.0]);
+        assert!((a.cosine_distance(&b) - 1.0).abs() < 1e-6);
+        assert!((a.cosine_distance(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vectors_never_match() {
+        let z = Vector::zeros(4);
+        let a = Vector::new(vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(z.cosine_similarity(&a), 0.0);
+        assert_eq!(z.cosine_similarity(&z), 0.0);
+        assert!(z.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let a = Vector::new(vec![2.0, 0.0, 0.0]);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-6);
+        let z = Vector::zeros(3);
+        assert!(z.normalized().is_zero());
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Vector::zeros(2);
+        a.add_scaled(&Vector::new(vec![1.0, 2.0]), 0.5);
+        a.add_scaled(&Vector::new(vec![1.0, 0.0]), 1.0);
+        assert_eq!(a.components(), &[1.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = Vector::new(vec![1.0, 0.0]);
+        let b = Vector::new(vec![3.0, 2.0]);
+        let m = Vector::mean([&a, &b]).unwrap();
+        assert_eq!(m.components(), &[2.0, 1.0]);
+        assert!(Vector::mean(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_panics_on_dim_mismatch() {
+        Vector::new(vec![1.0]).dot(&Vector::new(vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,189 @@
+//! The scalable, ALITE-style Full Disjunction operator.
+//!
+//! Pipeline: outer union → join-connectivity partitioning → per-component
+//! complementation closure → subsumption removal (done inside the closure).
+//! This mirrors the structure of the ALITE implementation the paper uses as
+//! its equi-join FD engine, adapted to an in-memory Rust representation.
+
+use lake_table::Table;
+
+use crate::complement::component_closure;
+use crate::components::join_components;
+use crate::outer_union::outer_union;
+use crate::schema::IntegrationSchema;
+use crate::stats::FdStats;
+use crate::tuple::{IntegratedTable, IntegratedTuple};
+
+/// Options controlling the FD computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdOptions {
+    /// Partition tuples into join-connected components before running the
+    /// closure (on by default; turning it off is an ablation that runs the
+    /// closure over all tuples at once).
+    pub partition: bool,
+    /// Sort the output deterministically (small cost; on by default so runs
+    /// are comparable).
+    pub sort_output: bool,
+}
+
+impl Default for FdOptions {
+    fn default() -> Self {
+        FdOptions { partition: true, sort_output: true }
+    }
+}
+
+/// Computes the Full Disjunction of `tables` under `schema`.
+pub fn full_disjunction(schema: &IntegrationSchema, tables: &[Table]) -> IntegratedTable {
+    full_disjunction_with(schema, tables, FdOptions::default()).0
+}
+
+/// Computes the Full Disjunction and returns execution statistics alongside
+/// the result.
+pub fn full_disjunction_with(
+    schema: &IntegrationSchema,
+    tables: &[Table],
+    options: FdOptions,
+) -> (IntegratedTable, FdStats) {
+    let base = outer_union(schema, tables);
+    let input_tuples = base.len();
+
+    let (tuples, num_components, largest_component) = if options.partition {
+        let components = join_components(&base);
+        let num_components = components.len();
+        let largest = components.iter().map(|c| c.len()).max().unwrap_or(0);
+        let mut out: Vec<IntegratedTuple> = Vec::with_capacity(base.len());
+        // Move tuples into per-component buckets without cloning.
+        let mut slots: Vec<Option<IntegratedTuple>> = base.into_iter().map(Some).collect();
+        for component in components {
+            let members: Vec<IntegratedTuple> =
+                component.iter().map(|&i| slots[i].take().expect("tuple moved twice")).collect();
+            out.extend(component_closure(members));
+        }
+        (out, num_components, largest)
+    } else {
+        let n = base.len();
+        (component_closure(base), 1, n)
+    };
+
+    let stats = FdStats {
+        input_tuples,
+        output_tuples: tuples.len(),
+        components: num_components,
+        largest_component,
+    };
+
+    let result = IntegratedTable::new(schema.column_names().to_vec(), tuples);
+    let result = if options.sort_output { result.sorted() } else { result };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::specification_full_disjunction;
+    use lake_table::{TableBuilder, Value};
+
+    /// The three COVID tables of the paper's Figure 1 (equi-join values).
+    fn figure1_tables() -> Vec<Table> {
+        vec![
+            TableBuilder::new("T1", ["City", "Country"])
+                .row(["Berlinn", "Germany"])
+                .row(["Toronto", "Canada"])
+                .row(["Barcelona", "Spain"])
+                .row(["New Delhi", "India"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T2", ["Country", "City", "Vac. Rate (1+ dose)"])
+                .row(["CA", "Toronto", "83%"])
+                .row(["US", "Boston", "62%"])
+                .row(["DE", "Berlin", "63%"])
+                .row(["ES", "Barcelona", "82%"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T3", ["City", "Total Cases", "Death Rate (per 100k)"])
+                .row(["Berlin", "1.4M", "147"])
+                .row(["barcelona", "2.68M", "275"])
+                .row(["Boston", "263K", "335"])
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn equi_join_fd_reproduces_figure1_left_table() {
+        // With literal (inconsistent) values, equi-join FD produces the nine
+        // tuples f1..f9 of Figure 1.
+        let tables = figure1_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let fd = full_disjunction(&schema, &tables);
+        assert_eq!(fd.len(), 9, "{:#?}", fd.tuples());
+        assert!(fd.unrepresented_base_tuples(&schema, &tables).is_empty());
+
+        // t6 (Boston, US, 62%) and t11 (Boston, 263K, 335) merge into f6.
+        let boston = fd
+            .tuples()
+            .iter()
+            .find(|t| t.values().contains(&Value::text("Boston")) && t.non_null_count() >= 5)
+            .expect("merged Boston tuple");
+        assert_eq!(boston.provenance().len(), 2);
+
+        // The typo tuple "Berlinn" stays un-merged (that is the paper's point).
+        let berlinn = fd
+            .tuples()
+            .iter()
+            .find(|t| t.values().contains(&Value::text("Berlinn")))
+            .expect("Berlinn tuple present");
+        assert_eq!(berlinn.provenance().len(), 1);
+    }
+
+    #[test]
+    fn matches_specification_on_small_inputs() {
+        let tables = figure1_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let fast = full_disjunction(&schema, &tables);
+        let spec = specification_full_disjunction(&schema, &tables);
+        // Compare value sets (provenance bookkeeping may differ in ordering).
+        let fast_values: Vec<&[Value]> = fast.tuples().iter().map(|t| t.values()).collect();
+        let spec_values: Vec<&[Value]> = spec.tuples().iter().map(|t| t.values()).collect();
+        assert_eq!(fast_values, spec_values);
+    }
+
+    #[test]
+    fn partitioning_does_not_change_the_result() {
+        let tables = figure1_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let (with, stats_with) =
+            full_disjunction_with(&schema, &tables, FdOptions { partition: true, sort_output: true });
+        let (without, stats_without) =
+            full_disjunction_with(&schema, &tables, FdOptions { partition: false, sort_output: true });
+        assert_eq!(with, without);
+        assert!(stats_with.components > 1);
+        assert_eq!(stats_without.components, 1);
+        assert_eq!(stats_with.input_tuples, 11);
+        assert_eq!(stats_with.output_tuples, 9);
+    }
+
+    #[test]
+    fn empty_input_tables() {
+        let tables = vec![
+            TableBuilder::new("A", ["x"]).build().unwrap(),
+            TableBuilder::new("B", ["x"]).build().unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let fd = full_disjunction(&schema, &tables);
+        assert!(fd.is_empty());
+    }
+
+    #[test]
+    fn single_table_fd_is_the_table_itself_modulo_subsumption() {
+        let tables = vec![TableBuilder::new("A", ["x", "y"])
+            .row(["1", "2"])
+            .row(["1", "2"]) // duplicate collapses
+            .row(["3", "4"])
+            .build()
+            .unwrap()];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let fd = full_disjunction(&schema, &tables);
+        assert_eq!(fd.len(), 2);
+    }
+}

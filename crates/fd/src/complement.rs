@@ -1,0 +1,199 @@
+//! Complementation closure: the exact Full Disjunction inside one
+//! join-connected component.
+//!
+//! Starting from the padded base tuples, the closure repeatedly merges every
+//! pair of *joinable* tuples (consistent and overlapping) until no new tuple
+//! can be produced, then removes subsumed tuples.  Because any inconsistency
+//! between base tuples is preserved by merging, the closure generates exactly
+//! the merges of connected-consistent sets of base tuples, and subsumption
+//! removal keeps the maximal ones — the Full Disjunction semantics.
+//!
+//! The closure is worst-case exponential (Full Disjunction output can be),
+//! but on key-joinable data lake tables components are small; the
+//! `(column, value)` candidate index keeps the common case near-linear.
+
+use std::collections::HashMap;
+
+use lake_table::Value;
+
+use crate::subsume::remove_subsumed;
+use crate::tuple::IntegratedTuple;
+
+/// Safety valve: components whose closure generates more than this many
+/// distinct tuples abort with a panic rather than exhausting memory.  Real
+/// workloads stay far below this; the limit exists to surface pathological
+/// inputs loudly instead of hanging.
+pub const MAX_CLOSURE_TUPLES: usize = 2_000_000;
+
+/// Computes the Full Disjunction of the tuples of one component.
+pub fn component_closure(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
+    if tuples.len() <= 1 {
+        return tuples;
+    }
+
+    // All tuples generated so far, deduplicated by values.
+    let mut all: Vec<IntegratedTuple> = Vec::with_capacity(tuples.len() * 2);
+    let mut by_values: HashMap<Vec<Value>, usize> = HashMap::new();
+    // Candidate index: (column, value) -> tuple indices having that cell.
+    let mut by_cell: HashMap<(usize, Value), Vec<usize>> = HashMap::new();
+    // Work queue of tuple indices whose join partners have not been explored.
+    let mut queue: Vec<usize> = Vec::new();
+
+    let push = |tuple: IntegratedTuple,
+                    all: &mut Vec<IntegratedTuple>,
+                    by_values: &mut HashMap<Vec<Value>, usize>,
+                    by_cell: &mut HashMap<(usize, Value), Vec<usize>>,
+                    queue: &mut Vec<usize>| {
+        match by_values.get(tuple.values()) {
+            Some(&idx) => {
+                let prov = tuple.provenance().clone();
+                all[idx].absorb_provenance(&prov);
+            }
+            None => {
+                let idx = all.len();
+                assert!(
+                    idx < MAX_CLOSURE_TUPLES,
+                    "Full Disjunction closure exceeded {MAX_CLOSURE_TUPLES} tuples in one component"
+                );
+                by_values.insert(tuple.values().to_vec(), idx);
+                for col in tuple.non_null_columns() {
+                    by_cell.entry((col, tuple.value(col).clone())).or_default().push(idx);
+                }
+                all.push(tuple);
+                queue.push(idx);
+            }
+        }
+    };
+
+    for tuple in tuples {
+        push(tuple, &mut all, &mut by_values, &mut by_cell, &mut queue);
+    }
+
+    while let Some(i) = queue.pop() {
+        // Collect candidate partners: tuples sharing at least one cell.
+        let mut candidates: Vec<usize> = Vec::new();
+        {
+            let tuple = &all[i];
+            for col in tuple.non_null_columns() {
+                if let Some(idxs) = by_cell.get(&(col, tuple.value(col).clone())) {
+                    candidates.extend(idxs.iter().copied().filter(|&j| j != i));
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        for j in candidates {
+            let (a, b) = (&all[i], &all[j]);
+            if a.joinable_with(b) {
+                let merged = a.merge(b);
+                if !by_values.contains_key(merged.values()) {
+                    push(merged, &mut all, &mut by_values, &mut by_cell, &mut queue);
+                } else {
+                    // Known values: still fold in the provenance.
+                    let idx = by_values[merged.values()];
+                    let prov = merged.provenance().clone();
+                    all[idx].absorb_provenance(&prov);
+                }
+            }
+        }
+    }
+
+    remove_subsumed(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::{ProvenanceSet, TupleId};
+
+    fn tuple(values: &[&str], table: &str, row: usize) -> IntegratedTuple {
+        let values = values
+            .iter()
+            .map(|s| if s.is_empty() { Value::Null } else { Value::text(*s) })
+            .collect();
+        IntegratedTuple::new(values, ProvenanceSet::single(TupleId::new(table, row)))
+    }
+
+    #[test]
+    fn two_joinable_tuples_merge_into_one() {
+        let out = component_closure(vec![
+            tuple(&["Berlin", "Germany", ""], "T1", 0),
+            tuple(&["Berlin", "", "63%"], "T2", 0),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].non_null_count(), 3);
+        assert_eq!(out[0].provenance().len(), 2);
+    }
+
+    #[test]
+    fn inconsistent_tuples_stay_apart() {
+        let out = component_closure(vec![
+            tuple(&["Berlin", "Germany"], "T1", 0),
+            tuple(&["Berlin", "France"], "T2", 0),
+        ]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn transitive_merge_via_a_bridge_tuple() {
+        // a: (x, -, -), b: (x, y, -), c: (-, y, z) — a and c only join through b.
+        let out = component_closure(vec![
+            tuple(&["x", "", ""], "A", 0),
+            tuple(&["x", "y", ""], "B", 0),
+            tuple(&["", "y", "z"], "C", 0),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].non_null_count(), 3);
+        assert_eq!(out[0].provenance().len(), 3);
+    }
+
+    #[test]
+    fn branching_produces_multiple_maximal_tuples() {
+        // One "hub" tuple joins with two mutually inconsistent tuples:
+        // FD keeps both maximal combinations.
+        let out = component_closure(vec![
+            tuple(&["k", "", ""], "Hub", 0),
+            tuple(&["k", "a", ""], "L", 0),
+            tuple(&["k", "b", ""], "R", 0),
+        ]);
+        assert_eq!(out.len(), 2);
+        for t in &out {
+            assert_eq!(t.non_null_count(), 2);
+            // Both maximal tuples contain the hub.
+            assert!(t.provenance().contains(&TupleId::new("Hub", 0)));
+        }
+    }
+
+    #[test]
+    fn diamond_join_merges_everything_consistent() {
+        // Classic FD example: two attributes bridge four tuples into one.
+        let out = component_closure(vec![
+            tuple(&["a", "b", "", ""], "T1", 0),
+            tuple(&["a", "", "c", ""], "T2", 0),
+            tuple(&["", "b", "", "d"], "T3", 0),
+            tuple(&["", "", "c", "d"], "T4", 0),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].non_null_count(), 4);
+        assert_eq!(out[0].provenance().len(), 4);
+    }
+
+    #[test]
+    fn singleton_component_is_returned_unchanged() {
+        let input = vec![tuple(&["only"], "T", 0)];
+        let out = component_closure(input.clone());
+        assert_eq!(out, input);
+        assert!(component_closure(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_base_tuples_collapse_with_union_provenance() {
+        let out = component_closure(vec![
+            tuple(&["same", "row"], "T1", 0),
+            tuple(&["same", "row"], "T2", 5),
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].provenance().len(), 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Join-connectivity partitioning.
+//!
+//! Two integrated tuples can only ever be merged (directly or transitively)
+//! if they are connected through shared `(column, value)` pairs.  Grouping
+//! tuples into the connected components of that relation lets the closure run
+//! independently — and in parallel — on each component, which is what makes
+//! FD tractable on the 5K–30K tuple IMDB benchmark: components there are
+//! per-movie / per-person clusters of a handful of tuples.
+
+use std::collections::HashMap;
+
+use lake_table::Value;
+
+use crate::tuple::IntegratedTuple;
+
+/// Disjoint-set (union–find) over `0..n` with path compression and union by
+/// size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups element indices by their set representative.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let root = self.find(i);
+            by_root.entry(root).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+/// Partitions tuples into join-connected components.  Returns groups of
+/// indices into `tuples`; the union of the groups is `0..tuples.len()`.
+///
+/// Connectivity is over-approximate on purpose: two tuples that share a
+/// `(column, value)` pair are placed in the same component even if they are
+/// inconsistent on another column — they still belong to the same "join
+/// neighbourhood" and the exact closure inside the component sorts it out.
+pub fn join_components(tuples: &[IntegratedTuple]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(tuples.len());
+    // Map (column, value) -> first tuple index seen with that cell.
+    let mut seen: HashMap<(usize, &Value), usize> = HashMap::new();
+    // All-null tuples join nothing; keep them in one shared component so the
+    // per-component closure deduplicates them exactly like the brute-force
+    // specification does.
+    let mut first_all_null: Option<usize> = None;
+    for (idx, tuple) in tuples.iter().enumerate() {
+        let mut has_cell = false;
+        for col in tuple.non_null_columns() {
+            has_cell = true;
+            let key = (col, tuple.value(col));
+            match seen.get(&key) {
+                Some(&first) => {
+                    uf.union(first, idx);
+                }
+                None => {
+                    seen.insert(key, idx);
+                }
+            }
+        }
+        if !has_cell {
+            match first_all_null {
+                Some(first) => {
+                    uf.union(first, idx);
+                }
+                None => first_all_null = Some(idx),
+            }
+        }
+    }
+    uf.groups()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::ProvenanceSet;
+
+    fn tuple(values: Vec<Value>) -> IntegratedTuple {
+        IntegratedTuple::new(values, ProvenanceSet::empty())
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn components_group_by_shared_values() {
+        let tuples = vec![
+            tuple(vec![Value::text("Berlin"), Value::Null]),
+            tuple(vec![Value::text("Berlin"), Value::text("63%")]),
+            tuple(vec![Value::text("Toronto"), Value::Null]),
+            tuple(vec![Value::Null, Value::text("83%")]),
+        ];
+        let components = join_components(&tuples);
+        assert_eq!(components.len(), 3);
+        // Berlin tuples together; Toronto alone; the 83% tuple alone.
+        assert!(components.iter().any(|c| c == &vec![0, 1]));
+        assert!(components.iter().any(|c| c == &vec![2]));
+        assert!(components.iter().any(|c| c == &vec![3]));
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        // a-b share col0, b-c share col1 => one component of three.
+        let tuples = vec![
+            tuple(vec![Value::text("x"), Value::Null]),
+            tuple(vec![Value::text("x"), Value::text("y")]),
+            tuple(vec![Value::Null, Value::text("y")]),
+        ];
+        let components = join_components(&tuples);
+        assert_eq!(components.len(), 1);
+        assert_eq!(components[0].len(), 3);
+    }
+
+    #[test]
+    fn same_value_in_different_columns_does_not_connect() {
+        let tuples = vec![
+            tuple(vec![Value::text("x"), Value::Null]),
+            tuple(vec![Value::Null, Value::text("x")]),
+        ];
+        let components = join_components(&tuples);
+        assert_eq!(components.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(join_components(&[]).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # lake-fd
+//!
+//! Full Disjunction (FD) algorithms over data lake tables.
+//!
+//! Full Disjunction (Galindo-Legaria 1994) is the associative extension of
+//! the full outer join: it integrates a set of tables such that every base
+//! tuple is represented, joinable tuples are combined *maximally*, and no
+//! redundant (subsumed) tuple remains.  The paper builds its fuzzy
+//! integration on top of the equi-join FD implementation of ALITE
+//! (Khatiwada et al., VLDB 2022); this crate provides that substrate:
+//!
+//! * [`schema::IntegrationSchema`] — the integrated (universal) schema and
+//!   the mapping from each source column to an integrated column;
+//! * [`tuple::IntegratedTuple`] — tuples over the integrated schema with
+//!   labeled nulls and provenance;
+//! * [`outer_union`] — padding every base tuple into the integrated schema;
+//! * [`components`] — union–find partitioning of tuples into join-connected
+//!   components (tuples in different components can never join), the trick
+//!   that makes FD scale to the IMDB-style benchmark;
+//! * [`complement`] — the complementation closure + subsumption removal that
+//!   computes the exact FD inside one component;
+//! * [`alite`] — the end-to-end scalable FD operator ([`alite::full_disjunction`]);
+//! * [`parallel`] — the same operator with components processed on a
+//!   crossbeam thread pool;
+//! * [`spec`] — a brute-force specification oracle used by property tests;
+//! * [`outer_join`] — binary/sequential full outer joins, the non-associative
+//!   baseline the paper contrasts FD with;
+//! * [`stats`] — result statistics used by the experiment harness.
+
+pub mod alite;
+pub mod complement;
+pub mod components;
+pub mod outer_join;
+pub mod outer_union;
+pub mod parallel;
+pub mod schema;
+pub mod spec;
+pub mod stats;
+pub mod subsume;
+pub mod tuple;
+
+pub use alite::{full_disjunction, FdOptions};
+pub use outer_union::outer_union;
+pub use parallel::parallel_full_disjunction;
+pub use schema::IntegrationSchema;
+pub use spec::specification_full_disjunction;
+pub use stats::FdStats;
+pub use tuple::{IntegratedTable, IntegratedTuple};

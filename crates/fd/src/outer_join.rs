@@ -1,0 +1,147 @@
+//! Full outer joins over the integrated schema — the non-associative baseline.
+//!
+//! The paper motivates Full Disjunction by the fact that the binary full
+//! outer join is *not associative*: applying it to a set of tables in
+//! different orders yields different sets of partially-integrated tuples.
+//! This module provides the binary operator and a left-deep sequential
+//! multi-way version so the difference can be demonstrated (see the
+//! `fd_vs_outer_join` integration test and the `ablations` harness binary).
+
+use lake_table::Table;
+
+use crate::outer_union::outer_union;
+use crate::schema::IntegrationSchema;
+use crate::subsume::remove_subsumed;
+use crate::tuple::{IntegratedTable, IntegratedTuple};
+
+/// Binary natural full outer join of two sets of integrated tuples.
+///
+/// A left and right tuple join when they are joinable (consistent and
+/// overlapping); tuples without a partner are preserved as-is.
+pub fn full_outer_join(
+    left: &[IntegratedTuple],
+    right: &[IntegratedTuple],
+) -> Vec<IntegratedTuple> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut right_matched = vec![false; right.len()];
+    for l in left {
+        let mut matched = false;
+        for (ri, r) in right.iter().enumerate() {
+            if l.joinable_with(r) {
+                out.push(l.merge(r));
+                right_matched[ri] = true;
+                matched = true;
+            }
+        }
+        if !matched {
+            out.push(l.clone());
+        }
+    }
+    for (ri, r) in right.iter().enumerate() {
+        if !right_matched[ri] {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// Left-deep sequential full outer join of many tables, in the order given by
+/// `order` (indices into `tables`).  Subsumed tuples are removed at the end
+/// so results are comparable with Full Disjunction.
+pub fn sequential_outer_join(
+    schema: &IntegrationSchema,
+    tables: &[Table],
+    order: &[usize],
+) -> IntegratedTable {
+    assert!(!order.is_empty(), "join order must name at least one table");
+    let all = outer_union(schema, tables);
+    // Group padded tuples by source table (provenance table name).
+    let mut grouped: Vec<Vec<IntegratedTuple>> = vec![Vec::new(); tables.len()];
+    for tuple in all {
+        let table_name = tuple
+            .provenance()
+            .iter()
+            .next()
+            .expect("base tuples always carry provenance")
+            .table
+            .clone();
+        let idx = tables
+            .iter()
+            .position(|t| t.name() == table_name)
+            .expect("provenance table must exist");
+        grouped[idx].push(tuple);
+    }
+
+    let mut acc = grouped[order[0]].clone();
+    for &next in &order[1..] {
+        acc = full_outer_join(&acc, &grouped[next]);
+    }
+    let tuples = remove_subsumed(acc);
+    IntegratedTable::new(schema.column_names().to_vec(), tuples).sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alite::full_disjunction;
+    use lake_table::TableBuilder;
+
+    /// Three tables where the outer-join result depends on the order:
+    /// A and C only join "through" B.
+    fn chain_tables() -> Vec<Table> {
+        vec![
+            TableBuilder::new("A", ["x", "y"]).row(["1", "2"]).build().unwrap(),
+            TableBuilder::new("B", ["y", "z"]).row(["2", "3"]).build().unwrap(),
+            TableBuilder::new("C", ["z", "w"]).row(["3", "4"]).build().unwrap(),
+        ]
+    }
+
+    #[test]
+    fn binary_join_preserves_unmatched() {
+        let tables = chain_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let padded = outer_union(&schema, &tables);
+        let a = vec![padded[0].clone()];
+        let c = vec![padded[2].clone()];
+        let joined = full_outer_join(&a, &c);
+        // A and C do not overlap: both survive unmatched.
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn outer_join_is_order_sensitive_fd_is_not() {
+        let tables = chain_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+
+        // Order A, B, C: A⟗B joins (via y), then ⟗C joins (via z) → 1 tuple.
+        let abc = sequential_outer_join(&schema, &tables, &[0, 1, 2]);
+        // Order A, C, B: A⟗C has no join, so the intermediate keeps A and C
+        // apart; joining B afterwards attaches it to one of them (both, in
+        // fact, producing partial tuples) — the result differs from ABC.
+        let acb = sequential_outer_join(&schema, &tables, &[0, 2, 1]);
+
+        assert_eq!(abc.len(), 1, "{:#?}", abc.tuples());
+        assert!(acb.len() > 1, "ACB order should leave partial tuples: {:#?}", acb.tuples());
+
+        // Full Disjunction is order-free and equals the best case.
+        let fd = full_disjunction(&schema, &tables);
+        assert_eq!(fd.len(), 1);
+        assert_eq!(fd.tuples()[0].non_null_count(), 4);
+    }
+
+    #[test]
+    fn single_table_order() {
+        let tables = chain_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let only_a = sequential_outer_join(&schema, &tables, &[0]);
+        assert_eq!(only_a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one table")]
+    fn empty_order_panics() {
+        let tables = chain_tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        sequential_outer_join(&schema, &tables, &[]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Outer union: padding every base tuple into the integrated schema.
+
+use lake_table::Table;
+
+use crate::schema::IntegrationSchema;
+use crate::tuple::IntegratedTuple;
+
+/// Pads every tuple of every table into the integrated schema (missing
+/// attributes become nulls).  This is the first step of every FD algorithm
+/// in this crate; the result is the "outer union" relation of the ALITE
+/// pipeline.
+///
+/// Rows with no present value at all are skipped: they carry no information,
+/// can never join anything, and would otherwise only add a subsumed all-null
+/// tuple to the result.
+pub fn outer_union(schema: &IntegrationSchema, tables: &[Table]) -> Vec<IntegratedTuple> {
+    let mut out = Vec::with_capacity(tables.iter().map(|t| t.num_rows()).sum());
+    for (t_idx, table) in tables.iter().enumerate() {
+        for (r_idx, row) in table.rows().iter().enumerate() {
+            if row.iter().all(|v| v.is_null()) {
+                continue;
+            }
+            out.push(IntegratedTuple::from_base(schema, t_idx, table.name(), r_idx, row));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::{TableBuilder, Value};
+
+    #[test]
+    fn pads_all_tuples() {
+        let tables = vec![
+            TableBuilder::new("T1", ["City", "Country"])
+                .row(["Berlin", "Germany"])
+                .row(["Toronto", "Canada"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T2", ["City", "Rate"]).row(["Boston", "62%"]).build().unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let tuples = outer_union(&schema, &tables);
+        assert_eq!(tuples.len(), 3);
+        for t in &tuples {
+            assert_eq!(t.values().len(), schema.num_columns());
+            assert_eq!(t.provenance().len(), 1);
+        }
+        // The T2 tuple has nulls in the Country column.
+        let boston = tuples.iter().find(|t| t.values().contains(&Value::text("Boston"))).unwrap();
+        assert_eq!(boston.non_null_count(), 2);
+    }
+
+    #[test]
+    fn empty_tables_produce_no_tuples() {
+        let tables = vec![
+            TableBuilder::new("T1", ["a"]).build().unwrap(),
+            TableBuilder::new("T2", ["a"]).build().unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        assert!(outer_union(&schema, &tables).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Brute-force specification of Full Disjunction.
+//!
+//! Enumerates every subset of base tuples, keeps the subsets that are
+//! pairwise consistent and join-connected, merges each, and removes subsumed
+//! results.  Exponential — usable only on tiny inputs — but it is a direct
+//! transcription of the FD definition and therefore the oracle the property
+//! tests compare the scalable algorithm against.
+
+use lake_table::Table;
+
+use crate::outer_union::outer_union;
+use crate::schema::IntegrationSchema;
+use crate::subsume::remove_subsumed;
+use crate::tuple::{IntegratedTable, IntegratedTuple};
+
+/// Maximum number of base tuples the oracle accepts (2^n subsets).
+pub const MAX_SPEC_TUPLES: usize = 18;
+
+/// Computes the Full Disjunction by exhaustive enumeration.
+///
+/// # Panics
+/// Panics when the inputs contain more than [`MAX_SPEC_TUPLES`] tuples.
+pub fn specification_full_disjunction(
+    schema: &IntegrationSchema,
+    tables: &[Table],
+) -> IntegratedTable {
+    let base = outer_union(schema, tables);
+    assert!(
+        base.len() <= MAX_SPEC_TUPLES,
+        "specification FD is exponential; got {} tuples (max {MAX_SPEC_TUPLES})",
+        base.len()
+    );
+
+    let n = base.len();
+    let mut results: Vec<IntegratedTuple> = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        let members: Vec<&IntegratedTuple> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| &base[i]).collect();
+        if !pairwise_consistent(&members) || !join_connected(&members) {
+            continue;
+        }
+        let mut merged = members[0].clone();
+        for m in &members[1..] {
+            merged = merged.merge(m);
+        }
+        results.push(merged);
+    }
+
+    let tuples = remove_subsumed(results);
+    IntegratedTable::new(schema.column_names().to_vec(), tuples).sorted()
+}
+
+fn pairwise_consistent(members: &[&IntegratedTuple]) -> bool {
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            if !members[i].consistent_with(members[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the overlap graph over the members is connected (single tuples are
+/// trivially connected).
+fn join_connected(members: &[&IntegratedTuple]) -> bool {
+    let n = members.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut visited = vec![false; n];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut seen = 1usize;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !visited[j] && members[i].overlaps(members[j]) {
+                visited[j] = true;
+                seen += 1;
+                stack.push(j);
+            }
+        }
+    }
+    seen == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::TableBuilder;
+
+    #[test]
+    fn figure1_style_example() {
+        let tables = vec![
+            TableBuilder::new("T1", ["City", "Country"])
+                .row(["Berlin", "Germany"])
+                .row(["Toronto", "Canada"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T2", ["City", "Rate"])
+                .row(["Berlin", "63%"])
+                .row(["Boston", "62%"])
+                .build()
+                .unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let fd = specification_full_disjunction(&schema, &tables);
+        // Berlin merges; Toronto and Boston stay partial: 3 tuples.
+        assert_eq!(fd.len(), 3);
+        assert!(fd.unrepresented_base_tuples(&schema, &tables).is_empty());
+    }
+
+    #[test]
+    fn no_joinable_tuples_yields_outer_union() {
+        let tables = vec![
+            TableBuilder::new("A", ["x"]).row(["1"]).row(["2"]).build().unwrap(),
+            TableBuilder::new("B", ["y"]).row(["3"]).build().unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        let fd = specification_full_disjunction(&schema, &tables);
+        assert_eq!(fd.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn refuses_large_inputs() {
+        let mut builder = TableBuilder::new("big", ["x"]);
+        for i in 0..30 {
+            builder = builder.row([i.to_string()]);
+        }
+        let tables = vec![builder.build().unwrap()];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        specification_full_disjunction(&schema, &tables);
+    }
+}

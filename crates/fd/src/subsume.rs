@@ -1,0 +1,173 @@
+//! Subsumption removal.
+//!
+//! A tuple that agrees with another tuple on all of its non-null attributes
+//! and has no information of its own (it is "contained" in the other tuple)
+//! is redundant in the FD result.  This module removes such tuples, after
+//! first deduplicating value-identical tuples (merging their provenance).
+
+use std::collections::HashMap;
+
+use lake_table::Value;
+
+use crate::tuple::IntegratedTuple;
+
+/// Deduplicates value-identical tuples, unioning their provenance.
+/// The first occurrence's position is kept, so ordering stays deterministic.
+pub fn dedup_by_values(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut out: Vec<IntegratedTuple> = Vec::with_capacity(tuples.len());
+    for tuple in tuples {
+        match index.get(tuple.values()) {
+            Some(&i) => {
+                let prov = tuple.provenance().clone();
+                out[i].absorb_provenance(&prov);
+            }
+            None => {
+                index.insert(tuple.values().to_vec(), out.len());
+                out.push(tuple);
+            }
+        }
+    }
+    out
+}
+
+/// Removes tuples that are strictly subsumed by another tuple.  The input is
+/// first deduplicated by values; the surviving tuple absorbs the provenance
+/// of every tuple it subsumes (so the provenance column of Figure 1 lists all
+/// base tuples an output row represents).
+pub fn remove_subsumed(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
+    let mut tuples = dedup_by_values(tuples);
+    if tuples.len() <= 1 {
+        return tuples;
+    }
+
+    // Index tuples by (column, value) so a potential subsumer of `t` can be
+    // found among the tuples sharing `t`'s first non-null cell.
+    let mut by_cell: HashMap<(usize, Value), Vec<usize>> = HashMap::new();
+    for (idx, tuple) in tuples.iter().enumerate() {
+        for col in tuple.non_null_columns() {
+            by_cell.entry((col, tuple.value(col).clone())).or_default().push(idx);
+        }
+    }
+
+    let n = tuples.len();
+    let mut subsumed_by: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        let probe_col = match tuples[i].non_null_columns().next() {
+            Some(c) => c,
+            None => continue, // all-null tuples are kept verbatim
+        };
+        let key = (probe_col, tuples[i].value(probe_col).clone());
+        if let Some(candidates) = by_cell.get(&key) {
+            for &j in candidates {
+                if j == i || subsumed_by[j].is_some() {
+                    continue;
+                }
+                if tuples[j].non_null_count() > tuples[i].non_null_count()
+                    && tuples[j].subsumes(&tuples[i])
+                {
+                    subsumed_by[i] = Some(j);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Absorb provenance along subsumption chains (i -> j -> ... -> root).
+    for i in 0..n {
+        if let Some(mut j) = subsumed_by[i] {
+            while let Some(next) = subsumed_by[j] {
+                j = next;
+            }
+            let prov = tuples[i].provenance().clone();
+            tuples[j].absorb_provenance(&prov);
+        }
+    }
+
+    tuples
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| subsumed_by[*i].is_none())
+        .map(|(_, t)| t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::{ProvenanceSet, TupleId};
+
+    fn tuple(values: Vec<Value>, prov: &[(&str, usize)]) -> IntegratedTuple {
+        let provenance: ProvenanceSet =
+            prov.iter().map(|(t, r)| TupleId::new(*t, *r)).collect();
+        IntegratedTuple::new(values, provenance)
+    }
+
+    #[test]
+    fn dedup_merges_provenance() {
+        let tuples = vec![
+            tuple(vec![Value::text("a")], &[("T1", 0)]),
+            tuple(vec![Value::text("a")], &[("T2", 3)]),
+            tuple(vec![Value::text("b")], &[("T1", 1)]),
+        ];
+        let out = dedup_by_values(tuples);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].provenance().len(), 2);
+    }
+
+    #[test]
+    fn removes_strictly_subsumed() {
+        let tuples = vec![
+            tuple(vec![Value::text("Berlin"), Value::Null], &[("T1", 0)]),
+            tuple(vec![Value::text("Berlin"), Value::text("63%")], &[("T2", 0)]),
+            tuple(vec![Value::text("Toronto"), Value::Null], &[("T1", 1)]),
+        ];
+        let out = remove_subsumed(tuples);
+        assert_eq!(out.len(), 2);
+        // The survivor absorbed the subsumed tuple's provenance.
+        let berlin = out.iter().find(|t| t.value(0) == &Value::text("Berlin")).unwrap();
+        assert_eq!(berlin.provenance().len(), 2);
+        assert!(berlin.provenance().contains(&TupleId::new("T1", 0)));
+    }
+
+    #[test]
+    fn incomparable_tuples_are_kept() {
+        let tuples = vec![
+            tuple(vec![Value::text("x"), Value::Null], &[("T1", 0)]),
+            tuple(vec![Value::Null, Value::text("y")], &[("T2", 0)]),
+        ];
+        let out = remove_subsumed(tuples);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_subsumption_collapses_to_the_maximal_tuple() {
+        let tuples = vec![
+            tuple(vec![Value::text("a"), Value::Null, Value::Null], &[("T1", 0)]),
+            tuple(vec![Value::text("a"), Value::text("b"), Value::Null], &[("T2", 0)]),
+            tuple(vec![Value::text("a"), Value::text("b"), Value::text("c")], &[("T3", 0)]),
+        ];
+        let out = remove_subsumed(tuples);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].non_null_count(), 3);
+        assert_eq!(out[0].provenance().len(), 3);
+    }
+
+    #[test]
+    fn equal_tuples_do_not_remove_each_other() {
+        let tuples = vec![
+            tuple(vec![Value::text("a")], &[("T1", 0)]),
+            tuple(vec![Value::text("a")], &[("T2", 0)]),
+        ];
+        let out = remove_subsumed(tuples);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].provenance().len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(remove_subsumed(Vec::new()).is_empty());
+        let single = vec![tuple(vec![Value::text("only")], &[("T1", 0)])];
+        assert_eq!(remove_subsumed(single).len(), 1);
+    }
+}

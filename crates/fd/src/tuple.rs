@@ -1,0 +1,335 @@
+//! Integrated tuples and integrated tables.
+
+use lake_table::{ProvenanceSet, Schema, Table, TableResult, TupleId, Value};
+
+use crate::schema::IntegrationSchema;
+
+/// A tuple over the integrated schema: one (possibly null) value per
+/// integrated column plus the provenance of the base tuples it merges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegratedTuple {
+    values: Vec<Value>,
+    provenance: ProvenanceSet,
+}
+
+impl IntegratedTuple {
+    /// Creates a tuple from values and provenance.
+    pub fn new(values: Vec<Value>, provenance: ProvenanceSet) -> Self {
+        IntegratedTuple { values, provenance }
+    }
+
+    /// Builds the padded integrated tuple for one base tuple.
+    pub fn from_base(
+        schema: &IntegrationSchema,
+        table_idx: usize,
+        table_name: &str,
+        row_idx: usize,
+        row: &[Value],
+    ) -> Self {
+        let mut values = vec![Value::Null; schema.num_columns()];
+        for (col_idx, value) in row.iter().enumerate() {
+            if value.is_present() {
+                values[schema.integrated_column(table_idx, col_idx)] = value.clone();
+            }
+        }
+        IntegratedTuple {
+            values,
+            provenance: ProvenanceSet::single(TupleId::new(table_name, row_idx)),
+        }
+    }
+
+    /// The tuple's values over the integrated schema.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value of one integrated column.
+    pub fn value(&self, column: usize) -> &Value {
+        &self.values[column]
+    }
+
+    /// Provenance: the base tuples merged into this tuple.
+    pub fn provenance(&self) -> &ProvenanceSet {
+        &self.provenance
+    }
+
+    /// Number of non-null values.
+    pub fn non_null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_present()).count()
+    }
+
+    /// Indices of the non-null columns.
+    pub fn non_null_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.values.iter().enumerate().filter(|(_, v)| v.is_present()).map(|(i, _)| i)
+    }
+
+    /// Whether two tuples are *consistent*: no column where both are non-null
+    /// with different values.
+    pub fn consistent_with(&self, other: &IntegratedTuple) -> bool {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.is_null() || b.is_null() || a == b)
+    }
+
+    /// Whether two tuples *overlap*: at least one column where both are
+    /// non-null (and, if consistent, therefore equal).
+    pub fn overlaps(&self, other: &IntegratedTuple) -> bool {
+        self.values.iter().zip(&other.values).any(|(a, b)| a.is_present() && b.is_present())
+    }
+
+    /// Whether two tuples are joinable: consistent *and* overlapping.  This
+    /// is the condition under which Full Disjunction combines them.
+    pub fn joinable_with(&self, other: &IntegratedTuple) -> bool {
+        self.overlaps(other) && self.consistent_with(other)
+    }
+
+    /// Merges two joinable tuples: non-null values win, provenance unions.
+    ///
+    /// The caller must ensure [`IntegratedTuple::joinable_with`] (or at least
+    /// consistency) holds; merging inconsistent tuples would silently prefer
+    /// `self`'s values.
+    pub fn merge(&self, other: &IntegratedTuple) -> IntegratedTuple {
+        debug_assert!(self.consistent_with(other), "merging inconsistent tuples");
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| if a.is_present() { a.clone() } else { b.clone() })
+            .collect();
+        IntegratedTuple { values, provenance: self.provenance.union(&other.provenance) }
+    }
+
+    /// Whether `self` subsumes `other`: everywhere `other` is non-null,
+    /// `self` has the same value, and `self` has at least as many non-null
+    /// values.  A subsumed tuple carries no information of its own and is
+    /// removed from the FD result.
+    pub fn subsumes(&self, other: &IntegratedTuple) -> bool {
+        other
+            .values
+            .iter()
+            .zip(&self.values)
+            .all(|(o, s)| o.is_null() || (s.is_present() && s == o))
+    }
+
+    /// Absorbs the provenance of another tuple (used when deduplicating
+    /// value-identical tuples).
+    pub fn absorb_provenance(&mut self, other: &ProvenanceSet) {
+        self.provenance = self.provenance.union(other);
+    }
+}
+
+/// The result of integrating a set of tables: the integrated column names and
+/// the integrated tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegratedTable {
+    columns: Vec<String>,
+    tuples: Vec<IntegratedTuple>,
+}
+
+impl IntegratedTable {
+    /// Creates an integrated table.
+    pub fn new(columns: Vec<String>, tuples: Vec<IntegratedTuple>) -> Self {
+        IntegratedTable { columns, tuples }
+    }
+
+    /// Integrated column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Integrated tuples.
+    pub fn tuples(&self) -> &[IntegratedTuple] {
+        &self.tuples
+    }
+
+    /// Number of integrated tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the result holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Sorts tuples deterministically (by values, then provenance) so results
+    /// can be compared across algorithms and runs.
+    pub fn sorted(mut self) -> IntegratedTable {
+        self.tuples.sort_by(|a, b| {
+            a.values().cmp(b.values()).then_with(|| a.provenance().cmp(b.provenance()))
+        });
+        self
+    }
+
+    /// Converts to a plain [`Table`].  When `include_provenance` is true, a
+    /// leading `TIDs` column lists the merged base tuples (the presentation
+    /// used in the paper's Figure 1).
+    pub fn to_table(&self, name: &str, include_provenance: bool) -> TableResult<Table> {
+        let mut names: Vec<String> = Vec::new();
+        if include_provenance {
+            names.push("TIDs".to_string());
+        }
+        names.extend(self.columns.iter().cloned());
+        let schema = Schema::from_names(names)?;
+        let mut table = Table::new(name, schema);
+        for tuple in &self.tuples {
+            let mut row: Vec<Value> = Vec::with_capacity(self.columns.len() + 1);
+            if include_provenance {
+                row.push(Value::text(tuple.provenance().to_string()));
+            }
+            row.extend(tuple.values().iter().cloned());
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+
+    /// Checks that every base tuple of the inputs is represented by at least
+    /// one output tuple that subsumes it — the "no tuple left behind"
+    /// guarantee of Full Disjunction.  Returns the ids of unrepresented base
+    /// tuples (empty = all good).  Rows with no present value are skipped,
+    /// mirroring [`crate::outer_union::outer_union`].
+    pub fn unrepresented_base_tuples(
+        &self,
+        schema: &IntegrationSchema,
+        tables: &[Table],
+    ) -> Vec<TupleId> {
+        let mut missing = Vec::new();
+        for (t_idx, table) in tables.iter().enumerate() {
+            for (r_idx, row) in table.rows().iter().enumerate() {
+                if row.iter().all(|v| v.is_null()) {
+                    continue;
+                }
+                let base =
+                    IntegratedTuple::from_base(schema, t_idx, table.name(), r_idx, row);
+                let covered = self.tuples.iter().any(|t| {
+                    t.subsumes(&base) && t.provenance().is_superset(base.provenance())
+                });
+                if !covered {
+                    missing.push(TupleId::new(table.name(), r_idx));
+                }
+            }
+        }
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_table::TableBuilder;
+
+    fn schema_and_tables() -> (IntegrationSchema, Vec<Table>) {
+        let tables = vec![
+            TableBuilder::new("T1", ["City", "Country"])
+                .row(["Berlin", "Germany"])
+                .row(["Toronto", "Canada"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T2", ["City", "Rate"]).row(["Berlin", "63%"]).build().unwrap(),
+        ];
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        (schema, tables)
+    }
+
+    fn tup(schema: &IntegrationSchema, t: usize, name: &str, r: usize, row: &[Value]) -> IntegratedTuple {
+        IntegratedTuple::from_base(schema, t, name, r, row)
+    }
+
+    #[test]
+    fn base_tuple_padding() {
+        let (schema, tables) = schema_and_tables();
+        let t = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
+        assert_eq!(t.non_null_count(), 2);
+        assert_eq!(t.values().len(), schema.num_columns());
+        assert_eq!(t.provenance().len(), 1);
+    }
+
+    #[test]
+    fn consistency_overlap_and_joinability() {
+        let (schema, tables) = schema_and_tables();
+        let berlin_t1 = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
+        let toronto_t1 = tup(&schema, 0, "T1", 1, &tables[0].rows()[1]);
+        let berlin_t2 = tup(&schema, 1, "T2", 0, &tables[1].rows()[0]);
+
+        assert!(berlin_t1.joinable_with(&berlin_t2));
+        assert!(!berlin_t1.joinable_with(&toronto_t1)); // same column, different city
+        assert!(!toronto_t1.consistent_with(&berlin_t2) || !toronto_t1.overlaps(&berlin_t2));
+    }
+
+    #[test]
+    fn merge_combines_values_and_provenance() {
+        let (schema, tables) = schema_and_tables();
+        let a = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
+        let b = tup(&schema, 1, "T2", 0, &tables[1].rows()[0]);
+        let m = a.merge(&b);
+        assert_eq!(m.non_null_count(), 3); // City, Country, Rate
+        assert_eq!(m.provenance().len(), 2);
+        assert!(m.subsumes(&a));
+        assert!(m.subsumes(&b));
+        assert!(!a.subsumes(&m));
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_antisymmetric_on_values() {
+        let (schema, tables) = schema_and_tables();
+        let a = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
+        assert!(a.subsumes(&a));
+        let b = tup(&schema, 1, "T2", 0, &tables[1].rows()[0]);
+        let m = a.merge(&b);
+        assert!(m.subsumes(&a) && !a.subsumes(&m));
+    }
+
+    #[test]
+    fn tuples_with_disjoint_columns_do_not_overlap() {
+        let (schema, _) = schema_and_tables();
+        let a = IntegratedTuple::new(
+            vec![Value::text("x"), Value::Null, Value::Null],
+            ProvenanceSet::empty(),
+        );
+        let b = IntegratedTuple::new(
+            vec![Value::Null, Value::text("y"), Value::Null],
+            ProvenanceSet::empty(),
+        );
+        assert_eq!(schema.num_columns(), 3);
+        assert!(a.consistent_with(&b));
+        assert!(!a.overlaps(&b));
+        assert!(!a.joinable_with(&b));
+    }
+
+    #[test]
+    fn integrated_table_conversion_and_coverage() {
+        let (schema, tables) = schema_and_tables();
+        let a = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
+        let b = tup(&schema, 1, "T2", 0, &tables[1].rows()[0]);
+        let toronto = tup(&schema, 0, "T1", 1, &tables[0].rows()[1]);
+        let merged = a.merge(&b);
+        let result = IntegratedTable::new(
+            schema.column_names().to_vec(),
+            vec![merged, toronto.clone()],
+        );
+        assert_eq!(result.len(), 2);
+        assert!(result.unrepresented_base_tuples(&schema, &tables).is_empty());
+
+        let with_prov = result.to_table("fd", true).unwrap();
+        assert_eq!(with_prov.num_columns(), schema.num_columns() + 1);
+        assert_eq!(with_prov.num_rows(), 2);
+        let without = result.to_table("fd", false).unwrap();
+        assert_eq!(without.num_columns(), schema.num_columns());
+
+        // Dropping the Toronto tuple leaves T1#1 unrepresented.
+        let partial = IntegratedTable::new(schema.column_names().to_vec(), vec![a.merge(&b)]);
+        let missing = partial.unrepresented_base_tuples(&schema, &tables);
+        assert_eq!(missing, vec![TupleId::new("T1", 1)]);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let (schema, tables) = schema_and_tables();
+        let a = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
+        let b = tup(&schema, 0, "T1", 1, &tables[0].rows()[1]);
+        let r1 = IntegratedTable::new(schema.column_names().to_vec(), vec![a.clone(), b.clone()]).sorted();
+        let r2 = IntegratedTable::new(schema.column_names().to_vec(), vec![b, a]).sorted();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Evaluation of predicted match pairs against gold match pairs.
+//!
+//! Both value matching (Table 1) and downstream entity matching (§3.2) are
+//! evaluated as sets of unordered pairs.  [`PairSet`] canonicalises pairs so
+//! `(a, b)` and `(b, a)` are the same element, and computes confusion counts
+//! against another pair set.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::confusion::ConfusionCounts;
+
+/// Canonical (ordered) form of an unordered pair.
+pub fn pair_key<T: Ord>(a: T, b: T) -> (T, T) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A set of unordered pairs over any ordered, hashable element type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSet<T: Ord + Hash + Clone> {
+    pairs: HashSet<(T, T)>,
+}
+
+impl<T: Ord + Hash + Clone> Default for PairSet<T> {
+    fn default() -> Self {
+        PairSet { pairs: HashSet::new() }
+    }
+}
+
+impl<T: Ord + Hash + Clone> PairSet<T> {
+    /// An empty pair set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an unordered pair; self-pairs `(x, x)` are ignored because a
+    /// value trivially matches itself.
+    pub fn insert(&mut self, a: T, b: T) {
+        if a == b {
+            return;
+        }
+        self.pairs.insert(pair_key(a, b));
+    }
+
+    /// Whether the unordered pair is present.
+    pub fn contains(&self, a: &T, b: &T) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        self.pairs.contains(&key)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when no pairs are present.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates the canonicalised pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(T, T)> {
+        self.pairs.iter()
+    }
+
+    /// Adds every pair implied by a cluster of equivalent elements (all
+    /// unordered pairs of distinct members).
+    pub fn insert_cluster(&mut self, members: &[T]) {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                self.insert(members[i].clone(), members[j].clone());
+            }
+        }
+    }
+
+    /// Confusion counts of `self` (predictions) against `gold`.
+    pub fn confusion_against(&self, gold: &PairSet<T>) -> ConfusionCounts {
+        let tp = self.pairs.intersection(&gold.pairs).count();
+        let fp = self.pairs.len() - tp;
+        let fn_ = gold.pairs.len() - tp;
+        ConfusionCounts::new(tp, fp, fn_)
+    }
+}
+
+impl<T: Ord + Hash + Clone> FromIterator<(T, T)> for PairSet<T> {
+    fn from_iter<I: IntoIterator<Item = (T, T)>>(iter: I) -> Self {
+        let mut set = PairSet::new();
+        for (a, b) in iter {
+            set.insert(a, b);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_unordered_and_self_free() {
+        let mut s: PairSet<&str> = PairSet::new();
+        s.insert("a", "b");
+        s.insert("b", "a");
+        s.insert("c", "c");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&"a", &"b"));
+        assert!(s.contains(&"b", &"a"));
+        assert!(!s.contains(&"c", &"c"));
+        assert!(!s.contains(&"a", &"c"));
+    }
+
+    #[test]
+    fn cluster_expansion() {
+        let mut s: PairSet<u32> = PairSet::new();
+        s.insert_cluster(&[1, 2, 3]);
+        assert_eq!(s.len(), 3); // (1,2), (1,3), (2,3)
+        s.insert_cluster(&[4]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn confusion_against_gold() {
+        let predicted: PairSet<&str> =
+            [("a", "b"), ("c", "d"), ("e", "f")].into_iter().collect();
+        let gold: PairSet<&str> = [("a", "b"), ("c", "d"), ("g", "h")].into_iter().collect();
+        let c = predicted.confusion_against(&gold);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 1);
+        let scores = c.scores();
+        assert!((scores.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((scores.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_behave() {
+        let empty: PairSet<u32> = PairSet::new();
+        let gold: PairSet<u32> = [(1, 2)].into_iter().collect();
+        let c = empty.confusion_against(&gold);
+        assert_eq!(c.tp, 0);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 1);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pair_key_orders() {
+        assert_eq!(pair_key(2, 1), (1, 2));
+        assert_eq!(pair_key("a", "b"), ("a", "b"));
+    }
+}

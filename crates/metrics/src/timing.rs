@@ -1,0 +1,81 @@
+//! Wall-clock timing helpers for the efficiency experiments.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch that accumulates named laps.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+    last_lap: Instant,
+    laps: Vec<(String, Duration)>,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Stopwatch { started: now, last_lap: now, laps: Vec::new() }
+    }
+
+    /// Records the time since the previous lap (or start) under `label` and
+    /// returns it.
+    pub fn lap(&mut self, label: impl Into<String>) -> Duration {
+        let now = Instant::now();
+        let elapsed = now - self.last_lap;
+        self.last_lap = now;
+        self.laps.push((label.into(), elapsed));
+        elapsed
+    }
+
+    /// Total time since start.
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The recorded laps.
+    pub fn laps(&self) -> &[(String, Duration)] {
+        &self.laps
+    }
+
+    /// Measures a closure and returns `(result, elapsed)`.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed())
+    }
+}
+
+/// Formats a duration as seconds with millisecond precision (`"1.234s"`).
+pub fn format_duration(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_accumulate() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap("first");
+        let b = sw.lap("second");
+        assert_eq!(sw.laps().len(), 2);
+        assert_eq!(sw.laps()[0].0, "first");
+        let _ = (a, b);
+        assert!(sw.total() >= a);
+        assert!(sw.total() >= b);
+    }
+
+    #[test]
+    fn time_closure() {
+        let (value, elapsed) = Stopwatch::time(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(1234)), "1.234s");
+        assert_eq!(format_duration(Duration::from_secs(0)), "0.000s");
+    }
+}

@@ -1,0 +1,200 @@
+//! Holistic agglomerative clustering of column signatures.
+//!
+//! All columns of all tables in an integration set are clustered at once
+//! (rather than table-pair by table-pair), subject to the constraint that a
+//! cluster contains at most one column per table — the holistic matching
+//! strategy ALITE adopts from Su et al. (2006).
+
+use lake_embed::Embedder;
+use lake_table::{ColumnRef, Table};
+
+use crate::signature::ColumnSignature;
+use crate::Alignment;
+
+/// Parameters of the holistic clustering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentOptions {
+    /// Minimum signature similarity for two clusters to be merged.
+    pub similarity_threshold: f64,
+    /// Maximum number of distinct values embedded per column.
+    pub sample_limit: usize,
+}
+
+impl Default for AlignmentOptions {
+    fn default() -> Self {
+        AlignmentOptions { similarity_threshold: 0.62, sample_limit: 64 }
+    }
+}
+
+/// Aligns the columns of an integration set by holistic agglomerative
+/// clustering over value-embedding signatures.
+pub fn align_columns(
+    tables: &[Table],
+    embedder: &dyn Embedder,
+    options: AlignmentOptions,
+) -> Alignment {
+    // Build one signature per column.
+    let mut refs: Vec<ColumnRef> = Vec::new();
+    let mut signatures: Vec<ColumnSignature> = Vec::new();
+    for (t_idx, table) in tables.iter().enumerate() {
+        for c_idx in 0..table.num_columns() {
+            refs.push(ColumnRef::new(t_idx, c_idx));
+            signatures.push(ColumnSignature::build(table, c_idx, embedder, options.sample_limit));
+        }
+    }
+
+    // Each column starts as its own cluster.
+    let mut clusters: Vec<Vec<usize>> = (0..refs.len()).map(|i| vec![i]).collect();
+
+    loop {
+        // Find the best mergeable cluster pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                if tables_conflict(&clusters[i], &clusters[j], &refs) {
+                    continue;
+                }
+                let sim = cluster_similarity(&clusters[i], &clusters[j], &signatures);
+                if sim >= options.similarity_threshold
+                    && best.map(|(_, _, s)| sim > s).unwrap_or(true)
+                {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        match best {
+            Some((i, j, _)) => {
+                let merged = clusters.remove(j);
+                clusters[i].extend(merged);
+            }
+            None => break,
+        }
+    }
+
+    let groups: Vec<Vec<ColumnRef>> = clusters
+        .into_iter()
+        .filter(|c| c.len() > 1)
+        .map(|c| {
+            let mut group: Vec<ColumnRef> = c.into_iter().map(|i| refs[i]).collect();
+            group.sort();
+            group
+        })
+        .collect();
+    Alignment::new(groups)
+}
+
+/// Average-linkage similarity between two clusters of column signatures.
+fn cluster_similarity(a: &[usize], b: &[usize], signatures: &[ColumnSignature]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &i in a {
+        for &j in b {
+            total += signatures[i].similarity(&signatures[j]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Whether merging two clusters would put two columns of the same table into
+/// one group.
+fn tables_conflict(a: &[usize], b: &[usize], refs: &[ColumnRef]) -> bool {
+    for &i in a {
+        for &j in b {
+            if refs[i].table == refs[j].table {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_embed::{EmbeddingModel, HashingNgramEmbedder};
+    use lake_table::TableBuilder;
+
+    fn covid_tables() -> Vec<Table> {
+        vec![
+            TableBuilder::new("T1", ["place", "nation"])
+                .row(["Berlin", "Germany"])
+                .row(["Toronto", "Canada"])
+                .row(["Barcelona", "Spain"])
+                .row(["Boston", "United States"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T2", ["city", "country", "rate"])
+                .row(["Berlin", "Germany", "63"])
+                .row(["Boston", "United States", "62"])
+                .row(["Toronto", "Canada", "83"])
+                .row(["Barcelona", "Spain", "82"])
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn aligns_columns_with_overlapping_values_despite_different_headers() {
+        let tables = covid_tables();
+        let embedder = HashingNgramEmbedder::new();
+        let alignment = align_columns(&tables, &embedder, AlignmentOptions::default());
+        // place/city and nation/country should each form a group; rate stays out.
+        assert_eq!(alignment.len(), 2, "{alignment:?}");
+        for group in alignment.groups() {
+            assert_eq!(group.len(), 2);
+        }
+        // Check the actual pairing: T1 col0 with T2 col0, T1 col1 with T2 col1.
+        let has = |a: (usize, usize), b: (usize, usize)| {
+            alignment.groups().iter().any(|g| {
+                g.contains(&ColumnRef::new(a.0, a.1)) && g.contains(&ColumnRef::new(b.0, b.1))
+            })
+        };
+        assert!(has((0, 0), (1, 0)), "city columns should align: {alignment:?}");
+        assert!(has((0, 1), (1, 1)), "country columns should align: {alignment:?}");
+    }
+
+    #[test]
+    fn never_groups_two_columns_of_one_table() {
+        let tables = vec![
+            TableBuilder::new("T1", ["a", "b"])
+                .row(["Berlin", "Berlin"])
+                .row(["Toronto", "Toronto"])
+                .build()
+                .unwrap(),
+            TableBuilder::new("T2", ["c"]).row(["Berlin"]).row(["Toronto"]).build().unwrap(),
+        ];
+        let embedder = HashingNgramEmbedder::new();
+        let alignment = align_columns(&tables, &embedder, AlignmentOptions::default());
+        for group in alignment.groups() {
+            let mut tbl: Vec<usize> = group.iter().map(|c| c.table).collect();
+            tbl.sort_unstable();
+            tbl.dedup();
+            assert_eq!(tbl.len(), group.len());
+        }
+    }
+
+    #[test]
+    fn unreachable_threshold_yields_no_alignment() {
+        let tables = covid_tables();
+        let embedder = HashingNgramEmbedder::new();
+        let alignment = align_columns(
+            &tables,
+            &embedder,
+            AlignmentOptions { similarity_threshold: 1.01, sample_limit: 64 },
+        );
+        assert!(alignment.is_empty());
+    }
+
+    #[test]
+    fn works_with_simulated_lm_embedders() {
+        let tables = covid_tables();
+        let embedder = EmbeddingModel::Mistral.build();
+        let alignment = align_columns(&tables, embedder.as_ref(), AlignmentOptions::default());
+        assert!(alignment.len() >= 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fluent construction of tables, used pervasively in tests, examples and the
+//! benchmark generators.
+
+use crate::error::TableResult;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// Builder for [`Table`]s.
+///
+/// Rows can be provided as raw strings (parsed with [`Value::parse`], which is
+/// how CSV ingestion behaves) or as already-typed [`Value`]s.
+///
+/// ```
+/// use lake_table::TableBuilder;
+///
+/// let table = TableBuilder::new("cities", ["City", "Country"])
+///     .row(["Berlin", "Germany"])
+///     .row(["Toronto", "Canada"])
+///     .build()
+///     .unwrap();
+/// assert_eq!(table.num_rows(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Row>,
+    errors: Vec<String>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for a table with the given name and column headers.
+    pub fn new<I, S>(name: impl Into<String>, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableBuilder {
+            name: name.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Adds a row of raw string fields; each field is parsed into a typed
+    /// value exactly like a CSV cell would be.
+    pub fn row<I, S>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let row: Row = cells.into_iter().map(|c| Value::parse(c.as_ref())).collect();
+        if row.len() != self.columns.len() {
+            self.errors.push(format!(
+                "row {} has {} cells, expected {}",
+                self.rows.len(),
+                row.len(),
+                self.columns.len()
+            ));
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Adds a row of already-typed values.
+    pub fn row_values<I>(mut self, cells: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let row: Row = cells.into_iter().collect();
+        if row.len() != self.columns.len() {
+            self.errors.push(format!(
+                "row {} has {} cells, expected {}",
+                self.rows.len(),
+                row.len(),
+                self.columns.len()
+            ));
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Finalises the table, inferring column data types.
+    pub fn build(self) -> TableResult<Table> {
+        let schema = Schema::from_names(self.columns)?;
+        let mut table = Table::new(self.name, schema);
+        for row in self.rows {
+            table.push_row(row)?;
+        }
+        table.infer_column_types();
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    #[test]
+    fn builds_typed_table() {
+        let t = TableBuilder::new("movies", ["title", "year", "rating"])
+            .row(["Heat", "1995", "8.3"])
+            .row(["Alien", "1979", "8.5"])
+            .build()
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().column(1).unwrap().data_type, DataType::Int);
+        assert_eq!(t.schema().column(2).unwrap().data_type, DataType::Float);
+        assert_eq!(t.cell(0, 0), Some(&Value::text("Heat")));
+        assert_eq!(t.cell(1, 1), Some(&Value::Int(1979)));
+    }
+
+    #[test]
+    fn row_values_accepts_typed_cells() {
+        let t = TableBuilder::new("t", ["a", "b"])
+            .row_values([Value::Int(1), Value::Null])
+            .build()
+            .unwrap();
+        assert_eq!(t.cell(0, 1), Some(&Value::Null));
+    }
+
+    #[test]
+    fn arity_error_surfaces_at_build() {
+        let res = TableBuilder::new("t", ["a", "b"]).row(["only-one"]).build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn duplicate_headers_rejected() {
+        let res = TableBuilder::new("t", ["a", "a"]).build();
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by the table substrate.
+
+use std::fmt;
+
+/// Result alias used across `lake-table`.
+pub type TableResult<T> = Result<T, TableError>;
+
+/// Errors raised by table construction, access and (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row was added whose arity does not match the schema.
+    ArityMismatch {
+        /// Number of columns declared by the schema.
+        expected: usize,
+        /// Number of cells in the offending row.
+        actual: usize,
+    },
+    /// A column was requested that the schema does not contain.
+    UnknownColumn(String),
+    /// A column index was out of bounds.
+    ColumnIndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Number of columns in the schema.
+        len: usize,
+    },
+    /// Two columns with the same name were declared in one schema.
+    DuplicateColumn(String),
+    /// A schema with zero columns was declared.
+    EmptySchema,
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// Human readable description.
+        message: String,
+    },
+    /// An I/O failure while reading or writing CSV files.
+    Io(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch { expected, actual } => write!(
+                f,
+                "row arity mismatch: schema has {expected} columns but row has {actual} cells"
+            ),
+            TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TableError::ColumnIndexOutOfBounds { index, len } => {
+                write!(f, "column index {index} out of bounds for schema with {len} columns")
+            }
+            TableError::DuplicateColumn(name) => {
+                write!(f, "duplicate column name `{name}` in schema")
+            }
+            TableError::EmptySchema => write!(f, "schema must contain at least one column"),
+            TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            TableError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(err: std::io::Error) -> Self {
+        TableError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let err = TableError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(err.to_string().contains("3"));
+        assert!(err.to_string().contains("2"));
+
+        let err = TableError::UnknownColumn("City".into());
+        assert!(err.to_string().contains("City"));
+
+        let err = TableError::Csv { line: 7, message: "unterminated quote".into() };
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: TableError = io.into();
+        assert!(matches!(err, TableError::Io(_)));
+    }
+}

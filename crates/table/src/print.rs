@@ -1,0 +1,114 @@
+//! Pretty-printing of tables for examples, the experiment harness and README
+//! snippets.
+
+use crate::table::Table;
+
+/// Renders a table as an ASCII grid, truncating long cells to keep the output
+/// terminal friendly.
+pub fn render(table: &Table) -> String {
+    render_with_limit(table, 40, usize::MAX)
+}
+
+/// Renders at most `max_rows` rows, truncating cells to `max_cell_width`
+/// characters.
+pub fn render_with_limit(table: &Table, max_cell_width: usize, max_rows: usize) -> String {
+    let headers: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| truncate(&c.name, max_cell_width))
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+
+    let shown = table.num_rows().min(max_rows);
+    let mut body: Vec<Vec<String>> = Vec::with_capacity(shown);
+    for row in table.rows().iter().take(shown) {
+        let cells: Vec<String> =
+            row.iter().map(|v| truncate(&v.to_string(), max_cell_width)).collect();
+        for (i, cell) in cells.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+        body.push(cells);
+    }
+
+    let mut out = String::new();
+    let sep = separator(&widths);
+    out.push_str(&sep);
+    out.push_str(&format_row(&headers, &widths));
+    out.push_str(&sep);
+    for cells in &body {
+        out.push_str(&format_row(cells, &widths));
+    }
+    out.push_str(&sep);
+    if table.num_rows() > shown {
+        out.push_str(&format!("… {} more rows\n", table.num_rows() - shown));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    let count = s.chars().count();
+    if count <= max {
+        s.to_string()
+    } else {
+        let prefix: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{prefix}…")
+    }
+}
+
+fn separator(widths: &[usize]) -> String {
+    let mut out = String::from("+");
+    for w in widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('+');
+    }
+    out.push('\n');
+    out
+}
+
+fn format_row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::from("|");
+    for (cell, w) in cells.iter().zip(widths) {
+        let pad = w - cell.chars().count();
+        out.push(' ');
+        out.push_str(cell);
+        out.push_str(&" ".repeat(pad + 1));
+        out.push('|');
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let t = TableBuilder::new("t", ["City", "Country"])
+            .row(["Berlin", "Germany"])
+            .row(["Boston", ""])
+            .build()
+            .unwrap();
+        let text = render(&t);
+        assert!(text.contains("City"));
+        assert!(text.contains("Berlin"));
+        assert!(text.contains("⊥"), "nulls should render as ⊥:\n{text}");
+        // grid has 5 lines: sep, header, sep, 2 rows, sep => 6 lines + final newline
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn truncates_rows_and_cells() {
+        let t = TableBuilder::new("t", ["c"])
+            .row(["a-very-long-cell-value-that-keeps-going-and-going"])
+            .row(["b"])
+            .row(["c"])
+            .build()
+            .unwrap();
+        let text = render_with_limit(&t, 10, 2);
+        assert!(text.contains("…"));
+        assert!(text.contains("1 more rows"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the table substrate: CSV round-trips, projection
+//! invariants and substitution behaviour on arbitrary generated tables.
+
+use lake_table::{csv, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Text cells that survive CSV round-trips without being re-typed: non-empty
+/// alphabetic-ish strings possibly containing the characters that exercise
+/// quoting (commas, quotes, spaces).
+fn text_cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z ,\"']{0,14}[A-Za-z]")
+        .expect("valid regex")
+        .prop_filter("must re-parse as text (not a null/bool marker)", |s| {
+            matches!(Value::parse(s), Value::Text(_))
+        })
+}
+
+fn cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => text_cell().prop_map(Value::Text),
+        2 => any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        1 => Just(Value::Null),
+        1 => any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (1usize..=4, 0usize..=6).prop_flat_map(|(cols, rows)| {
+        let names: Vec<String> = (0..cols).map(|c| format!("col{c}")).collect();
+        prop::collection::vec(prop::collection::vec(cell(), cols), rows).prop_map(move |data| {
+            let schema = Schema::from_names(names.clone()).expect("unique names");
+            let mut table = Table::new("generated", schema);
+            for row in data {
+                table.push_row(row).expect("arity matches");
+            }
+            table.infer_column_types();
+            table
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Writing a table to CSV and parsing it back preserves shape and cells.
+    #[test]
+    fn csv_round_trip_preserves_cells(table in table_strategy()) {
+        let text = csv::to_csv(&table);
+        let parsed = csv::parse_csv("generated", &text).expect("re-parse generated CSV");
+        prop_assert_eq!(parsed.num_rows(), table.num_rows());
+        prop_assert_eq!(parsed.num_columns(), table.num_columns());
+        for (r, row) in table.rows().iter().enumerate() {
+            for (c, original) in row.iter().enumerate() {
+                let reparsed = parsed.cell(r, c).expect("cell exists");
+                match original {
+                    // Booleans re-parse as booleans, text as identical text.
+                    Value::Text(s) => prop_assert_eq!(reparsed.as_text(), Some(s.as_str())),
+                    Value::Int(i) => prop_assert_eq!(reparsed.as_int(), Some(*i)),
+                    Value::Bool(b) => prop_assert_eq!(reparsed.as_bool(), Some(*b)),
+                    Value::Null => prop_assert!(reparsed.is_null()),
+                    Value::Float(_) => unreachable!("strategy does not generate floats"),
+                }
+            }
+        }
+    }
+
+    /// Projection keeps row count and column order.
+    #[test]
+    fn projection_preserves_rows_and_order(table in table_strategy()) {
+        prop_assume!(table.num_columns() >= 2);
+        let last = table.num_columns() - 1;
+        let projected = table.project(&[last, 0]).expect("valid projection");
+        prop_assert_eq!(projected.num_rows(), table.num_rows());
+        prop_assert_eq!(projected.num_columns(), 2);
+        for (r, row) in table.rows().iter().enumerate() {
+            prop_assert_eq!(projected.cell(r, 0), Some(&row[last]));
+            prop_assert_eq!(projected.cell(r, 1), Some(&row[0]));
+        }
+    }
+
+    /// Substituting with an empty mapping never changes anything; substituting
+    /// a value for itself reports zero replacements.
+    #[test]
+    fn substitution_identities(table in table_strategy()) {
+        let mut copy = table.clone();
+        let empty = std::collections::HashMap::new();
+        let replaced = copy.substitute_column(0, &empty).expect("column 0 exists");
+        prop_assert_eq!(replaced, 0);
+        prop_assert_eq!(&copy, &table);
+
+        let identity: std::collections::HashMap<Value, Value> = table
+            .distinct_values(0)
+            .expect("column 0 exists")
+            .into_iter()
+            .map(|v| (v.clone(), v))
+            .collect();
+        let replaced = copy.substitute_column(0, &identity).expect("column 0 exists");
+        prop_assert_eq!(replaced, 0);
+        prop_assert_eq!(&copy, &table);
+    }
+}

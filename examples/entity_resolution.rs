@@ -1,0 +1,73 @@
+//! Entity resolution over integrated tables — the downstream task of §3.2.
+//!
+//! Person records are scattered over three sources (`contacts`, `employment`,
+//! `census`) whose join attribute is written inconsistently (nicknames,
+//! typos, reordered tokens).  The example integrates the sources with regular
+//! FD and with Fuzzy FD, runs the same entity matcher over both integrated
+//! tables, and compares pairwise precision / recall / F1 against the gold
+//! entity labels — demonstrating that better integration directly improves
+//! the downstream task.
+//!
+//! Run with `cargo run --release --example entity_resolution`.
+
+use datalake_fuzzy_fd::benchdata::{generate_em_benchmark, EmBenchmarkConfig};
+use datalake_fuzzy_fd::core::{regular_full_disjunction, FuzzyFdConfig, FuzzyFullDisjunction};
+use datalake_fuzzy_fd::em::{match_entities, EmOptions};
+use datalake_fuzzy_fd::schema_match::align_by_headers;
+
+fn main() {
+    let config = EmBenchmarkConfig::default();
+    let benchmark = generate_em_benchmark(config);
+    println!(
+        "Generated {} entities ({} of them confusable twins) across {} source tables; {} gold pairs.",
+        benchmark.num_entities,
+        benchmark.num_entities - config.num_entities,
+        benchmark.tables.len(),
+        benchmark.gold.len()
+    );
+    for table in &benchmark.tables {
+        println!("  {:<11} {:>4} rows", table.name(), table.num_rows());
+    }
+
+    let alignment = align_by_headers(&benchmark.tables);
+    let em_options = EmOptions::default();
+
+    // Integrate with the equi-join baseline and run entity matching.
+    let regular = regular_full_disjunction(&benchmark.tables, &alignment);
+    let regular_result = match_entities(&regular, em_options);
+    let regular_scores = regular_result.evaluate(&regular, &benchmark.gold);
+
+    // Integrate with Fuzzy FD and run the same matcher.
+    let fuzzy = FuzzyFullDisjunction::new(FuzzyFdConfig::default())
+        .integrate(&benchmark.tables, &alignment)
+        .expect("fuzzy FD");
+    let fuzzy_result = match_entities(&fuzzy.table, em_options);
+    let fuzzy_scores = fuzzy_result.evaluate(&fuzzy.table, &benchmark.gold);
+
+    println!("\n== Entity matching over the integrated tables ==");
+    println!(
+        "  {:<20} {:>10} {:>8} {:>8} {:>8}",
+        "integration", "tuples", "P", "R", "F1"
+    );
+    println!(
+        "  {:<20} {:>10} {:>7.0}% {:>7.0}% {:>7.0}%",
+        "Regular FD (ALITE)",
+        regular.len(),
+        regular_scores.precision * 100.0,
+        regular_scores.recall * 100.0,
+        regular_scores.f1 * 100.0
+    );
+    println!(
+        "  {:<20} {:>10} {:>7.0}% {:>7.0}% {:>7.0}%",
+        "Fuzzy FD",
+        fuzzy.table.len(),
+        fuzzy_scores.precision * 100.0,
+        fuzzy_scores.recall * 100.0,
+        fuzzy_scores.f1 * 100.0
+    );
+    println!(
+        "\nFuzzy FD merged {} value groups and rewrote {} join cells before integration;",
+        fuzzy.report.matched_groups, fuzzy.report.rewritten_cells
+    );
+    println!("the paper reports P/R/F1 = 86/85/85 for Fuzzy FD vs 79/83/81 for regular FD.");
+}

@@ -1,0 +1,54 @@
+//! # datalake-fuzzy-fd
+//!
+//! Umbrella crate for the **Fuzzy Full Disjunction** system — a from-scratch
+//! Rust reproduction of *Fuzzy Integration of Data Lake Tables* (Khatiwada,
+//! Shraga, Miller).  It re-exports every workspace crate under one roof so
+//! applications can depend on a single crate:
+//!
+//! * [`core`](fuzzy_fd_core) — the Fuzzy Full Disjunction operator itself;
+//! * [`table`](lake_table) — the in-memory table model and CSV I/O;
+//! * [`text`](lake_text) — string normalisation and similarity;
+//! * [`embed`](lake_embed) — cell-value embedders (hashing n-gram + simulated
+//!   pre-trained-LM tiers);
+//! * [`assign`](lake_assign) — linear sum assignment solvers;
+//! * [`schema_match`](lake_schema_match) — holistic column alignment;
+//! * [`fd`](lake_fd) — Full Disjunction algorithms;
+//! * [`em`](lake_em) — downstream entity matching;
+//! * [`benchdata`](lake_benchdata) — benchmark generators;
+//! * [`metrics`](lake_metrics) — evaluation metrics and reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use datalake_fuzzy_fd::core::{FuzzyFdConfig, FuzzyFullDisjunction};
+//! use datalake_fuzzy_fd::table::TableBuilder;
+//!
+//! let cases = TableBuilder::new("cases", ["City", "Total Cases"])
+//!     .row(["Berlin", "1.4M"])
+//!     .row(["barcelona", "2.68M"])
+//!     .build()
+//!     .unwrap();
+//! let rates = TableBuilder::new("rates", ["City", "Vaccination Rate"])
+//!     .row(["Berlinn", "63%"])
+//!     .row(["Barcelona", "82%"])
+//!     .build()
+//!     .unwrap();
+//!
+//! let fuzzy = FuzzyFullDisjunction::new(FuzzyFdConfig::default());
+//! let outcome = fuzzy.integrate_by_headers(&[cases, rates]).unwrap();
+//! assert_eq!(outcome.table.len(), 2); // Berlin and Barcelona, fully merged
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the experiment harness that regenerates the paper's tables and figures.
+
+pub use fuzzy_fd_core as core;
+pub use lake_assign as assign;
+pub use lake_benchdata as benchdata;
+pub use lake_em as em;
+pub use lake_embed as embed;
+pub use lake_fd as fd;
+pub use lake_metrics as metrics;
+pub use lake_schema_match as schema_match;
+pub use lake_table as table;
+pub use lake_text as text;

@@ -1,0 +1,125 @@
+//! Integration test reproducing the paper's Figure 1 end to end:
+//! the equi-join Full Disjunction produces the nine fragments f1..f9, the
+//! fuzzy Full Disjunction produces the five merged tuples f10..f14.
+
+use datalake_fuzzy_fd::core::{regular_full_disjunction, FuzzyFdConfig, FuzzyFullDisjunction};
+use datalake_fuzzy_fd::schema_match::align_by_headers;
+use datalake_fuzzy_fd::table::{Table, TableBuilder, TupleId, Value};
+
+fn figure1_tables() -> Vec<Table> {
+    vec![
+        TableBuilder::new("T1", ["City", "Country"])
+            .row(["Berlinn", "Germany"])
+            .row(["Toronto", "Canada"])
+            .row(["Barcelona", "Spain"])
+            .row(["New Delhi", "India"])
+            .build()
+            .unwrap(),
+        TableBuilder::new("T2", ["Country", "City", "Vac. Rate (1+ dose)"])
+            .row(["CA", "Toronto", "83%"])
+            .row(["US", "Boston", "62%"])
+            .row(["DE", "Berlin", "63%"])
+            .row(["ES", "Barcelona", "82%"])
+            .build()
+            .unwrap(),
+        TableBuilder::new("T3", ["City", "Total Cases", "Death Rate (per 100k)"])
+            .row(["Berlin", "1.4M", "147"])
+            .row(["barcelona", "2.68M", "275"])
+            .row(["Boston", "263K", "335"])
+            .build()
+            .unwrap(),
+    ]
+}
+
+#[test]
+fn equi_join_fd_leaves_nine_fragments() {
+    let tables = figure1_tables();
+    let alignment = align_by_headers(&tables);
+    let fd = regular_full_disjunction(&tables, &alignment);
+    assert_eq!(fd.len(), 9);
+
+    // f6 = {t6, t11} (Boston) and f7 = {t7, t9} (Berlin) are the only merges.
+    let merged: Vec<_> = fd.tuples().iter().filter(|t| t.provenance().len() > 1).collect();
+    assert_eq!(merged.len(), 2);
+    assert!(merged.iter().any(|t| t.values().contains(&Value::text("Boston"))));
+    assert!(merged.iter().any(|t| t.values().contains(&Value::text("Berlin"))));
+}
+
+#[test]
+fn fuzzy_fd_produces_the_five_tuples_of_figure1() {
+    let tables = figure1_tables();
+    let alignment = align_by_headers(&tables);
+    let outcome = FuzzyFullDisjunction::new(FuzzyFdConfig::default())
+        .integrate(&tables, &alignment)
+        .expect("fuzzy FD");
+    let fd = &outcome.table;
+    assert_eq!(fd.len(), 5, "{:#?}", fd.tuples());
+
+    // f10 = {t1, t7, t9}: Berlin with Germany, 63%, 1.4M, 147.
+    let berlin = fd
+        .tuples()
+        .iter()
+        .find(|t| t.provenance().contains(&TupleId::new("T1", 0)))
+        .expect("tuple containing t1 (Berlinn)");
+    assert_eq!(berlin.provenance().len(), 3);
+    assert!(berlin.provenance().contains(&TupleId::new("T2", 2)));
+    assert!(berlin.provenance().contains(&TupleId::new("T3", 0)));
+    assert!(berlin.values().contains(&Value::text("Berlin")));
+    assert!(berlin.values().contains(&Value::text("1.4M")));
+
+    // f11 = {t2, t5}: Toronto, Canada, 83%.
+    let toronto = fd
+        .tuples()
+        .iter()
+        .find(|t| t.values().contains(&Value::text("Toronto")))
+        .expect("Toronto tuple");
+    assert_eq!(toronto.provenance().len(), 2);
+    assert!(toronto.values().contains(&Value::text("83%")));
+
+    // f12 = {t3, t8, t10}: Barcelona with 82%, 2.68M, 275.
+    let barcelona = fd
+        .tuples()
+        .iter()
+        .find(|t| t.provenance().contains(&TupleId::new("T3", 1)))
+        .expect("tuple containing t10 (barcelona)");
+    assert_eq!(barcelona.provenance().len(), 3);
+    assert!(barcelona.values().contains(&Value::text("82%")));
+    assert!(barcelona.values().contains(&Value::text("2.68M")));
+
+    // f13 = {t4}: New Delhi stays alone.
+    let delhi = fd
+        .tuples()
+        .iter()
+        .find(|t| t.values().contains(&Value::text("New Delhi")))
+        .expect("New Delhi tuple");
+    assert_eq!(delhi.provenance().len(), 1);
+
+    // f14 = {t6, t11}: Boston.
+    let boston = fd
+        .tuples()
+        .iter()
+        .find(|t| t.values().contains(&Value::text("Boston")))
+        .expect("Boston tuple");
+    assert_eq!(boston.provenance().len(), 2);
+}
+
+#[test]
+fn every_base_tuple_is_represented_in_both_results() {
+    let tables = figure1_tables();
+    let alignment = align_by_headers(&tables);
+
+    let total_base: usize = tables.iter().map(|t| t.num_rows()).sum();
+    let regular = regular_full_disjunction(&tables, &alignment);
+    let fuzzy = FuzzyFullDisjunction::new(FuzzyFdConfig::default())
+        .integrate(&tables, &alignment)
+        .expect("fuzzy FD");
+
+    for result in [&regular, &fuzzy.table] {
+        let covered: std::collections::BTreeSet<TupleId> = result
+            .tuples()
+            .iter()
+            .flat_map(|t| t.provenance().iter().cloned())
+            .collect();
+        assert_eq!(covered.len(), total_base, "all 11 base tuples must appear in some output tuple");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the Fuzzy Value Match component (Definition 2):
+//! the produced groups must be a *disjoint partition* of the distinct input
+//! values, contain at most one value per column, and pick a representative
+//! from among their members.
+
+use datalake_fuzzy_fd::core::{match_column_values, FuzzyFdConfig};
+use datalake_fuzzy_fd::embed::EmbeddingModel;
+use datalake_fuzzy_fd::table::Value;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: 2–3 columns of short lowercase strings (with occasional shared
+/// values across columns and occasional near-duplicates).
+fn columns_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let word = prop::sample::select(vec![
+        "berlin", "berlinn", "toronto", "boston", "barcelona", "canada", "ca", "germany", "de",
+        "spain", "es", "delhi", "austin", "dallas", "miami", "lagos", "quito", "lima",
+    ]);
+    let column = prop::collection::hash_set(word, 0..8)
+        .prop_map(|set| set.into_iter().map(String::from).collect::<Vec<String>>());
+    prop::collection::vec(column, 2..=3)
+}
+
+fn run_matcher(columns: &[Vec<String>], theta: f32) -> Vec<datalake_fuzzy_fd::core::ValueGroup> {
+    let value_columns: Vec<Vec<Value>> = columns
+        .iter()
+        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
+        .collect();
+    let embedder = EmbeddingModel::Mistral.build();
+    let config = FuzzyFdConfig { theta, ..FuzzyFdConfig::default() };
+    match_column_values(&value_columns, embedder.as_ref(), config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every distinct (column, value) occurrence appears in exactly one group.
+    #[test]
+    fn groups_partition_the_input(columns in columns_strategy(), theta in 0.0f32..0.95) {
+        let groups = run_matcher(&columns, theta);
+
+        let mut seen: HashSet<(usize, String)> = HashSet::new();
+        for group in &groups {
+            for (position, value) in &group.members {
+                let key = (*position, value.render().to_string());
+                prop_assert!(seen.insert(key.clone()), "duplicate membership for {key:?}");
+            }
+        }
+        let expected: HashSet<(usize, String)> = columns
+            .iter()
+            .enumerate()
+            .flat_map(|(i, col)| col.iter().map(move |v| (i, v.clone())))
+            .collect();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// Clean-clean constraint: a group never contains two values from the
+    /// same column, and its representative is one of its members.
+    #[test]
+    fn groups_respect_columns_and_representatives(columns in columns_strategy(), theta in 0.0f32..0.95) {
+        let groups = run_matcher(&columns, theta);
+        for group in &groups {
+            let positions: Vec<usize> = group.members.iter().map(|(p, _)| *p).collect();
+            let mut unique = positions.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(positions.len(), unique.len(), "two values from one column in a group");
+            prop_assert!(
+                group.members.iter().any(|(_, v)| v == &group.representative),
+                "representative {:?} is not a member",
+                group.representative
+            );
+        }
+    }
+
+    /// With θ = 0 fuzzy matching is disabled and the groups are exactly the
+    /// distinct value strings (grouped across columns by string equality).
+    #[test]
+    fn zero_threshold_reduces_to_exact_grouping(columns in columns_strategy()) {
+        let groups = run_matcher(&columns, 0.0);
+        let distinct: HashSet<&String> = columns.iter().flatten().collect();
+        prop_assert_eq!(groups.len(), distinct.len());
+        for group in &groups {
+            for (_, value) in &group.members {
+                prop_assert_eq!(value, &group.representative, "θ=0 group mixes distinct strings");
+            }
+        }
+    }
+}
