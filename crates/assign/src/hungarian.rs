@@ -95,9 +95,9 @@ pub fn hungarian(matrix: &CostMatrix) -> Assignment {
     }
 
     let mut pairs = Vec::with_capacity(n);
-    for j in 1..=w {
-        if p[j] != 0 {
-            let row = p[j] - 1;
+    for (j, &assigned_row) in p.iter().enumerate().skip(1) {
+        if assigned_row != 0 {
+            let row = assigned_row - 1;
             let col = j - 1;
             // Drop pairs that only exist because of the forbidden-pair penalty.
             if m.get(row, col).is_finite() {
@@ -120,11 +120,7 @@ mod tests {
 
     #[test]
     fn matches_known_optimum() {
-        let m = cost(vec![
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ]);
+        let m = cost(vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]]);
         let a = hungarian(&m);
         assert_eq!(a.len(), 3);
         assert!((a.total_cost - 5.0).abs() < 1e-9);

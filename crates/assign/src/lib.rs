@@ -73,12 +73,8 @@ impl Assignment {
     /// distance is at or above θ are discarded and their values left
     /// unmatched.
     pub fn threshold(&self, matrix: &CostMatrix, threshold: f64) -> Assignment {
-        let pairs: Vec<(usize, usize)> = self
-            .pairs
-            .iter()
-            .copied()
-            .filter(|&(r, c)| matrix.get(r, c) < threshold)
-            .collect();
+        let pairs: Vec<(usize, usize)> =
+            self.pairs.iter().copied().filter(|&(r, c)| matrix.get(r, c) < threshold).collect();
         Assignment::from_pairs(matrix, pairs)
     }
 

@@ -129,10 +129,7 @@ mod tests {
             CostMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
             Err(CostMatrixError::Ragged)
         );
-        assert_eq!(
-            CostMatrix::from_rows(vec![vec![f64::NAN]]),
-            Err(CostMatrixError::NaNCost)
-        );
+        assert_eq!(CostMatrix::from_rows(vec![vec![f64::NAN]]), Err(CostMatrixError::NaNCost));
     }
 
     #[test]

@@ -134,11 +134,7 @@ mod tests {
     #[test]
     fn solves_square_case() {
         // Classic example: optimum is 5 (0->1, 1->0, 2->2).
-        let m = cost(vec![
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ]);
+        let m = cost(vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]]);
         let a = shortest_augmenting_path(&m);
         assert_eq!(a.len(), 3);
         assert!((a.total_cost - 5.0).abs() < 1e-9, "got {}", a.total_cost);
@@ -154,11 +150,7 @@ mod tests {
 
     #[test]
     fn solves_rectangular_tall() {
-        let m = cost(vec![
-            vec![10.0, 1.0],
-            vec![2.0, 10.0],
-            vec![0.5, 0.6],
-        ]);
+        let m = cost(vec![vec![10.0, 1.0], vec![2.0, 10.0], vec![0.5, 0.6]]);
         let a = shortest_augmenting_path(&m);
         // Only two columns exist, so exactly two rows are matched.
         assert_eq!(a.len(), 2);

@@ -16,12 +16,20 @@ fn bench_fd_algorithms(c: &mut Criterion) {
 
     group.bench_with_input(BenchmarkId::from_parameter("partitioned"), &tables, |b, tables| {
         b.iter(|| {
-            full_disjunction_with(&schema, tables, FdOptions { partition: true, sort_output: false })
+            full_disjunction_with(
+                &schema,
+                tables,
+                FdOptions { partition: true, sort_output: false },
+            )
         })
     });
     group.bench_with_input(BenchmarkId::from_parameter("unpartitioned"), &tables, |b, tables| {
         b.iter(|| {
-            full_disjunction_with(&schema, tables, FdOptions { partition: false, sort_output: false })
+            full_disjunction_with(
+                &schema,
+                tables,
+                FdOptions { partition: false, sort_output: false },
+            )
         })
     });
     group.bench_with_input(BenchmarkId::from_parameter("parallel_4"), &tables, |b, tables| {

@@ -8,7 +8,8 @@ use lake_embed::ALL_MODELS;
 use lake_table::Value;
 
 fn bench_value_matching(c: &mut Criterion) {
-    let config = AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
+    let config =
+        AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
     let set = generate_autojoin_benchmark(config).remove(0);
     let columns: Vec<Vec<Value>> = set
         .columns

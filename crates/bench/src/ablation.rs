@@ -6,7 +6,9 @@ use std::time::Instant;
 
 use fuzzy_fd_core::FuzzyFdConfig;
 use lake_assign::AssignmentAlgorithm;
-use lake_benchdata::{generate_autojoin_benchmark, generate_imdb_benchmark, AutoJoinConfig, ImdbConfig};
+use lake_benchdata::{
+    generate_autojoin_benchmark, generate_imdb_benchmark, AutoJoinConfig, ImdbConfig,
+};
 use lake_embed::EmbeddingModel;
 use lake_fd::alite::full_disjunction_with;
 use lake_fd::{parallel_full_disjunction, FdOptions, IntegrationSchema};
@@ -35,10 +37,8 @@ pub fn threshold_sweep(config: AutoJoinConfig, thetas: &[f32]) -> Vec<ThresholdP
     thetas
         .iter()
         .map(|&theta| {
-            let scores: Vec<PrecisionRecall> = sets
-                .iter()
-                .map(|set| evaluate_set(set, EmbeddingModel::Mistral, theta))
-                .collect();
+            let scores: Vec<PrecisionRecall> =
+                sets.iter().map(|set| evaluate_set(set, EmbeddingModel::Mistral, theta)).collect();
             let avg = PrecisionRecall::macro_average(&scores).expect("non-empty benchmark");
             ThresholdPoint { theta, precision: avg.precision, recall: avg.recall, f1: avg.f1 }
         })
@@ -178,7 +178,8 @@ mod tests {
     fn fd_ablation_configurations_agree_on_output() {
         let rows = fd_ablation(400, 5, 2);
         assert_eq!(rows.len(), 3);
-        let outputs: std::collections::HashSet<usize> = rows.iter().map(|r| r.output_tuples).collect();
+        let outputs: std::collections::HashSet<usize> =
+            rows.iter().map(|r| r.output_tuples).collect();
         assert_eq!(outputs.len(), 1, "all configurations must produce the same FD: {rows:#?}");
     }
 }

@@ -15,13 +15,17 @@ struct AllAblations {
 }
 
 fn main() {
-    let autojoin = AutoJoinConfig { num_sets: 17, values_per_column: 120, ..AutoJoinConfig::default() };
+    let autojoin =
+        AutoJoinConfig { num_sets: 17, values_per_column: 120, ..AutoJoinConfig::default() };
     eprintln!("Assignment-solver ablation on {} integration sets…", autojoin.num_sets);
     let assignment = ablation::assignment_ablation(autojoin);
     let rows: Vec<ReportRow> = assignment
         .iter()
         .map(|r| {
-            ReportRow::new(r.solver.clone(), vec![format!("{:.3}", r.f1), format!("{:.2}s", r.seconds)])
+            ReportRow::new(
+                r.solver.clone(),
+                vec![format!("{:.3}", r.f1), format!("{:.2}s", r.seconds)],
+            )
         })
         .collect();
     println!(

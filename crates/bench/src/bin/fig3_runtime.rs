@@ -8,10 +8,8 @@ use lake_bench::{fig3, write_results_json};
 use lake_metrics::{format_table, ReportRow};
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let sizes: Vec<usize> =
-        if args.is_empty() { fig3::PAPER_SIZES.to_vec() } else { args };
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let sizes: Vec<usize> = if args.is_empty() { fig3::PAPER_SIZES.to_vec() } else { args };
 
     eprintln!("Running Figure 3 sweep over sizes {sizes:?} (use --release for meaningful times)");
     let points = fig3::run(&sizes, 0x1_4DB);

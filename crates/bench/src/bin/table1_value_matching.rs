@@ -39,7 +39,9 @@ fn main() {
             &report
         )
     );
-    println!("(paper reports: FastText 0.70/0.67/0.66, BERT 0.72/0.76/0.73, RoBERTa 0.73/0.77/0.74,");
+    println!(
+        "(paper reports: FastText 0.70/0.67/0.66, BERT 0.72/0.76/0.73, RoBERTa 0.73/0.77/0.74,"
+    );
     println!(" Llama3 0.81/0.85/0.81, Mistral 0.81/0.86/0.82)");
 
     match write_results_json("table1_value_matching", &rows) {

@@ -28,8 +28,7 @@ pub fn write_results_json<T: serde::Serialize>(name: &str, value: &T) -> std::io
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
     std::fs::write(&path, json)?;
     Ok(path)
 }

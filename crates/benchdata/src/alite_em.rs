@@ -72,7 +72,8 @@ fn make_entity(i: usize, rng: &mut StdRng) -> Entity {
     let cities = words::cities();
     let nouns = words::nouns();
     let suffixes = words::company_suffixes();
-    let countries = ["Canada", "United States", "Germany", "Spain", "France", "India", "Brazil", "Japan"];
+    let countries =
+        ["Canada", "United States", "Germany", "Spain", "France", "India", "Brazil", "Japan"];
     let titles = ["Engineer", "Analyst", "Manager", "Director", "Consultant", "Researcher"];
     Entity {
         name: format!(
@@ -114,7 +115,7 @@ fn make_twin(of: &Entity, i: usize, rng: &mut StdRng) -> Entity {
 /// resolvable with semantic (knowledge-base) embeddings.
 fn inconsistent_name(name: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
     match rng.gen_range(0..6) {
-        0 | 1 | 2 => {
+        0..=2 => {
             // Nickname of the first name, when known (Robert Smith -> Bob Smith).
             let mut parts = name.splitn(2, ' ');
             let first = parts.next().unwrap_or(name);
@@ -138,7 +139,8 @@ pub fn generate_em_benchmark(config: EmBenchmarkConfig) -> EmBenchmark {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Build the entity population: base entities plus confusable twins.
-    let mut entities: Vec<Entity> = (0..config.num_entities).map(|i| make_entity(i, &mut rng)).collect();
+    let mut entities: Vec<Entity> =
+        (0..config.num_entities).map(|i| make_entity(i, &mut rng)).collect();
     let twins = (config.num_entities as f64 * config.confusable_fraction).round() as usize;
     for i in 0..twins {
         let twin = make_twin(&entities[i], i, &mut rng);
@@ -159,7 +161,8 @@ pub fn generate_em_benchmark(config: EmBenchmarkConfig) -> EmBenchmark {
 
         // contacts: canonical rendering; (almost) every entity present.
         if !is_twin || rng.gen_bool(0.8) {
-            contacts = contacts.row([entity.name.clone(), entity.city.clone(), entity.country.clone()]);
+            contacts =
+                contacts.row([entity.name.clone(), entity.city.clone(), entity.country.clone()]);
             memberships[idx].push(TupleId::new("contacts", row_counts[0]));
             row_counts[0] += 1;
         }
@@ -252,12 +255,8 @@ mod tests {
         let bench = generate_em_benchmark(small());
         let contacts = &bench.tables[0];
         let employment = &bench.tables[1];
-        let contact_names: std::collections::HashSet<String> = contacts
-            .column_values(0)
-            .unwrap()
-            .iter()
-            .map(|v| v.render().to_string())
-            .collect();
+        let contact_names: std::collections::HashSet<String> =
+            contacts.column_values(0).unwrap().iter().map(|v| v.render().to_string()).collect();
         let divergent = employment
             .column_values(0)
             .unwrap()
@@ -281,7 +280,8 @@ mod tests {
 
     #[test]
     fn confusable_twins_share_similar_names() {
-        let config = EmBenchmarkConfig { num_entities: 40, confusable_fraction: 0.5, ..Default::default() };
+        let config =
+            EmBenchmarkConfig { num_entities: 40, confusable_fraction: 0.5, ..Default::default() };
         let bench = generate_em_benchmark(config);
         assert_eq!(bench.num_entities, 60);
         // There must exist near-duplicate names across different entities in

@@ -74,7 +74,8 @@ impl ValueMatchingSet {
             .iter()
             .enumerate()
             .map(|(i, values)| {
-                let mut builder = TableBuilder::new(format!("S{i}"), [format!("{}", self.topic.name())]);
+                let mut builder =
+                    TableBuilder::new(format!("S{i}"), [self.topic.name().to_string()]);
                 for v in values {
                     builder = builder.row([v.as_str()]);
                 }
@@ -157,7 +158,8 @@ fn generate_set(set_idx: usize, config: AutoJoinConfig, kb: &KnowledgeBase) -> V
     // Draw a fresh slice of the topic's entity space for every set so the 31
     // sets are not copies of each other.
     let offset = (set_idx / ALL_TOPICS.len()) * config.values_per_column;
-    let pool = topic_values(topic, offset + config.values_per_column + config.values_per_column / 4);
+    let pool =
+        topic_values(topic, offset + config.values_per_column + config.values_per_column / 4);
     let entities: Vec<&String> = pool[offset..].iter().collect();
 
     let num_columns = 2 + (set_idx % 2); // alternate between 2 and 3 aligned columns
@@ -188,11 +190,7 @@ fn generate_set(set_idx: usize, config: AutoJoinConfig, kb: &KnowledgeBase) -> V
             // Clean-clean guarantee: values inside a column are distinct; on a
             // collision fall back to the (distinct) base value, and as a last
             // resort skip the entity for this column.
-            let value = if per_column_seen[col].contains(&value) {
-                (*base).clone()
-            } else {
-                value
-            };
+            let value = if per_column_seen[col].contains(&value) { (*base).clone() } else { value };
             if per_column_seen[col].contains(&value) {
                 continue;
             }
@@ -214,12 +212,7 @@ fn generate_set(set_idx: usize, config: AutoJoinConfig, kb: &KnowledgeBase) -> V
         }
     }
 
-    ValueMatchingSet {
-        id: format!("set{:02}_{}", set_idx, topic.name()),
-        topic,
-        columns,
-        gold,
-    }
+    ValueMatchingSet { id: format!("set{:02}_{}", set_idx, topic.name()), topic, columns, gold }
 }
 
 #[cfg(test)]
@@ -232,7 +225,11 @@ mod tests {
 
     #[test]
     fn generates_requested_number_of_sets() {
-        let sets = generate_autojoin_benchmark(AutoJoinConfig { num_sets: 31, values_per_column: 20, ..AutoJoinConfig::default() });
+        let sets = generate_autojoin_benchmark(AutoJoinConfig {
+            num_sets: 31,
+            values_per_column: 20,
+            ..AutoJoinConfig::default()
+        });
         assert_eq!(sets.len(), 31);
         // 31 sets over 17 topics: every topic appears at least once.
         let topics: std::collections::HashSet<&str> = sets.iter().map(|s| s.topic.name()).collect();
@@ -296,10 +293,7 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(
-            fuzzy as f64 / total as f64 > 0.3,
-            "only {fuzzy}/{total} gold pairs are fuzzy"
-        );
+        assert!(fuzzy as f64 / total as f64 > 0.3, "only {fuzzy}/{total} gold pairs are fuzzy");
     }
 
     #[test]

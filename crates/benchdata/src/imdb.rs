@@ -64,12 +64,8 @@ pub fn generate_imdb_benchmark(config: ImdbConfig) -> Vec<Table> {
     // title_basics: one row per title.
     let mut basics = TableBuilder::new("title_basics", ["tconst", "primaryTitle", "releaseDate"]);
     for i in 0..titles {
-        let date = format!(
-            "{:04}-{:02}-{:02}",
-            1930 + (i * 13) % 95,
-            1 + (i * 7) % 12,
-            1 + (i * 11) % 28
-        );
+        let date =
+            format!("{:04}-{:02}-{:02}", 1930 + (i * 13) % 95, 1 + (i * 7) % 12, 1 + (i * 11) % 28);
         basics = basics.row([tconst(i), title_of(i), date]);
     }
 

@@ -94,97 +94,449 @@ impl Topic {
 }
 
 const CITIES: &[&str] = &[
-    "Berlin", "Toronto", "Barcelona", "New Delhi", "Boston", "Chicago", "Houston", "Seattle",
-    "Denver", "Atlanta", "Miami", "Portland", "Austin", "Dallas", "Phoenix", "Detroit",
-    "Vancouver", "Montreal", "Ottawa", "Calgary", "London", "Manchester", "Liverpool", "Glasgow",
-    "Paris", "Lyon", "Marseille", "Madrid", "Valencia", "Seville", "Rome", "Milan", "Naples",
-    "Munich", "Hamburg", "Frankfurt", "Cologne", "Vienna", "Zurich", "Geneva", "Amsterdam",
-    "Rotterdam", "Brussels", "Copenhagen", "Stockholm", "Oslo", "Helsinki", "Warsaw", "Prague",
-    "Budapest", "Lisbon", "Porto", "Athens", "Dublin", "Edinburgh", "Tokyo", "Osaka", "Kyoto",
-    "Seoul", "Busan", "Shanghai", "Bangkok", "Singapore", "Jakarta", "Manila", "Mumbai",
-    "Chennai", "Kolkata", "Bangalore", "Hyderabad", "Karachi", "Lahore", "Dhaka", "Cairo",
-    "Lagos", "Nairobi", "Accra", "Casablanca", "Johannesburg", "Cape Town", "Sydney",
-    "Melbourne", "Brisbane", "Perth", "Auckland", "Wellington", "Mexico City", "Guadalajara",
-    "Bogota", "Lima", "Santiago", "Buenos Aires", "Montevideo", "Sao Paulo", "Rio de Janeiro",
-    "Brasilia", "Caracas", "Havana", "San Juan", "Quito",
+    "Berlin",
+    "Toronto",
+    "Barcelona",
+    "New Delhi",
+    "Boston",
+    "Chicago",
+    "Houston",
+    "Seattle",
+    "Denver",
+    "Atlanta",
+    "Miami",
+    "Portland",
+    "Austin",
+    "Dallas",
+    "Phoenix",
+    "Detroit",
+    "Vancouver",
+    "Montreal",
+    "Ottawa",
+    "Calgary",
+    "London",
+    "Manchester",
+    "Liverpool",
+    "Glasgow",
+    "Paris",
+    "Lyon",
+    "Marseille",
+    "Madrid",
+    "Valencia",
+    "Seville",
+    "Rome",
+    "Milan",
+    "Naples",
+    "Munich",
+    "Hamburg",
+    "Frankfurt",
+    "Cologne",
+    "Vienna",
+    "Zurich",
+    "Geneva",
+    "Amsterdam",
+    "Rotterdam",
+    "Brussels",
+    "Copenhagen",
+    "Stockholm",
+    "Oslo",
+    "Helsinki",
+    "Warsaw",
+    "Prague",
+    "Budapest",
+    "Lisbon",
+    "Porto",
+    "Athens",
+    "Dublin",
+    "Edinburgh",
+    "Tokyo",
+    "Osaka",
+    "Kyoto",
+    "Seoul",
+    "Busan",
+    "Shanghai",
+    "Bangkok",
+    "Singapore",
+    "Jakarta",
+    "Manila",
+    "Mumbai",
+    "Chennai",
+    "Kolkata",
+    "Bangalore",
+    "Hyderabad",
+    "Karachi",
+    "Lahore",
+    "Dhaka",
+    "Cairo",
+    "Lagos",
+    "Nairobi",
+    "Accra",
+    "Casablanca",
+    "Johannesburg",
+    "Cape Town",
+    "Sydney",
+    "Melbourne",
+    "Brisbane",
+    "Perth",
+    "Auckland",
+    "Wellington",
+    "Mexico City",
+    "Guadalajara",
+    "Bogota",
+    "Lima",
+    "Santiago",
+    "Buenos Aires",
+    "Montevideo",
+    "Sao Paulo",
+    "Rio de Janeiro",
+    "Brasilia",
+    "Caracas",
+    "Havana",
+    "San Juan",
+    "Quito",
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "Robert", "William", "Elizabeth", "Margaret", "Richard", "James", "John", "Michael",
-    "Katherine", "Thomas", "Christopher", "Jennifer", "Alexander", "Edward", "Charles",
-    "Patricia", "Daniel", "Anthony", "Joseph", "Samantha", "Benjamin", "Nicholas", "Jonathan",
-    "Matthew", "Andrew", "Steven", "Timothy", "Gregory", "Victoria", "Rebecca", "Susan",
-    "Deborah", "Barbara", "Frederick", "Lawrence", "Ronald", "Donald", "Kenneth", "Raymond",
-    "Stephanie", "Maria", "Sofia", "Lucas", "Olivia", "Emma", "Noah", "Liam", "Ava", "Mia",
+    "Robert",
+    "William",
+    "Elizabeth",
+    "Margaret",
+    "Richard",
+    "James",
+    "John",
+    "Michael",
+    "Katherine",
+    "Thomas",
+    "Christopher",
+    "Jennifer",
+    "Alexander",
+    "Edward",
+    "Charles",
+    "Patricia",
+    "Daniel",
+    "Anthony",
+    "Joseph",
+    "Samantha",
+    "Benjamin",
+    "Nicholas",
+    "Jonathan",
+    "Matthew",
+    "Andrew",
+    "Steven",
+    "Timothy",
+    "Gregory",
+    "Victoria",
+    "Rebecca",
+    "Susan",
+    "Deborah",
+    "Barbara",
+    "Frederick",
+    "Lawrence",
+    "Ronald",
+    "Donald",
+    "Kenneth",
+    "Raymond",
+    "Stephanie",
+    "Maria",
+    "Sofia",
+    "Lucas",
+    "Olivia",
+    "Emma",
+    "Noah",
+    "Liam",
+    "Ava",
+    "Mia",
     "Ethan",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "Silent", "Golden", "Broken", "Endless", "Midnight", "Electric", "Crimson", "Silver",
-    "Wandering", "Hidden", "Distant", "Burning", "Frozen", "Gentle", "Restless", "Shining",
-    "Lonely", "Velvet", "Wild", "Quiet", "Lost", "Rising", "Falling", "Secret", "Ancient",
-    "Neon", "Paper", "Glass", "Iron", "Emerald",
+    "Silent",
+    "Golden",
+    "Broken",
+    "Endless",
+    "Midnight",
+    "Electric",
+    "Crimson",
+    "Silver",
+    "Wandering",
+    "Hidden",
+    "Distant",
+    "Burning",
+    "Frozen",
+    "Gentle",
+    "Restless",
+    "Shining",
+    "Lonely",
+    "Velvet",
+    "Wild",
+    "Quiet",
+    "Lost",
+    "Rising",
+    "Falling",
+    "Secret",
+    "Ancient",
+    "Neon",
+    "Paper",
+    "Glass",
+    "Iron",
+    "Emerald",
 ];
 
 const NOUNS: &[&str] = &[
-    "River", "Mountain", "Sky", "Garden", "Ocean", "Highway", "Mirror", "Shadow", "Harbor",
-    "Forest", "Desert", "Island", "Bridge", "Tower", "Window", "Lantern", "Compass", "Anthem",
-    "Horizon", "Echo", "Ember", "Meadow", "Thunder", "Voyage", "Harvest", "Canyon", "Beacon",
-    "Orchard", "Clockwork", "Labyrinth",
+    "River",
+    "Mountain",
+    "Sky",
+    "Garden",
+    "Ocean",
+    "Highway",
+    "Mirror",
+    "Shadow",
+    "Harbor",
+    "Forest",
+    "Desert",
+    "Island",
+    "Bridge",
+    "Tower",
+    "Window",
+    "Lantern",
+    "Compass",
+    "Anthem",
+    "Horizon",
+    "Echo",
+    "Ember",
+    "Meadow",
+    "Thunder",
+    "Voyage",
+    "Harvest",
+    "Canyon",
+    "Beacon",
+    "Orchard",
+    "Clockwork",
+    "Labyrinth",
 ];
 
-const COMPANY_SUFFIXES: &[&str] =
-    &["Systems", "Industries", "Holdings", "Technologies", "Analytics", "Logistics", "Partners",
-      "Dynamics", "Networks", "Laboratories", "Solutions", "Energy", "Capital", "Foods", "Motors"];
+const COMPANY_SUFFIXES: &[&str] = &[
+    "Systems",
+    "Industries",
+    "Holdings",
+    "Technologies",
+    "Analytics",
+    "Logistics",
+    "Partners",
+    "Dynamics",
+    "Networks",
+    "Laboratories",
+    "Solutions",
+    "Energy",
+    "Capital",
+    "Foods",
+    "Motors",
+];
 
 const DISEASES: &[&str] = &[
-    "Influenza", "Measles", "Malaria", "Cholera", "Tuberculosis", "Hepatitis", "Diabetes",
-    "Asthma", "Pneumonia", "Bronchitis", "Arthritis", "Anemia", "Migraine", "Dermatitis",
-    "Gastritis", "Sinusitis", "Tonsillitis", "Meningitis", "Tetanus", "Typhoid", "Dengue",
-    "Rabies", "Mumps", "Rubella", "Pertussis", "Scarlet Fever", "Lyme Disease", "Psoriasis",
-    "Epilepsy", "Glaucoma",
+    "Influenza",
+    "Measles",
+    "Malaria",
+    "Cholera",
+    "Tuberculosis",
+    "Hepatitis",
+    "Diabetes",
+    "Asthma",
+    "Pneumonia",
+    "Bronchitis",
+    "Arthritis",
+    "Anemia",
+    "Migraine",
+    "Dermatitis",
+    "Gastritis",
+    "Sinusitis",
+    "Tonsillitis",
+    "Meningitis",
+    "Tetanus",
+    "Typhoid",
+    "Dengue",
+    "Rabies",
+    "Mumps",
+    "Rubella",
+    "Pertussis",
+    "Scarlet Fever",
+    "Lyme Disease",
+    "Psoriasis",
+    "Epilepsy",
+    "Glaucoma",
 ];
 
 const CHEM_PREFIXES: &[&str] = &[
-    "Sodium", "Potassium", "Calcium", "Magnesium", "Ammonium", "Ferric", "Ferrous", "Copper",
-    "Zinc", "Barium", "Lithium", "Aluminium", "Silver", "Lead", "Nickel", "Cobalt", "Manganese",
-    "Chromium", "Titanium", "Strontium",
+    "Sodium",
+    "Potassium",
+    "Calcium",
+    "Magnesium",
+    "Ammonium",
+    "Ferric",
+    "Ferrous",
+    "Copper",
+    "Zinc",
+    "Barium",
+    "Lithium",
+    "Aluminium",
+    "Silver",
+    "Lead",
+    "Nickel",
+    "Cobalt",
+    "Manganese",
+    "Chromium",
+    "Titanium",
+    "Strontium",
 ];
 
 const CHEM_SUFFIXES: &[&str] = &[
-    "Chloride", "Sulfate", "Nitrate", "Carbonate", "Phosphate", "Hydroxide", "Oxide", "Bromide",
-    "Iodide", "Acetate", "Citrate", "Fluoride", "Silicate", "Borate", "Chromate",
+    "Chloride",
+    "Sulfate",
+    "Nitrate",
+    "Carbonate",
+    "Phosphate",
+    "Hydroxide",
+    "Oxide",
+    "Bromide",
+    "Iodide",
+    "Acetate",
+    "Citrate",
+    "Fluoride",
+    "Silicate",
+    "Borate",
+    "Chromate",
 ];
 
 const LANGUAGES: &[&str] = &[
-    "Rust", "Python", "JavaScript", "TypeScript", "Java", "Kotlin", "Swift", "Objective-C",
-    "C", "C++", "C#", "Go", "Ruby", "PHP", "Perl", "Haskell", "OCaml", "Erlang", "Elixir",
-    "Scala", "Clojure", "Julia", "R", "MATLAB", "Fortran", "COBOL", "Ada", "Lua", "Dart",
-    "Groovy", "F#", "Prolog", "Scheme", "Racket", "Zig", "Nim", "Crystal", "Elm", "PureScript",
+    "Rust",
+    "Python",
+    "JavaScript",
+    "TypeScript",
+    "Java",
+    "Kotlin",
+    "Swift",
+    "Objective-C",
+    "C",
+    "C++",
+    "C#",
+    "Go",
+    "Ruby",
+    "PHP",
+    "Perl",
+    "Haskell",
+    "OCaml",
+    "Erlang",
+    "Elixir",
+    "Scala",
+    "Clojure",
+    "Julia",
+    "R",
+    "MATLAB",
+    "Fortran",
+    "COBOL",
+    "Ada",
+    "Lua",
+    "Dart",
+    "Groovy",
+    "F#",
+    "Prolog",
+    "Scheme",
+    "Racket",
+    "Zig",
+    "Nim",
+    "Crystal",
+    "Elm",
+    "PureScript",
     "Solidity",
 ];
 
 const NP_SUFFIXES: &[&str] =
     &["National Park", "State Park", "Nature Reserve", "Wildlife Refuge", "National Monument"];
 
-const PAPER_SUFFIXES: &[&str] =
-    &["Times", "Herald", "Tribune", "Gazette", "Chronicle", "Observer", "Courier", "Post",
-      "Journal", "Daily News"];
+const PAPER_SUFFIXES: &[&str] = &[
+    "Times",
+    "Herald",
+    "Tribune",
+    "Gazette",
+    "Chronicle",
+    "Observer",
+    "Courier",
+    "Post",
+    "Journal",
+    "Daily News",
+];
 
 const STREET_SUFFIXES: &[&str] = &["Street", "Avenue", "Boulevard", "Road", "Lane", "Drive"];
 
 const RESTAURANT_STYLES: &[&str] = &[
-    "Bistro", "Trattoria", "Grill", "Kitchen", "Cafe", "Diner", "Cantina", "Brasserie",
-    "Steakhouse", "Tavern", "Pizzeria", "Noodle House", "Bakery", "Chophouse", "Eatery",
+    "Bistro",
+    "Trattoria",
+    "Grill",
+    "Kitchen",
+    "Cafe",
+    "Diner",
+    "Cantina",
+    "Brasserie",
+    "Steakhouse",
+    "Tavern",
+    "Pizzeria",
+    "Noodle House",
+    "Bakery",
+    "Chophouse",
+    "Eatery",
 ];
 
 fn pick(list: &[&'static str], i: usize) -> &'static str {
@@ -231,8 +583,19 @@ pub fn topic_values(topic: Topic, n: usize) -> Vec<String> {
 /// Small Roman numeral helper for catalogue-style disambiguation.
 fn roman(mut n: usize) -> String {
     let table = [
-        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"), (90, "XC"), (50, "L"),
-        (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
     ];
     let mut out = String::new();
     for (value, symbol) in table {
@@ -250,7 +613,14 @@ fn compose(topic: Topic, i: usize, countries: &[String]) -> String {
             if i < CITIES.len() {
                 CITIES[i].to_string()
             } else {
-                format!("{} {}", pick(&["North", "South", "East", "West", "New", "Port", "Lake"], i / CITIES.len()), pick(CITIES, i))
+                format!(
+                    "{} {}",
+                    pick(
+                        &["North", "South", "East", "West", "New", "Port", "Lake"],
+                        i / CITIES.len()
+                    ),
+                    pick(CITIES, i)
+                )
             }
         }
         Topic::Countries => {
@@ -258,11 +628,7 @@ fn compose(topic: Topic, i: usize, countries: &[String]) -> String {
                 countries[i].clone()
             } else {
                 // Fictional countries once the real list is exhausted.
-                format!(
-                    "Republic of {} {}",
-                    pick(ADJECTIVES, i / NOUNS.len()),
-                    pick(NOUNS, i)
-                )
+                format!("Republic of {} {}", pick(ADJECTIVES, i / NOUNS.len()), pick(NOUNS, i))
             }
         }
         Topic::Universities => match i % 3 {
@@ -270,22 +636,27 @@ fn compose(topic: Topic, i: usize, countries: &[String]) -> String {
             1 => format!("{} Institute of Technology", pick(CITIES, i / 3)),
             _ => format!("{} State University", pick(CITIES, i / 3)),
         },
-        Topic::Songs => format!("{} {}", pick(ADJECTIVES, i % ADJECTIVES.len()), pick(NOUNS, i / ADJECTIVES.len())),
+        Topic::Songs => format!(
+            "{} {}",
+            pick(ADJECTIVES, i % ADJECTIVES.len()),
+            pick(NOUNS, i / ADJECTIVES.len())
+        ),
         Topic::Movies => format!("The {} {}", pick(ADJECTIVES, i / NOUNS.len()), pick(NOUNS, i)),
         Topic::GovernmentOfficials => format!(
             "Senator {} {}",
             pick(FIRST_NAMES, i % FIRST_NAMES.len()),
             pick(LAST_NAMES, i / FIRST_NAMES.len())
         ),
-        Topic::Companies => format!(
-            "{} {}",
-            pick(NOUNS, i % NOUNS.len()),
-            pick(COMPANY_SUFFIXES, i / NOUNS.len())
-        ),
+        Topic::Companies => {
+            format!("{} {}", pick(NOUNS, i % NOUNS.len()), pick(COMPANY_SUFFIXES, i / NOUNS.len()))
+        }
         Topic::Airports => format!("{} International Airport", pick(CITIES, i)),
         Topic::Books => format!(
             "A {} of {}",
-            pick(&["History", "Theory", "Portrait", "Study", "Song", "Memory", "Garden"], i / NOUNS.len()),
+            pick(
+                &["History", "Theory", "Portrait", "Study", "Song", "Memory", "Garden"],
+                i / NOUNS.len()
+            ),
             pick(NOUNS, i)
         ),
         Topic::Athletes => format!(
@@ -317,11 +688,9 @@ fn compose(topic: Topic, i: usize, countries: &[String]) -> String {
             pick(ADJECTIVES, i % ADJECTIVES.len()),
             pick(RESTAURANT_STYLES, i / ADJECTIVES.len())
         ),
-        Topic::Parks => format!(
-            "{} {}",
-            pick(NOUNS, i % NOUNS.len()),
-            pick(NP_SUFFIXES, i / NOUNS.len())
-        ),
+        Topic::Parks => {
+            format!("{} {}", pick(NOUNS, i % NOUNS.len()), pick(NP_SUFFIXES, i / NOUNS.len()))
+        }
         Topic::Newspapers => format!(
             "The {} {}",
             pick(CITIES, i % CITIES.len()),

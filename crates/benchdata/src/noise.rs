@@ -113,10 +113,8 @@ pub fn apply_transformation(
             format!("{}{}", value, suffixes[rng.gen_range(0..suffixes.len())])
         }
         Transformation::StripPunctuation => {
-            let stripped: String = value
-                .chars()
-                .filter(|c| c.is_alphanumeric() || c.is_whitespace())
-                .collect();
+            let stripped: String =
+                value.chars().filter(|c| c.is_alphanumeric() || c.is_whitespace()).collect();
             let collapsed = stripped.split_whitespace().collect::<Vec<_>>().join(" ");
             if collapsed.is_empty() {
                 value.to_string()
@@ -176,11 +174,8 @@ fn apply_typo(value: &str, rng: &mut StdRng) -> String {
 fn alias_of(value: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> Option<String> {
     let concept = kb.concept_of(value)?.to_string();
     let group = kb.groups().into_iter().find(|g| g.concept == concept)?;
-    let alternatives: Vec<&String> = group
-        .aliases
-        .iter()
-        .filter(|a| !a.eq_ignore_ascii_case(value))
-        .collect();
+    let alternatives: Vec<&String> =
+        group.aliases.iter().filter(|a| !a.eq_ignore_ascii_case(value)).collect();
     if alternatives.is_empty() {
         return None;
     }
@@ -202,7 +197,10 @@ mod tests {
         let mut r = rng();
         assert_eq!(apply_transformation("Berlin", Transformation::Identity, &kb, &mut r), "Berlin");
         assert_eq!(apply_transformation("Berlin", Transformation::CaseFold, &kb, &mut r), "berlin");
-        assert_eq!(apply_transformation("Berlin", Transformation::UpperCase, &kb, &mut r), "BERLIN");
+        assert_eq!(
+            apply_transformation("Berlin", Transformation::UpperCase, &kb, &mut r),
+            "BERLIN"
+        );
     }
 
     #[test]
@@ -236,8 +234,12 @@ mod tests {
             apply_transformation("New York City", Transformation::Acronym, &kb, &mut r),
             "NYC"
         );
-        let abbrev =
-            apply_transformation("Department of Transportation", Transformation::PrefixAbbreviation, &kb, &mut r);
+        let abbrev = apply_transformation(
+            "Department of Transportation",
+            Transformation::PrefixAbbreviation,
+            &kb,
+            &mut r,
+        );
         assert!(abbrev.starts_with("Depa."));
         assert!(abbrev.len() < "Department of Transportation".len());
     }
@@ -250,7 +252,8 @@ mod tests {
             apply_transformation("Jane Doe", Transformation::TokenReorder, &kb, &mut r),
             "Doe, Jane"
         );
-        let decorated = apply_transformation("Berlin", Transformation::SuffixDecoration, &kb, &mut r);
+        let decorated =
+            apply_transformation("Berlin", Transformation::SuffixDecoration, &kb, &mut r);
         assert!(decorated.starts_with("Berlin"));
         assert!(decorated.len() > "Berlin".len());
     }

@@ -47,6 +47,8 @@ pub mod rewrite;
 pub mod value_match;
 
 pub use config::{AssignmentStrategy, FuzzyFdConfig};
-pub use pipeline::{regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome};
+pub use pipeline::{
+    regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,
+};
 pub use rewrite::build_substitutions;
 pub use value_match::{match_column_values, ColumnPosition, ValueGroup, ValueMatcher};

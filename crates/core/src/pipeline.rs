@@ -250,7 +250,8 @@ mod tests {
         let alignment = align_by_headers(&tables);
         let fuzzy = FuzzyFullDisjunction::default().integrate(&tables, &alignment).unwrap();
         let regular = regular_full_disjunction(&tables, &alignment);
-        let fuzzy_values: Vec<_> = fuzzy.table.tuples().iter().map(|t| t.values().to_vec()).collect();
+        let fuzzy_values: Vec<_> =
+            fuzzy.table.tuples().iter().map(|t| t.values().to_vec()).collect();
         let regular_values: Vec<_> = regular.tuples().iter().map(|t| t.values().to_vec()).collect();
         assert_eq!(fuzzy_values, regular_values);
         assert_eq!(fuzzy.report.rewritten_cells, 0);

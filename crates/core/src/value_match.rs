@@ -51,6 +51,12 @@ impl ValueGroup {
         self.members.len()
     }
 
+    /// `true` when the group has no members (never produced by the matcher,
+    /// but provided alongside [`len`](Self::len) for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
     /// `true` when the group has a single member (nothing was matched to it).
     pub fn is_singleton(&self) -> bool {
         self.members.len() <= 1
@@ -171,10 +177,8 @@ impl<'a> ValueMatcher<'a> {
                 groups[g_idx].members.push((position, value.clone()));
                 self.refresh_representative(&mut groups[g_idx], counts);
                 // Mark the original leftover slot as matched.
-                if let Some(slot) = leftover
-                    .iter()
-                    .enumerate()
-                    .position(|(i, v)| !matched_values[i] && *v == value)
+                if let Some(slot) =
+                    leftover.iter().enumerate().position(|(i, v)| !matched_values[i] && *v == value)
                 {
                     matched_values[slot] = true;
                 }
@@ -320,8 +324,7 @@ mod tests {
         // semantic one (codes like "DE" share no surface with "Germany"), and
         // it must not correctly resolve the full Germany↔DE pair.
         let fasttext = EmbeddingModel::FastText.build();
-        let surface =
-            match_column_values(&columns, fasttext.as_ref(), FuzzyFdConfig::default());
+        let surface = match_column_values(&columns, fasttext.as_ref(), FuzzyFdConfig::default());
         let matched = |groups: &[ValueGroup]| groups.iter().filter(|g| !g.is_singleton()).count();
         assert!(matched(&surface) <= matched(&semantic));
         let germany_surface = surface

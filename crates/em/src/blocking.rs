@@ -103,8 +103,7 @@ mod tests {
 
     #[test]
     fn oversized_blocks_are_skipped() {
-        let tuples: Vec<IntegratedTuple> =
-            (0..20).map(|_| tuple(&["common"])).collect();
+        let tuples: Vec<IntegratedTuple> = (0..20).map(|_| tuple(&["common"])).collect();
         let pairs = candidate_pairs(&tuples, 5);
         assert!(pairs.is_empty());
         let pairs = candidate_pairs(&tuples, 100);

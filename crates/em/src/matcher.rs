@@ -166,7 +166,8 @@ mod tests {
         let (integrated, gold) = people_setup();
         // Even a matcher that never matches anything gets the exact-name
         // pairs right, because FD already merged them.
-        let result = match_entities(&integrated, EmOptions { threshold: 1.1, ..EmOptions::default() });
+        let result =
+            match_entities(&integrated, EmOptions { threshold: 1.1, ..EmOptions::default() });
         let pairs = result.base_tuple_pairs(&integrated);
         assert!(pairs.len() >= 2, "FD provenance should produce base pairs");
         let scores = result.evaluate(&integrated, &gold);
@@ -186,8 +187,9 @@ mod tests {
     fn low_threshold_overmatches_and_hurts_precision() {
         let (integrated, gold) = people_setup();
         let strict = match_entities(&integrated, EmOptions::default()).evaluate(&integrated, &gold);
-        let sloppy = match_entities(&integrated, EmOptions { threshold: 0.01, ..EmOptions::default() })
-            .evaluate(&integrated, &gold);
+        let sloppy =
+            match_entities(&integrated, EmOptions { threshold: 0.01, ..EmOptions::default() })
+                .evaluate(&integrated, &gold);
         assert!(sloppy.precision <= strict.precision);
         assert!(sloppy.recall >= strict.recall);
     }

@@ -27,7 +27,11 @@ pub fn record_similarity(a: &IntegratedTuple, b: &IntegratedTuple) -> f64 {
 /// six) cannot make two different entities look alike on their own.
 ///
 /// Returns 0.0 when the tuples share no non-null column with positive weight.
-pub fn weighted_record_similarity(a: &IntegratedTuple, b: &IntegratedTuple, weights: &[f64]) -> f64 {
+pub fn weighted_record_similarity(
+    a: &IntegratedTuple,
+    b: &IntegratedTuple,
+    weights: &[f64],
+) -> f64 {
     debug_assert_eq!(a.values().len(), weights.len(), "one weight per integrated column");
     let mut total = 0.0;
     let mut weight_sum = 0.0;

@@ -47,10 +47,7 @@ impl<E: Embedder> EmbeddingCache<E> {
 
     /// `(hits, misses)` counters, for diagnostics.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            *self.hits.lock().expect("cache poisoned"),
-            *self.misses.lock().expect("cache poisoned"),
-        )
+        (*self.hits.lock().expect("cache poisoned"), *self.misses.lock().expect("cache poisoned"))
     }
 
     /// Clears the cache (counters included).

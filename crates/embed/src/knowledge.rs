@@ -93,7 +93,10 @@ impl KnowledgeBase {
     pub fn groups(&self) -> Vec<ConceptGroup> {
         self.groups
             .iter()
-            .map(|(concept, aliases)| ConceptGroup { concept: concept.clone(), aliases: aliases.clone() })
+            .map(|(concept, aliases)| ConceptGroup {
+                concept: concept.clone(),
+                aliases: aliases.clone(),
+            })
             .collect()
     }
 
@@ -103,7 +106,10 @@ impl KnowledgeBase {
         self.groups
             .iter()
             .filter(|(c, _)| c.starts_with(prefix))
-            .map(|(concept, aliases)| ConceptGroup { concept: concept.clone(), aliases: aliases.clone() })
+            .map(|(concept, aliases)| ConceptGroup {
+                concept: concept.clone(),
+                aliases: aliases.clone(),
+            })
             .collect()
     }
 }
@@ -236,19 +242,56 @@ fn builtin_groups() -> Vec<(String, Vec<String>)> {
 
     // US states: canonical name and postal abbreviation.
     let states: &[(&str, &str)] = &[
-        ("Alabama", "AL"), ("Alaska", "AK"), ("Arizona", "AZ"), ("Arkansas", "AR"),
-        ("California", "CA"), ("Colorado", "CO"), ("Connecticut", "CT"), ("Delaware", "DE"),
-        ("Florida", "FL"), ("Georgia", "GA"), ("Hawaii", "HI"), ("Idaho", "ID"),
-        ("Illinois", "IL"), ("Indiana", "IN"), ("Iowa", "IA"), ("Kansas", "KS"),
-        ("Kentucky", "KY"), ("Louisiana", "LA"), ("Maine", "ME"), ("Maryland", "MD"),
-        ("Massachusetts", "MA"), ("Michigan", "MI"), ("Minnesota", "MN"), ("Mississippi", "MS"),
-        ("Missouri", "MO"), ("Montana", "MT"), ("Nebraska", "NE"), ("Nevada", "NV"),
-        ("New Hampshire", "NH"), ("New Jersey", "NJ"), ("New Mexico", "NM"), ("New York", "NY"),
-        ("North Carolina", "NC"), ("North Dakota", "ND"), ("Ohio", "OH"), ("Oklahoma", "OK"),
-        ("Oregon", "OR"), ("Pennsylvania", "PA"), ("Rhode Island", "RI"), ("South Carolina", "SC"),
-        ("South Dakota", "SD"), ("Tennessee", "TN"), ("Texas", "TX"), ("Utah", "UT"),
-        ("Vermont", "VT"), ("Virginia", "VA"), ("Washington", "WA"), ("West Virginia", "WV"),
-        ("Wisconsin", "WI"), ("Wyoming", "WY"),
+        ("Alabama", "AL"),
+        ("Alaska", "AK"),
+        ("Arizona", "AZ"),
+        ("Arkansas", "AR"),
+        ("California", "CA"),
+        ("Colorado", "CO"),
+        ("Connecticut", "CT"),
+        ("Delaware", "DE"),
+        ("Florida", "FL"),
+        ("Georgia", "GA"),
+        ("Hawaii", "HI"),
+        ("Idaho", "ID"),
+        ("Illinois", "IL"),
+        ("Indiana", "IN"),
+        ("Iowa", "IA"),
+        ("Kansas", "KS"),
+        ("Kentucky", "KY"),
+        ("Louisiana", "LA"),
+        ("Maine", "ME"),
+        ("Maryland", "MD"),
+        ("Massachusetts", "MA"),
+        ("Michigan", "MI"),
+        ("Minnesota", "MN"),
+        ("Mississippi", "MS"),
+        ("Missouri", "MO"),
+        ("Montana", "MT"),
+        ("Nebraska", "NE"),
+        ("Nevada", "NV"),
+        ("New Hampshire", "NH"),
+        ("New Jersey", "NJ"),
+        ("New Mexico", "NM"),
+        ("New York", "NY"),
+        ("North Carolina", "NC"),
+        ("North Dakota", "ND"),
+        ("Ohio", "OH"),
+        ("Oklahoma", "OK"),
+        ("Oregon", "OR"),
+        ("Pennsylvania", "PA"),
+        ("Rhode Island", "RI"),
+        ("South Carolina", "SC"),
+        ("South Dakota", "SD"),
+        ("Tennessee", "TN"),
+        ("Texas", "TX"),
+        ("Utah", "UT"),
+        ("Vermont", "VT"),
+        ("Virginia", "VA"),
+        ("Washington", "WA"),
+        ("West Virginia", "WV"),
+        ("Wisconsin", "WI"),
+        ("Wyoming", "WY"),
     ];
     for (name, code) in states {
         // Note: postal codes such as "CA" or "DE" collide with country codes;
@@ -260,9 +303,18 @@ fn builtin_groups() -> Vec<(String, Vec<String>)> {
 
     // Months.
     let months: &[(&str, &str)] = &[
-        ("January", "Jan"), ("February", "Feb"), ("March", "Mar"), ("April", "Apr"),
-        ("May", "May"), ("June", "Jun"), ("July", "Jul"), ("August", "Aug"),
-        ("September", "Sep"), ("October", "Oct"), ("November", "Nov"), ("December", "Dec"),
+        ("January", "Jan"),
+        ("February", "Feb"),
+        ("March", "Mar"),
+        ("April", "Apr"),
+        ("May", "May"),
+        ("June", "Jun"),
+        ("July", "Jul"),
+        ("August", "Aug"),
+        ("September", "Sep"),
+        ("October", "Oct"),
+        ("November", "Nov"),
+        ("December", "Dec"),
     ];
     for (name, abbr) in months {
         let concept = format!("month:{}", name.to_lowercase());

@@ -50,26 +50,18 @@ impl EmbeddingModel {
     pub fn params(&self) -> Option<SimLmParams> {
         match self {
             EmbeddingModel::FastText => None,
-            EmbeddingModel::Bert => Some(SimLmParams {
-                semantic_coverage: 0.50,
-                noise: 0.22,
-                ..SimLmParams::default()
-            }),
-            EmbeddingModel::Roberta => Some(SimLmParams {
-                semantic_coverage: 0.57,
-                noise: 0.20,
-                ..SimLmParams::default()
-            }),
-            EmbeddingModel::Llama3 => Some(SimLmParams {
-                semantic_coverage: 0.88,
-                noise: 0.12,
-                ..SimLmParams::default()
-            }),
-            EmbeddingModel::Mistral => Some(SimLmParams {
-                semantic_coverage: 0.95,
-                noise: 0.08,
-                ..SimLmParams::default()
-            }),
+            EmbeddingModel::Bert => {
+                Some(SimLmParams { semantic_coverage: 0.50, noise: 0.22, ..SimLmParams::default() })
+            }
+            EmbeddingModel::Roberta => {
+                Some(SimLmParams { semantic_coverage: 0.57, noise: 0.20, ..SimLmParams::default() })
+            }
+            EmbeddingModel::Llama3 => {
+                Some(SimLmParams { semantic_coverage: 0.88, noise: 0.12, ..SimLmParams::default() })
+            }
+            EmbeddingModel::Mistral => {
+                Some(SimLmParams { semantic_coverage: 0.95, noise: 0.08, ..SimLmParams::default() })
+            }
         }
     }
 

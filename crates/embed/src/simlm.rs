@@ -40,7 +40,12 @@ pub struct SimLmParams {
 
 impl Default for SimLmParams {
     fn default() -> Self {
-        SimLmParams { semantic_coverage: 0.9, noise: 0.1, semantic_weight: 1.6, acronym_weight: 1.3 }
+        SimLmParams {
+            semantic_coverage: 0.9,
+            noise: 0.1,
+            semantic_weight: 1.6,
+            acronym_weight: 1.3,
+        }
     }
 }
 
@@ -223,7 +228,12 @@ mod tests {
     fn zero_coverage_disables_semantics() {
         let no_sem = SimulatedLmEmbedder::new(
             "NoSem",
-            SimLmParams { semantic_coverage: 0.0, noise: 0.0, acronym_weight: 0.0, ..SimLmParams::default() },
+            SimLmParams {
+                semantic_coverage: 0.0,
+                noise: 0.0,
+                acronym_weight: 0.0,
+                ..SimLmParams::default()
+            },
         );
         let with_sem = mistral_like();
         assert!(no_sem.distance("Canada", "CA") > with_sem.distance("Canada", "CA"));
@@ -254,17 +264,13 @@ mod tests {
 
     #[test]
     fn noise_perturbs_but_preserves_identity() {
-        let noisy = SimulatedLmEmbedder::new(
-            "Noisy",
-            SimLmParams { noise: 0.4, ..SimLmParams::default() },
-        );
+        let noisy =
+            SimulatedLmEmbedder::new("Noisy", SimLmParams { noise: 0.4, ..SimLmParams::default() });
         // Identical strings still embed identically (noise is value-keyed).
         assert!(noisy.distance("Toronto", "Toronto") < 1e-6);
         // Noise is model-specific: two tiers disagree on the same value.
-        let other = SimulatedLmEmbedder::new(
-            "Other",
-            SimLmParams { noise: 0.4, ..SimLmParams::default() },
-        );
+        let other =
+            SimulatedLmEmbedder::new("Other", SimLmParams { noise: 0.4, ..SimLmParams::default() });
         let a = noisy.embed("Toronto");
         let b = other.embed("Toronto");
         assert!(a.cosine_distance(&b) > 1e-4);

@@ -152,10 +152,16 @@ mod tests {
     fn partitioning_does_not_change_the_result() {
         let tables = figure1_tables();
         let schema = IntegrationSchema::from_matching_headers(&tables);
-        let (with, stats_with) =
-            full_disjunction_with(&schema, &tables, FdOptions { partition: true, sort_output: true });
-        let (without, stats_without) =
-            full_disjunction_with(&schema, &tables, FdOptions { partition: false, sort_output: true });
+        let (with, stats_with) = full_disjunction_with(
+            &schema,
+            &tables,
+            FdOptions { partition: true, sort_output: true },
+        );
+        let (without, stats_without) = full_disjunction_with(
+            &schema,
+            &tables,
+            FdOptions { partition: false, sort_output: true },
+        );
         assert_eq!(with, without);
         assert!(stats_with.components > 1);
         assert_eq!(stats_without.components, 1);

@@ -40,10 +40,10 @@ pub fn component_closure(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
     let mut queue: Vec<usize> = Vec::new();
 
     let push = |tuple: IntegratedTuple,
-                    all: &mut Vec<IntegratedTuple>,
-                    by_values: &mut HashMap<Vec<Value>, usize>,
-                    by_cell: &mut HashMap<(usize, Value), Vec<usize>>,
-                    queue: &mut Vec<usize>| {
+                all: &mut Vec<IntegratedTuple>,
+                by_values: &mut HashMap<Vec<Value>, usize>,
+                by_cell: &mut HashMap<(usize, Value), Vec<usize>>,
+                queue: &mut Vec<usize>| {
         match by_values.get(tuple.values()) {
             Some(&idx) => {
                 let prov = tuple.provenance().clone();

@@ -2,9 +2,9 @@
 //!
 //! Join-connected components are independent, so their closures can run on
 //! separate threads (Paganelli et al. 2019 parallelise FD along the same
-//! lines).  Components are distributed over a fixed pool of crossbeam scoped
-//! threads in round-robin chunks; results are concatenated and sorted for
-//! determinism.
+//! lines).  Components are distributed over a fixed pool of `std::thread`
+//! scoped threads in round-robin chunks; results are concatenated and sorted
+//! for determinism.
 
 use lake_table::Table;
 
@@ -59,11 +59,11 @@ pub fn parallel_full_disjunction_with(
     }
 
     let mut results: Vec<Vec<IntegratedTuple>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .into_iter()
             .map(|bucket| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out = Vec::new();
                     for component in bucket {
                         out.extend(component_closure(component));
@@ -75,8 +75,7 @@ pub fn parallel_full_disjunction_with(
         for handle in handles {
             results.push(handle.join().expect("FD worker thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let tuples: Vec<IntegratedTuple> = results.into_iter().flatten().collect();
     let stats = FdStats {

@@ -73,14 +73,14 @@ impl IntegrationSchema {
 
         // Unaligned source columns become their own integrated columns.
         for (t_idx, table) in tables.iter().enumerate() {
-            for c_idx in 0..table.num_columns() {
-                if mapping[t_idx][c_idx].is_none() {
+            for (c_idx, slot) in mapping[t_idx].iter_mut().enumerate() {
+                if slot.is_none() {
                     let integrated_idx = column_names.len();
                     let header = &table.schema().columns()[c_idx].name;
                     let name = if header.is_empty() {
                         format!("{}_{}", table.name(), c_idx)
                     } else {
-                        format!("{}", header)
+                        header.to_string()
                     };
                     // Disambiguate duplicate display names.
                     let name = if column_names.contains(&name) {
@@ -89,13 +89,15 @@ impl IntegrationSchema {
                         name
                     };
                     column_names.push(name);
-                    mapping[t_idx][c_idx] = Some(integrated_idx);
+                    *slot = Some(integrated_idx);
                 }
             }
         }
 
-        let mapping =
-            mapping.into_iter().map(|cols| cols.into_iter().map(|c| c.expect("mapped")).collect()).collect();
+        let mapping = mapping
+            .into_iter()
+            .map(|cols| cols.into_iter().map(|c| c.expect("mapped")).collect())
+            .collect();
         IntegrationSchema { column_names, mapping }
     }
 
@@ -113,9 +115,9 @@ impl IntegrationSchema {
                 if key.is_empty() {
                     continue;
                 }
-                let slot = sets.iter_mut().find(|(k, refs)| {
-                    *k == key && !refs.iter().any(|r| r.table == t_idx)
-                });
+                let slot = sets
+                    .iter_mut()
+                    .find(|(k, refs)| *k == key && !refs.iter().any(|r| r.table == t_idx));
                 match slot {
                     Some((_, refs)) => refs.push(ColumnRef::new(t_idx, c_idx)),
                     None => sets.push((key, vec![ColumnRef::new(t_idx, c_idx)])),

@@ -30,7 +30,8 @@ mod tests {
 
     #[test]
     fn compression_ratio() {
-        let stats = FdStats { input_tuples: 10, output_tuples: 6, components: 4, largest_component: 3 };
+        let stats =
+            FdStats { input_tuples: 10, output_tuples: 6, components: 4, largest_component: 3 };
         assert!((stats.compression() - 0.6).abs() < 1e-12);
         let empty = FdStats::default();
         assert_eq!(empty.compression(), 1.0);

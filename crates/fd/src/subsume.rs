@@ -98,8 +98,7 @@ mod tests {
     use lake_table::{ProvenanceSet, TupleId};
 
     fn tuple(values: Vec<Value>, prov: &[(&str, usize)]) -> IntegratedTuple {
-        let provenance: ProvenanceSet =
-            prov.iter().map(|(t, r)| TupleId::new(*t, *r)).collect();
+        let provenance: ProvenanceSet = prov.iter().map(|(t, r)| TupleId::new(*t, *r)).collect();
         IntegratedTuple::new(values, provenance)
     }
 

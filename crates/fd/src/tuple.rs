@@ -66,10 +66,7 @@ impl IntegratedTuple {
     /// Whether two tuples are *consistent*: no column where both are non-null
     /// with different values.
     pub fn consistent_with(&self, other: &IntegratedTuple) -> bool {
-        self.values
-            .iter()
-            .zip(&other.values)
-            .all(|(a, b)| a.is_null() || b.is_null() || a == b)
+        self.values.iter().zip(&other.values).all(|(a, b)| a.is_null() || b.is_null() || a == b)
     }
 
     /// Whether two tuples *overlap*: at least one column where both are
@@ -200,11 +197,11 @@ impl IntegratedTable {
                 if row.iter().all(|v| v.is_null()) {
                     continue;
                 }
-                let base =
-                    IntegratedTuple::from_base(schema, t_idx, table.name(), r_idx, row);
-                let covered = self.tuples.iter().any(|t| {
-                    t.subsumes(&base) && t.provenance().is_superset(base.provenance())
-                });
+                let base = IntegratedTuple::from_base(schema, t_idx, table.name(), r_idx, row);
+                let covered = self
+                    .tuples
+                    .iter()
+                    .any(|t| t.subsumes(&base) && t.provenance().is_superset(base.provenance()));
                 if !covered {
                     missing.push(TupleId::new(table.name(), r_idx));
                 }
@@ -232,7 +229,13 @@ mod tests {
         (schema, tables)
     }
 
-    fn tup(schema: &IntegrationSchema, t: usize, name: &str, r: usize, row: &[Value]) -> IntegratedTuple {
+    fn tup(
+        schema: &IntegrationSchema,
+        t: usize,
+        name: &str,
+        r: usize,
+        row: &[Value],
+    ) -> IntegratedTuple {
         IntegratedTuple::from_base(schema, t, name, r, row)
     }
 
@@ -304,10 +307,8 @@ mod tests {
         let b = tup(&schema, 1, "T2", 0, &tables[1].rows()[0]);
         let toronto = tup(&schema, 0, "T1", 1, &tables[0].rows()[1]);
         let merged = a.merge(&b);
-        let result = IntegratedTable::new(
-            schema.column_names().to_vec(),
-            vec![merged, toronto.clone()],
-        );
+        let result =
+            IntegratedTable::new(schema.column_names().to_vec(), vec![merged, toronto.clone()]);
         assert_eq!(result.len(), 2);
         assert!(result.unrepresented_base_tuples(&schema, &tables).is_empty());
 
@@ -328,7 +329,8 @@ mod tests {
         let (schema, tables) = schema_and_tables();
         let a = tup(&schema, 0, "T1", 0, &tables[0].rows()[0]);
         let b = tup(&schema, 0, "T1", 1, &tables[0].rows()[1]);
-        let r1 = IntegratedTable::new(schema.column_names().to_vec(), vec![a.clone(), b.clone()]).sorted();
+        let r1 = IntegratedTable::new(schema.column_names().to_vec(), vec![a.clone(), b.clone()])
+            .sorted();
         let r2 = IntegratedTable::new(schema.column_names().to_vec(), vec![b, a]).sorted();
         assert_eq!(r1, r2);
     }

@@ -43,11 +43,8 @@ impl ConfusionCounts {
     /// has precision 1, an empty gold set has recall 1, and F1 is 0 whenever
     /// precision + recall is 0.
     pub fn scores(&self) -> PrecisionRecall {
-        let precision = if self.tp + self.fp == 0 {
-            1.0
-        } else {
-            self.tp as f64 / (self.tp + self.fp) as f64
-        };
+        let precision =
+            if self.tp + self.fp == 0 { 1.0 } else { self.tp as f64 / (self.tp + self.fp) as f64 };
         let recall = if self.tp + self.fn_ == 0 {
             1.0
         } else {

@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn confusion_against_gold() {
-        let predicted: PairSet<&str> =
-            [("a", "b"), ("c", "d"), ("e", "f")].into_iter().collect();
+        let predicted: PairSet<&str> = [("a", "b"), ("c", "d"), ("e", "f")].into_iter().collect();
         let gold: PairSet<&str> = [("a", "b"), ("c", "d"), ("g", "h")].into_iter().collect();
         let c = predicted.confusion_against(&gold);
         assert_eq!(c.tp, 2);

@@ -99,7 +99,10 @@ mod tests {
     fn header_alignment_groups_matching_names() {
         let tables = vec![
             TableBuilder::new("T1", ["City", "Country"]).row(["a", "b"]).build().unwrap(),
-            TableBuilder::new("T2", ["country", "city", "Rate"]).row(["c", "d", "e"]).build().unwrap(),
+            TableBuilder::new("T2", ["country", "city", "Rate"])
+                .row(["c", "d", "e"])
+                .build()
+                .unwrap(),
         ];
         let alignment = align_by_headers(&tables);
         assert_eq!(alignment.len(), 2);

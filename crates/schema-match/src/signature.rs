@@ -35,15 +35,12 @@ impl ColumnSignature {
         let header = normalize(&table.schema().columns()[column].name);
 
         let sample: Vec<&Value> = distinct.iter().take(sample_limit.max(1)).collect();
-        let numeric = sample
-            .iter()
-            .filter(|v| matches!(v, Value::Int(_) | Value::Float(_)))
-            .count();
+        let numeric =
+            sample.iter().filter(|v| matches!(v, Value::Int(_) | Value::Float(_))).count();
         let numeric_fraction =
             if sample.is_empty() { 0.0 } else { numeric as f64 / sample.len() as f64 };
 
-        let vectors: Vec<Vector> =
-            sample.iter().map(|v| embedder.embed(&v.render())).collect();
+        let vectors: Vec<Vector> = sample.iter().map(|v| embedder.embed(&v.render())).collect();
         let centroid =
             Vector::mean(vectors.iter()).unwrap_or_else(|| Vector::zeros(embedder.dim()));
 
@@ -105,11 +102,23 @@ mod tests {
     fn similar_columns_score_higher_than_dissimilar() {
         let e = HashingNgramEmbedder::new();
         let t1 = TableBuilder::new("A", ["place"])
-            .row(["Berlin"]).row(["Toronto"]).row(["Barcelona"]).build().unwrap();
+            .row(["Berlin"])
+            .row(["Toronto"])
+            .row(["Barcelona"])
+            .build()
+            .unwrap();
         let t2 = TableBuilder::new("B", ["location"])
-            .row(["Berlin"]).row(["Boston"]).row(["Barcelona"]).build().unwrap();
+            .row(["Berlin"])
+            .row(["Boston"])
+            .row(["Barcelona"])
+            .build()
+            .unwrap();
         let t3 = TableBuilder::new("C", ["amount"])
-            .row(["100"]).row(["250"]).row(["317"]).build().unwrap();
+            .row(["100"])
+            .row(["250"])
+            .row(["317"])
+            .build()
+            .unwrap();
 
         let s1 = ColumnSignature::build(&t1, 0, &e, 100);
         let s2 = ColumnSignature::build(&t2, 0, &e, 100);

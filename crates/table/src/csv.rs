@@ -47,11 +47,7 @@ pub fn parse_csv(name: impl Into<String>, text: &str) -> TableResult<Table> {
 pub fn read_csv_file(path: impl AsRef<Path>) -> TableResult<Table> {
     let path = path.as_ref();
     let text = fs::read_to_string(path)?;
-    let name = path
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("table")
-        .to_string();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
     parse_csv(name, &text)
 }
 
@@ -153,7 +149,8 @@ fn parse_records(text: &str) -> TableResult<Vec<RawRecord>> {
                 fields.push(std::mem::take(&mut field));
                 // Skip completely blank lines between records.
                 if record_started {
-                    records.push(RawRecord { line: record_line, fields: std::mem::take(&mut fields) });
+                    records
+                        .push(RawRecord { line: record_line, fields: std::mem::take(&mut fields) });
                 } else {
                     fields.clear();
                 }

@@ -12,12 +12,8 @@ pub fn render(table: &Table) -> String {
 /// Renders at most `max_rows` rows, truncating cells to `max_cell_width`
 /// characters.
 pub fn render_with_limit(table: &Table, max_cell_width: usize, max_rows: usize) -> String {
-    let headers: Vec<String> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| truncate(&c.name, max_cell_width))
-        .collect();
+    let headers: Vec<String> =
+        table.schema().columns().iter().map(|c| truncate(&c.name, max_cell_width)).collect();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
 
     let shown = table.num_rows().min(max_rows);

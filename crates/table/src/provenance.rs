@@ -141,20 +141,16 @@ mod tests {
 
     #[test]
     fn display_is_sorted_and_braced() {
-        let p: ProvenanceSet =
-            [TupleId::new("T2", 1), TupleId::new("T1", 3)].into_iter().collect();
+        let p: ProvenanceSet = [TupleId::new("T2", 1), TupleId::new("T1", 3)].into_iter().collect();
         assert_eq!(p.to_string(), "{T1#3, T2#1}");
     }
 
     #[test]
     fn tables_lists_contributing_sources() {
-        let p: ProvenanceSet = [
-            TupleId::new("T1", 0),
-            TupleId::new("T1", 9),
-            TupleId::new("T3", 2),
-        ]
-        .into_iter()
-        .collect();
+        let p: ProvenanceSet =
+            [TupleId::new("T1", 0), TupleId::new("T1", 9), TupleId::new("T3", 2)]
+                .into_iter()
+                .collect();
         let tables: Vec<&str> = p.tables().into_iter().collect();
         assert_eq!(tables, vec!["T1", "T3"]);
     }

@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn schema_rejects_duplicates_and_empty() {
         assert!(matches!(Schema::from_names(Vec::<String>::new()), Err(TableError::EmptySchema)));
-        assert!(matches!(
-            Schema::from_names(["a", "b", "a"]),
-            Err(TableError::DuplicateColumn(_))
-        ));
+        assert!(matches!(Schema::from_names(["a", "b", "a"]), Err(TableError::DuplicateColumn(_))));
     }
 
     #[test]

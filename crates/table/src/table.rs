@@ -84,7 +84,10 @@ impl Table {
     /// Appends a row after validating its arity against the schema.
     pub fn push_row(&mut self, row: Row) -> TableResult<()> {
         if row.len() != self.schema.len() {
-            return Err(TableError::ArityMismatch { expected: self.schema.len(), actual: row.len() });
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.len(),
+                actual: row.len(),
+            });
         }
         self.rows.push(row);
         Ok(())
@@ -121,7 +124,10 @@ impl Table {
     /// All values of the column at `column` (including nulls), in row order.
     pub fn column_values(&self, column: usize) -> TableResult<Vec<&Value>> {
         if column >= self.schema.len() {
-            return Err(TableError::ColumnIndexOutOfBounds { index: column, len: self.schema.len() });
+            return Err(TableError::ColumnIndexOutOfBounds {
+                index: column,
+                len: self.schema.len(),
+            });
         }
         Ok(self.rows.iter().map(|r| &r[column]).collect())
     }
@@ -129,7 +135,10 @@ impl Table {
     /// Distinct non-null values of the column at `column`, in first-seen order.
     pub fn distinct_values(&self, column: usize) -> TableResult<Vec<Value>> {
         if column >= self.schema.len() {
-            return Err(TableError::ColumnIndexOutOfBounds { index: column, len: self.schema.len() });
+            return Err(TableError::ColumnIndexOutOfBounds {
+                index: column,
+                len: self.schema.len(),
+            });
         }
         let mut seen = HashSet::new();
         let mut out = Vec::new();
@@ -145,7 +154,10 @@ impl Table {
     /// Occurrence counts of non-null values in the column at `column`.
     pub fn value_counts(&self, column: usize) -> TableResult<HashMap<Value, usize>> {
         if column >= self.schema.len() {
-            return Err(TableError::ColumnIndexOutOfBounds { index: column, len: self.schema.len() });
+            return Err(TableError::ColumnIndexOutOfBounds {
+                index: column,
+                len: self.schema.len(),
+            });
         }
         let mut counts = HashMap::new();
         for row in &self.rows {
@@ -203,7 +215,10 @@ impl Table {
         mapping: &HashMap<Value, Value>,
     ) -> TableResult<usize> {
         if column >= self.schema.len() {
-            return Err(TableError::ColumnIndexOutOfBounds { index: column, len: self.schema.len() });
+            return Err(TableError::ColumnIndexOutOfBounds {
+                index: column,
+                len: self.schema.len(),
+            });
         }
         let mut replaced = 0;
         for row in &mut self.rows {
@@ -320,11 +335,8 @@ mod tests {
 
     #[test]
     fn type_inference_updates_schema() {
-        let mut t = TableBuilder::new("T", ["n", "s"])
-            .row(["1", "x"])
-            .row(["2", "y"])
-            .build()
-            .unwrap();
+        let mut t =
+            TableBuilder::new("T", ["n", "s"]).row(["1", "x"]).row(["2", "y"]).build().unwrap();
         t.infer_column_types();
         assert_eq!(t.schema().column(0).unwrap().data_type, DataType::Int);
         assert_eq!(t.schema().column(1).unwrap().data_type, DataType::Text);

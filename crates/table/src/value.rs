@@ -202,9 +202,7 @@ impl Ord for Value {
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_bits(*a).cmp(&Value::float_bits(*b))
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a).cmp(&Value::float_bits(*b)),
             _ => self.rank().cmp(&other.rank()),
         }
     }
@@ -324,7 +322,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut vals = vec![
+        let mut vals = [
             Value::text("b"),
             Value::Null,
             Value::Int(10),

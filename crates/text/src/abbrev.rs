@@ -11,11 +11,7 @@ use crate::tokenize::words;
 
 /// The acronym of a multi-word string: first letter of every word, upper-cased.
 pub fn acronym(s: &str) -> String {
-    words(s)
-        .iter()
-        .filter_map(|w| w.chars().next())
-        .collect::<String>()
-        .to_uppercase()
+    words(s).iter().filter_map(|w| w.chars().next()).collect::<String>().to_uppercase()
 }
 
 /// Whether `short` is the acronym of `long` (case-insensitive) and `long` has
@@ -84,7 +80,7 @@ mod tests {
         assert!(!is_prefix_abbreviation("Department", "Department")); // nothing shortened
         assert!(!is_prefix_abbreviation("X", "Xylophone")); // too short
         assert!(!is_prefix_abbreviation("Dept Of", "Department")); // word count mismatch
-        // "Dept" is a contraction (DeParTment), not a per-word prefix.
+                                                                   // "Dept" is a contraction (DeParTment), not a per-word prefix.
         assert!(!is_prefix_abbreviation("Dept", "Department"));
         assert!(!is_prefix_abbreviation("Dopt", "Department")); // not a prefix
     }

@@ -94,12 +94,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// prefix bounded at 4 characters.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let base = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     base + prefix as f64 * 0.1 * (1.0 - base)
 }
 
@@ -227,7 +222,9 @@ mod tests {
 
     #[test]
     fn cosine_tokens() {
-        assert!((cosine_token_similarity("new york city", "city of new york") - 0.866).abs() < 0.01);
+        assert!(
+            (cosine_token_similarity("new york city", "city of new york") - 0.866).abs() < 0.01
+        );
         assert_eq!(cosine_token_similarity("", ""), 1.0);
         assert_eq!(cosine_token_similarity("a", ""), 0.0);
         assert!(cosine_token_similarity("alpha beta", "gamma delta") < 1e-12);

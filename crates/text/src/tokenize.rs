@@ -80,11 +80,10 @@ mod tests {
 
     #[test]
     fn shingles() {
-        assert_eq!(word_shingles("the quick brown fox", 2), vec![
-            "the quick",
-            "quick brown",
-            "brown fox"
-        ]);
+        assert_eq!(
+            word_shingles("the quick brown fox", 2),
+            vec!["the quick", "quick brown", "brown fox"]
+        );
         assert_eq!(word_shingles("fox", 2), vec!["fox"]);
         assert_eq!(word_shingles("a b", 0), Vec::<String>::new());
     }

@@ -45,10 +45,7 @@ fn main() {
     let fuzzy_scores = fuzzy_result.evaluate(&fuzzy.table, &benchmark.gold);
 
     println!("\n== Entity matching over the integrated tables ==");
-    println!(
-        "  {:<20} {:>10} {:>8} {:>8} {:>8}",
-        "integration", "tuples", "P", "R", "F1"
-    );
+    println!("  {:<20} {:>10} {:>8} {:>8} {:>8}", "integration", "tuples", "P", "R", "F1");
     println!(
         "  {:<20} {:>10} {:>7.0}% {:>7.0}% {:>7.0}%",
         "Regular FD (ALITE)",

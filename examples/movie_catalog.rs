@@ -23,7 +23,12 @@ fn main() {
     let input_tuples: usize = tables.iter().map(|t| t.num_rows()).sum();
     println!("Generated an IMDB-style catalogue with {input_tuples} tuples across 6 tables:");
     for table in &tables {
-        println!("  {:<18} {:>6} rows × {} columns", table.name(), table.num_rows(), table.num_columns());
+        println!(
+            "  {:<18} {:>6} rows × {} columns",
+            table.name(),
+            table.num_rows(),
+            table.num_columns()
+        );
     }
 
     let alignment = align_by_headers(&tables);
@@ -37,7 +42,11 @@ fn main() {
     let start = Instant::now();
     let regular = regular_full_disjunction(&tables, &alignment);
     let regular_time = start.elapsed();
-    println!("\nRegular FD (ALITE):  {:>6} integrated tuples in {:.3?}", regular.len(), regular_time);
+    println!(
+        "\nRegular FD (ALITE):  {:>6} integrated tuples in {:.3?}",
+        regular.len(),
+        regular_time
+    );
 
     // Fuzzy FD.
     let fuzzy = FuzzyFullDisjunction::new(FuzzyFdConfig::default());
@@ -52,11 +61,17 @@ fn main() {
         outcome.report.fd_time
     );
     let overhead = fuzzy_time.as_secs_f64() / regular_time.as_secs_f64().max(1e-9) - 1.0;
-    println!("Fuzzy overhead: {:+.1}% (the paper's Figure 3 shows near-identical curves)", overhead * 100.0);
+    println!(
+        "Fuzzy overhead: {:+.1}% (the paper's Figure 3 shows near-identical curves)",
+        overhead * 100.0
+    );
 
     // Show a sample of the integrated catalogue.
     let rendered = outcome.table.to_table("catalogue", false).expect("render");
-    println!("\nSample of the integrated catalogue:\n{}", print::render_with_limit(&rendered, 28, 8));
+    println!(
+        "\nSample of the integrated catalogue:\n{}",
+        print::render_with_limit(&rendered, 28, 8)
+    );
 
     // FD guarantees every input tuple is represented.
     let stats = outcome.report.fd_stats;

@@ -22,7 +22,12 @@ fn main() {
     // Auto-Join-style benchmark.
     let config = AutoJoinConfig { num_sets: 3, values_per_column: 60, ..AutoJoinConfig::default() };
     let set = generate_autojoin_benchmark(config).remove(2);
-    println!("Integration set `{}` ({} aligned columns, {} values total)", set.id, set.columns.len(), set.total_values());
+    println!(
+        "Integration set `{}` ({} aligned columns, {} values total)",
+        set.id,
+        set.columns.len(),
+        set.total_values()
+    );
 
     // 1. Evaluate value matching for every embedding model (a mini Table 1).
     println!("\n== Value matching quality by embedding model ==");

@@ -50,10 +50,7 @@ fn main() {
     // Fuzzy Full Disjunction with the default configuration (θ = 0.7, Mistral tier).
     let fuzzy = FuzzyFullDisjunction::new(FuzzyFdConfig::default());
     let outcome = fuzzy.integrate(&tables, &alignment).expect("fuzzy FD");
-    println!(
-        "== Fuzzy FD(T1, T2, T3): fuzzy Full Disjunction ({} tuples) ==",
-        outcome.table.len()
-    );
+    println!("== Fuzzy FD(T1, T2, T3): fuzzy Full Disjunction ({} tuples) ==", outcome.table.len());
     println!("{}", print::render(&outcome.table.to_table("FuzzyFD", true).expect("render")));
 
     let report = &outcome.report;

@@ -3,8 +3,7 @@
 //! brute-force specification oracle must agree on arbitrary small inputs.
 
 use datalake_fuzzy_fd::fd::{
-    full_disjunction, parallel_full_disjunction, specification_full_disjunction,
-    IntegrationSchema,
+    full_disjunction, parallel_full_disjunction, specification_full_disjunction, IntegrationSchema,
 };
 use datalake_fuzzy_fd::table::{Table, TableBuilder, Value};
 use proptest::prelude::*;
@@ -46,9 +45,9 @@ fn tables_strategy() -> impl Strategy<Value = Vec<Table>> {
             .map(|(t_idx, (cols, rows, data))| {
                 let names: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
                 let mut builder = TableBuilder::new(format!("T{t_idx}"), names.clone());
-                for r in 0..rows {
+                for cells in data.iter().take(rows) {
                     let row: Vec<Value> = (0..names.len())
-                        .map(|c| match data[r][c] {
+                        .map(|c| match cells[c] {
                             Some(v) => Value::text(format!("v{v}")),
                             None => Value::Null,
                         })

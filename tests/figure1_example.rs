@@ -115,11 +115,12 @@ fn every_base_tuple_is_represented_in_both_results() {
         .expect("fuzzy FD");
 
     for result in [&regular, &fuzzy.table] {
-        let covered: std::collections::BTreeSet<TupleId> = result
-            .tuples()
-            .iter()
-            .flat_map(|t| t.provenance().iter().cloned())
-            .collect();
-        assert_eq!(covered.len(), total_base, "all 11 base tuples must appear in some output tuple");
+        let covered: std::collections::BTreeSet<TupleId> =
+            result.tuples().iter().flat_map(|t| t.provenance().iter().cloned()).collect();
+        assert_eq!(
+            covered.len(),
+            total_base,
+            "all 11 base tuples must appear in some output tuple"
+        );
     }
 }

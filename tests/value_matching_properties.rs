@@ -13,8 +13,24 @@ use std::collections::HashSet;
 /// values across columns and occasional near-duplicates).
 fn columns_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
     let word = prop::sample::select(vec![
-        "berlin", "berlinn", "toronto", "boston", "barcelona", "canada", "ca", "germany", "de",
-        "spain", "es", "delhi", "austin", "dallas", "miami", "lagos", "quito", "lima",
+        "berlin",
+        "berlinn",
+        "toronto",
+        "boston",
+        "barcelona",
+        "canada",
+        "ca",
+        "germany",
+        "de",
+        "spain",
+        "es",
+        "delhi",
+        "austin",
+        "dallas",
+        "miami",
+        "lagos",
+        "quito",
+        "lima",
     ]);
     let column = prop::collection::hash_set(word, 0..8)
         .prop_map(|set| set.into_iter().map(String::from).collect::<Vec<String>>());
@@ -22,10 +38,8 @@ fn columns_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
 }
 
 fn run_matcher(columns: &[Vec<String>], theta: f32) -> Vec<datalake_fuzzy_fd::core::ValueGroup> {
-    let value_columns: Vec<Vec<Value>> = columns
-        .iter()
-        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
-        .collect();
+    let value_columns: Vec<Vec<Value>> =
+        columns.iter().map(|col| col.iter().map(|s| Value::text(s.clone())).collect()).collect();
     let embedder = EmbeddingModel::Mistral.build();
     let config = FuzzyFdConfig { theta, ..FuzzyFdConfig::default() };
     match_column_values(&value_columns, embedder.as_ref(), config)

@@ -1,0 +1,231 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Implements the measurement surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `sample_size`,
+//! `bench_with_input`, `Bencher::iter` — with straightforward wall-clock
+//! timing instead of criterion's statistical machinery.  Each sample times a
+//! batch of iterations sized so a sample takes at least ~1 ms; the per-
+//! iteration mean/min/max over the samples is reported on stdout as
+//!
+//! ```text
+//! bench: group/id  mean 1.234 ms  min 1.201 ms  max 1.402 ms  (10 samples)
+//! ```
+//!
+//! which is stable enough to diff across runs and cheap enough for CI's
+//! `cargo bench --no-run` compile check to stay the only gating use.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time per measured sample.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(1);
+
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) {
+        let name = name.into();
+        run_benchmark(&name, DEFAULT_SAMPLE_SIZE, &mut routine);
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to measure per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, &mut |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Benchmarks a routine with no extra input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; measures the routine under `iter`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration durations over all samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch sizing: grow the batch until one batch takes at
+        // least MIN_SAMPLE_TIME so timer resolution does not dominate.
+        let mut batch: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    routine(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench: {label}  (no measurement taken)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = *bencher.samples.iter().min().expect("non-empty samples");
+    let max = *bencher.samples.iter().max().expect("non-empty samples");
+    println!(
+        "bench: {label}  mean {}  min {}  max {}  ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        format_duration(max),
+        bencher.samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a group of benchmark functions (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` appends harness flags such as `--bench`; this
+            // harness has no options, so arguments are ignored.
+            $( $group_name(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("mistral").label, "mistral");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,76 @@
+//! The [`any`] entry point and [`Arbitrary`] impls for primitives.
+
+use crate::strategy::{GenResult, Strategy};
+use crate::test_runner::TestRng;
+
+/// Function-backed strategy used by the primitive [`Arbitrary`] impls.
+pub struct ArbitraryStrategy<T> {
+    generator: fn(&mut TestRng) -> T,
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> GenResult<T> {
+        Ok((self.generator)(rng))
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Returns the canonical strategy for this type.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Returns the canonical strategy for `A` (mirrors `proptest::arbitrary::any`).
+pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+    A::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<Self> {
+                ArbitraryStrategy { generator: |rng| rng.next_u64() as $t }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbitraryStrategy<Self> {
+        ArbitraryStrategy { generator: |rng| rng.next_u64() & 1 == 1 }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary() -> ArbitraryStrategy<Self> {
+        // Finite values spanning a wide magnitude range; NaN/inf excluded so
+        // generated data stays comparable.
+        ArbitraryStrategy {
+            generator: |rng| {
+                let magnitude = rng.unit_f64() * 1e12;
+                if rng.next_u64() & 1 == 1 {
+                    magnitude
+                } else {
+                    -magnitude
+                }
+            },
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary() -> ArbitraryStrategy<Self> {
+        ArbitraryStrategy { generator: |rng| (rng.unit_f64() * 2.0 - 1.0) as f32 * 1e6 }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary() -> ArbitraryStrategy<Self> {
+        // Printable ASCII keeps generated text debuggable.
+        ArbitraryStrategy { generator: |rng| (0x20 + rng.below(0x5f) as u8) as char }
+    }
+}

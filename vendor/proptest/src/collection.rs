@@ -1,0 +1,118 @@
+//! Collection strategies (`prop::collection::vec`, `prop::collection::hash_set`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::{GenResult, Strategy};
+use crate::test_runner::{Reject, TestRng};
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+}
+
+impl SizeRange {
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max - self.min) as u64 + 1;
+        self.min + rng.below(span) as usize
+    }
+
+    /// Caps both bounds at `limit` (used by `sample::subsequence`).
+    pub(crate) fn clamped_to(self, limit: usize) -> Self {
+        SizeRange { min: self.min.min(limit), max: self.max.min(limit) }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange { min: range.start, max: range.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange { min: *range.start(), max: *range.end() }
+    }
+}
+
+/// Generates a `Vec` whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Generates a `HashSet` whose cardinality falls in `size` (best effort when
+/// the element domain is too small to reach the drawn target).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> GenResult<Vec<S::Value>> {
+        let len = self.size.sample(rng);
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(self.element.generate(rng)?);
+        }
+        Ok(items)
+    }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> GenResult<HashSet<S::Value>> {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Duplicate draws do not grow the set, so bound the attempts; a small
+        // element domain then simply yields a smaller set.
+        let max_attempts = target * 20 + 10;
+        let mut attempts = 0;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng)?);
+            attempts += 1;
+        }
+        if set.len() < self.size.min {
+            return Err(Reject {
+                message: format!(
+                    "could not generate {} distinct elements (got {})",
+                    self.size.min,
+                    set.len()
+                ),
+            });
+        }
+        Ok(set)
+    }
+}

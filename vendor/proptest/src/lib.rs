@@ -1,0 +1,221 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The workspace's property tests are kept verbatim from what they would look
+//! like against the real crate; this stub implements the subset of the API
+//! they exercise:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_filter` and `boxed`, implemented for integer/float ranges, tuples
+//!   and [`strategy::Just`];
+//! * [`collection::vec`], [`collection::hash_set`], [`sample::select`],
+//!   [`string::string_regex`] and [`arbitrary::any`];
+//! * the [`proptest!`] macro family (`prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, `prop_assume!`, `prop_oneof!`) driven by a
+//!   deterministic per-test RNG.
+//!
+//! The one semantic difference from real proptest: failing cases are *not*
+//! shrunk — the failing assertion message is reported directly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Mirror of proptest's `prop` convenience module (`prop::collection::vec`,
+/// `prop::sample::select`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+    pub use crate::string;
+}
+
+/// Defines property tests over generated inputs.
+///
+/// The `#[test]` attribute inside the block is part of the macro's input
+/// syntax, re-emitted onto the generated zero-argument function.  Because
+/// `#[test]` functions are stripped outside test builds, the doctest below
+/// only compile-checks the expansion; `tests/macro_behaviour.rs` executes it.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[allow(clippy::test_attr_in_doctest)]
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { [$config] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ([$config:expr] $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut cases_passed: u32 = 0;
+                let mut rejects: u32 = 0;
+                while cases_passed < config.cases {
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $pat = match $crate::strategy::Strategy::generate(
+                                    &($strat),
+                                    &mut rng,
+                                ) {
+                                    ::core::result::Result::Ok(value) => value,
+                                    ::core::result::Result::Err(reject) => {
+                                        return ::core::result::Result::Err(
+                                            $crate::test_runner::TestCaseError::Reject(
+                                                reject.message,
+                                            ),
+                                        );
+                                    }
+                                };
+                            )+
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => cases_passed += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejects += 1;
+                            assert!(
+                                rejects <= config.max_global_rejects,
+                                "proptest stub: too many rejected cases ({} rejects, {} passes) in {}",
+                                rejects,
+                                cases_passed,
+                                stringify!($name),
+                            );
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "proptest case failed in {} (after {} passing cases): {}",
+                                stringify!($name),
+                                cases_passed,
+                                message,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left_val,
+                    right_val
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    left_val,
+                    right_val,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if *left_val == *right_val {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left_val,
+                    right_val
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) when the assumption is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+/// Picks among several strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,58 @@
+//! Sampling strategies (`prop::sample::select`, `prop::sample::subsequence`).
+
+use crate::collection::SizeRange;
+use crate::strategy::{GenResult, Strategy};
+use crate::test_runner::TestRng;
+
+/// Picks uniformly from a fixed, non-empty list of values.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> GenResult<T> {
+        let index = rng.below(self.items.len() as u64) as usize;
+        Ok(self.items[index].clone())
+    }
+}
+
+/// Picks a random subsequence (order-preserving subset) of `items` whose
+/// length falls in `size`; `size` is clamped to the number of items.
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    let size = size.into().clamped_to(items.len());
+    Subsequence { items, size }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T: Clone> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> GenResult<Vec<T>> {
+        let len = self.size.sample(rng);
+        // Choose `len` distinct indices via a partial Fisher-Yates shuffle,
+        // then restore input order.
+        let mut indices: Vec<usize> = (0..self.items.len()).collect();
+        for slot in 0..len {
+            let pick = slot + rng.below((indices.len() - slot) as u64) as usize;
+            indices.swap(slot, pick);
+        }
+        let mut chosen = indices[..len].to_vec();
+        chosen.sort_unstable();
+        Ok(chosen.into_iter().map(|i| self.items[i].clone()).collect())
+    }
+}

@@ -1,0 +1,239 @@
+//! Regex-shaped string strategies (`proptest::string::string_regex`).
+//!
+//! Supports the pattern subset the workspace's tests use: literal characters,
+//! character classes (`[A-Za-z ,"']`, ranges and literals, `\`-escapes), and
+//! the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded quantifiers are
+//! capped at 16 repetitions).  Anything outside that subset returns an error,
+//! as the real crate does for invalid patterns.
+
+use std::fmt;
+
+use crate::strategy::{GenResult, Strategy};
+use crate::test_runner::TestRng;
+
+/// Cap applied to `*` and `+` so generated strings stay small.
+const UNBOUNDED_CAP: usize = 16;
+
+/// Pattern rejected by the mini-regex parser.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One pattern element: a set of candidate characters plus repetition bounds.
+#[derive(Debug, Clone)]
+struct Element {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching a (subset) regex pattern.
+#[derive(Debug, Clone)]
+pub struct StringRegexStrategy {
+    elements: Vec<Element>,
+}
+
+impl Strategy for StringRegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> GenResult<String> {
+        let mut out = String::new();
+        for element in &self.elements {
+            let span = (element.max - element.min) as u64 + 1;
+            let count = element.min + rng.below(span) as usize;
+            for _ in 0..count {
+                let index = rng.below(element.choices.len() as u64) as usize;
+                out.push(element.choices[index]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Builds a strategy producing strings that match `pattern`.
+pub fn string_regex(pattern: &str) -> Result<StringRegexStrategy, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let mut elements = Vec::new();
+    while pos < chars.len() {
+        let choices = parse_atom(&chars, &mut pos)?;
+        let (min, max) = parse_quantifier(&chars, &mut pos)?;
+        elements.push(Element { choices, min, max });
+    }
+    Ok(StringRegexStrategy { elements })
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Vec<char>, Error> {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            parse_class(chars, pos)
+        }
+        '\\' => {
+            *pos += 1;
+            let escaped = *chars
+                .get(*pos)
+                .ok_or_else(|| Error("dangling escape at end of pattern".into()))?;
+            *pos += 1;
+            Ok(expand_escape(escaped))
+        }
+        c @ ('(' | ')' | '|' | '^' | '$') => {
+            Err(Error(format!("metacharacter `{c}` is not supported")))
+        }
+        '.' => {
+            *pos += 1;
+            // Printable ASCII stands in for "any character".
+            Ok((0x20u8..0x7f).map(char::from).collect())
+        }
+        c => {
+            *pos += 1;
+            Ok(vec![c])
+        }
+    }
+}
+
+fn expand_escape(escaped: char) -> Vec<char> {
+    match escaped {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+        's' => vec![' ', '\t'],
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        c => vec![c],
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Vec<char>, Error> {
+    if chars.get(*pos) == Some(&'^') {
+        return Err(Error("negated character classes are not supported".into()));
+    }
+    let mut choices = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        match c {
+            ']' => {
+                *pos += 1;
+                if choices.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(choices);
+            }
+            '\\' => {
+                *pos += 1;
+                let escaped =
+                    *chars.get(*pos).ok_or_else(|| Error("dangling escape inside class".into()))?;
+                *pos += 1;
+                choices.extend(expand_escape(escaped));
+            }
+            start => {
+                // `a-z` range when a dash follows and is not the terminator.
+                if chars.get(*pos + 1) == Some(&'-')
+                    && chars.get(*pos + 2).is_some_and(|&end| end != ']')
+                {
+                    let end = chars[*pos + 2];
+                    if end < start {
+                        return Err(Error(format!("invalid class range {start}-{end}")));
+                    }
+                    choices.extend(start..=end);
+                    *pos += 3;
+                } else {
+                    choices.push(start);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+    Err(Error("unterminated character class".into()))
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(usize, usize), Error> {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Ok((0, 1))
+        }
+        Some('*') => {
+            *pos += 1;
+            Ok((0, UNBOUNDED_CAP))
+        }
+        Some('+') => {
+            *pos += 1;
+            Ok((1, UNBOUNDED_CAP))
+        }
+        Some('{') => {
+            let close = chars[*pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| Error("unterminated quantifier".into()))?
+                + *pos;
+            let body: String = chars[*pos + 1..close].iter().collect();
+            *pos = close + 1;
+            let parse = |s: &str| {
+                s.trim().parse::<usize>().map_err(|_| Error(format!("bad quantifier `{body}`")))
+            };
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                None => {
+                    let exact = parse(&body)?;
+                    (exact, exact)
+                }
+            };
+            if max < min {
+                return Err(Error(format!("quantifier max below min in `{body}`")));
+            }
+            Ok((min, max))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn generates_matching_strings() {
+        let strategy = string_regex("[A-Za-z][A-Za-z ,\"']{0,14}[A-Za-z]").unwrap();
+        let mut rng = TestRng::deterministic("generates_matching_strings");
+        for _ in 0..200 {
+            let s = strategy.generate(&mut rng).unwrap();
+            assert!(s.len() >= 2, "too short: {s:?}");
+            assert!(s.len() <= 16, "too long: {s:?}");
+            let chars: Vec<char> = s.chars().collect();
+            assert!(chars[0].is_ascii_alphabetic());
+            assert!(chars[chars.len() - 1].is_ascii_alphabetic());
+            for &c in &chars[1..chars.len() - 1] {
+                assert!(
+                    c.is_ascii_alphabetic() || matches!(c, ' ' | ',' | '"' | '\''),
+                    "unexpected char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_escape_quantifiers() {
+        let strategy = string_regex("a{3}\\d?").unwrap();
+        let mut rng = TestRng::deterministic("exact");
+        for _ in 0..50 {
+            let s = strategy.generate(&mut rng).unwrap();
+            assert!(s.starts_with("aaa"));
+            assert!(s.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn unsupported_patterns_error() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("[a").is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end exercises of the `proptest!` macro family: generation,
+//! assertions, assumptions, weighted unions, collections, and strategy
+//! combinators all running under the real test harness.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+fn doubled() -> impl Strategy<Value = (u32, u32)> {
+    (0u32..500).prop_map(|n| (n, n * 2))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ranges_stay_in_bounds(n in 10usize..20, f in 0.0f64..1.0) {
+        prop_assert!((10..20).contains(&n));
+        prop_assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn assume_discards_without_failing(n in 0i32..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    fn combinators_compose(pair in doubled()) {
+        prop_assert_eq!(pair.1, pair.0 * 2);
+    }
+
+    #[test]
+    fn oneof_only_yields_listed_values(v in prop_oneof![3 => Just(1u8), 1 => Just(9u8)]) {
+        prop_assert!(v == 1 || v == 9, "unexpected union value {}", v);
+    }
+
+    #[test]
+    fn collections_respect_sizes(
+        items in prop::collection::vec(0u16..50, 2..=5),
+        set in prop::collection::hash_set(0u16..1000, 0..4),
+    ) {
+        prop_assert!((2..=5).contains(&items.len()));
+        prop_assert!(set.len() < 4);
+    }
+
+    #[test]
+    fn subsequences_preserve_order(sub in prop::sample::subsequence(vec![1, 2, 3, 4, 5], 1..=4)) {
+        prop_assert!(!sub.is_empty() && sub.len() <= 4);
+        let mut sorted = sub.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sub, &sorted, "subsequence must preserve input order");
+        let distinct: HashSet<i32> = sub.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), sub.len(), "subsequence must not repeat items");
+    }
+
+    #[test]
+    fn filters_apply(even in (0u64..1000).prop_filter("even only", |n| n % 2 == 0)) {
+        prop_assert_eq!(even % 2, 0);
+    }
+}
+
+// Deliberately declared without `#[test]` (the attribute is optional macro
+// input) so it can be invoked manually under `catch_unwind` below.
+proptest! {
+    fn always_fails(n in 0u8..10) {
+        prop_assert!(n > 100, "impossible bound for {}", n);
+    }
+}
+
+#[test]
+fn failing_case_panics_with_message() {
+    let result = std::panic::catch_unwind(always_fails);
+    let panic_message = *result.expect_err("must panic").downcast::<String>().expect("string");
+    assert!(panic_message.contains("impossible bound"), "got: {panic_message}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+
+    let strategy = (0u64..1_000_000, 0u64..1_000_000);
+    let mut first = TestRng::deterministic("determinism");
+    let mut second = TestRng::deterministic("determinism");
+    for _ in 0..50 {
+        assert_eq!(strategy.generate(&mut first).unwrap(), strategy.generate(&mut second).unwrap());
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the *minimal* serialization surface it actually uses:
+//! `#[derive(Serialize, Deserialize)]` on plain structs and enums (including
+//! `#[serde(skip)]` on fields) plus enough trait impls for the primitive and
+//! container types appearing in those definitions.  `serde_json` (also
+//! vendored) renders the [`Content`] tree produced here.
+//!
+//! The derived `Serialize` follows serde's externally-tagged JSON conventions
+//! (structs are objects, unit variants are strings, newtype variants are
+//! single-key objects) so output stays compatible if the real crate is ever
+//! substituted back in.  `Deserialize` is a marker trait only: the workspace
+//! derives it for forward compatibility but never drives a deserializer.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value tree (akin to `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the serialized representation of `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Derived alongside `Serialize` for API fidelity; no deserializer exists in
+/// this stub, so the trait intentionally has no methods.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Cow<'_, str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content(), self.2.to_content()])
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_content())).collect();
+        // HashMap iteration order is unstable; sort for deterministic output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_content())).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3i32.to_content(), Content::I64(3));
+        assert_eq!(3usize.to_content(), Content::U64(3));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("x".to_string().to_content(), Content::Str("x".into()));
+        assert_eq!(None::<i32>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn containers_serialize() {
+        assert_eq!(
+            vec![1i64, 2].to_content(),
+            Content::Seq(vec![Content::I64(1), Content::I64(2)])
+        );
+        let mut map = BTreeMap::new();
+        map.insert("a", 1u8);
+        assert_eq!(map.to_content(), Content::Map(vec![("a".into(), Content::U64(1))]));
+    }
+}

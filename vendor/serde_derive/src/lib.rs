@@ -1,0 +1,337 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly from
+//! the `proc_macro` token stream.  Supported shapes cover everything the
+//! workspace derives on: non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants), plus the `#[serde(skip)]` field
+//! attribute.  Anything richer panics with a clear message at expansion time
+//! rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (or tuple index) plus whether `#[serde(skip)]` was present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the vendored `serde::Serialize` (externally-tagged, JSON-shaped).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => serialize_named_fields(fields, "&self."),
+        Item::TupleStruct { arity, .. } => serialize_tuple_body(*arity),
+        Item::UnitStruct { name } => {
+            format!("::serde::Content::Str(::std::string::String::from(\"{name}\"))")
+        }
+        Item::Enum { variants, .. } => serialize_enum_body(variants),
+    };
+    let name = item_name(&item);
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive produced invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive produced invalid Rust")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+fn serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{0}\"), \
+                 ::serde::Serialize::to_content({access_prefix}{0}))",
+                f.name
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn serialize_tuple_body(arity: usize) -> String {
+    if arity == 1 {
+        // Newtype structs serialize transparently, as in serde.
+        return "::serde::Serialize::to_content(&self.0)".to_string();
+    }
+    let items: Vec<String> =
+        (0..arity).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+    format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+}
+
+fn serialize_enum_body(variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => format!(
+                    "Self::{vname} => \
+                     ::serde::Content::Str(::std::string::String::from(\"{vname}\"))"
+                ),
+                VariantShape::Tuple(1) => format!(
+                    "Self::{vname}(f0) => ::serde::Content::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::to_content(f0))])"
+                ),
+                VariantShape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_content({b})"))
+                        .collect();
+                    format!(
+                        "Self::{vname}({}) => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Content::Seq(::std::vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let inner = serialize_named_fields(fields, "");
+                    format!(
+                        "Self::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), {inner})])",
+                        binds.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: parse_tuple_arity(g.stream()) }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Skips `#[...]` attribute groups (doc comments included), returning whether
+/// any of them was `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if attribute_is_serde_skip(g.stream()) {
+                skip = true;
+            }
+            *pos += 2;
+        } else {
+            panic!("serde_derive stub: `#` not followed by an attribute group");
+        }
+    }
+    skip
+}
+
+/// Recognises `#[serde(skip)]`.  Any *other* `#[serde(...)]` argument
+/// (rename, default, flatten, ...) is not implemented by this stub, so it
+/// panics at expansion time rather than silently emitting JSON that diverges
+/// from what real serde would produce.
+fn attribute_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match args.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "skip" => true,
+                other => panic!(
+                    "serde_derive stub: unsupported #[serde({})] — only #[serde(skip)] \
+                     is implemented; extend vendor/serde_derive if you need more",
+                    other.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)` / `pub(super)` carry a parenthesized scope.
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (which is consumed).
+/// Angle brackets are plain puncts in the token stream, so nesting depth is
+/// tracked to avoid splitting on commas inside `HashMap<String, usize>`.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut arity = 0;
+    while pos < tokens.len() {
+        if skip_attributes(&tokens, &mut pos) {
+            panic!("serde_derive stub: #[serde(skip)] on tuple fields is not supported");
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        if skip_attributes(&tokens, &mut pos) {
+            panic!("serde_derive stub: #[serde(skip)] on enum variants is not supported");
+        }
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume the trailing comma between variants, if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde [`Content`]
+//! tree as JSON text.  Only the encoding half the workspace uses is
+//! implemented (`to_string`, `to_string_pretty`).
+
+use std::fmt;
+
+use serde::{Content, Serialize};
+
+/// Serialization error.
+///
+/// The only failure the encoder can hit is a non-finite float, which JSON
+/// cannot represent (mirroring real serde_json's behaviour of rejecting them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_content(
+    content: &Content,
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(i) => out.push_str(&i.to_string()),
+        Content::U64(u) => out.push_str(&u.to_string()),
+        Content::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("non-finite float {f} cannot be encoded")));
+            }
+            // `{:?}` keeps a trailing `.0` on integral floats, matching the
+            // round-trippable formatting serde_json uses.
+            out.push_str(&format!("{f:?}"));
+        }
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_content(item, out, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(value, out, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let content = vec![("k".to_string(), 1i64)];
+        // Vec<(String, i64)> serializes as a sequence of pairs.
+        assert_eq!(to_string(&content).unwrap(), "[[\"k\",1]]");
+    }
+
+    #[test]
+    fn pretty_indents_maps() {
+        struct Pair;
+        impl Serialize for Pair {
+            fn to_content(&self) -> Content {
+                Content::Map(vec![
+                    ("a".into(), Content::I64(1)),
+                    ("b".into(), Content::Str("x\"y".into())),
+                ])
+            }
+        }
+        let json = to_string_pretty(&Pair).unwrap();
+        assert_eq!(json, "{\n  \"a\": 1,\n  \"b\": \"x\\\"y\"\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn floats_keep_fractional_marker() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+}
