@@ -1,21 +1,24 @@
 //! Criterion bench backing Table 1: value-matching cost per embedding model
-//! on one Auto-Join-style integration set.
+//! on one Auto-Join-style integration set, plus a blocked-vs-exhaustive
+//! comparison of the candidate-space policies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fuzzy_fd_core::{match_column_values, FuzzyFdConfig};
+use fuzzy_fd_core::{
+    match_column_values, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig, SemanticBlocking,
+};
 use lake_benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
 use lake_embed::ALL_MODELS;
 use lake_table::Value;
 
-fn bench_value_matching(c: &mut Criterion) {
+fn autojoin_columns() -> Vec<Vec<Value>> {
     let config =
         AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
     let set = generate_autojoin_benchmark(config).remove(0);
-    let columns: Vec<Vec<Value>> = set
-        .columns
-        .iter()
-        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
-        .collect();
+    set.columns.iter().map(|col| col.iter().map(|s| Value::text(s.clone())).collect()).collect()
+}
+
+fn bench_value_matching(c: &mut Criterion) {
+    let columns = autojoin_columns();
 
     let mut group = c.benchmark_group("value_matching");
     group.sample_size(10);
@@ -31,5 +34,38 @@ fn bench_value_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_value_matching);
+/// Blocked vs exhaustive candidate generation, all on the default (Mistral)
+/// model: the exhaustive dense matrix, the default exact sub-threshold
+/// channel, surface keys only, and SimHash banding.
+fn bench_blocking_policies(c: &mut Criterion) {
+    let columns = autojoin_columns();
+    let embedder = FuzzyFdConfig::default().model.build();
+
+    let keyed = |semantic| {
+        BlockingPolicy::Keyed(KeyedBlockingConfig {
+            semantic,
+            min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
+        })
+    };
+    let policies: [(&str, BlockingPolicy); 4] = [
+        ("exhaustive", BlockingPolicy::Exhaustive),
+        ("exact", keyed(SemanticBlocking::ExactBelow { slack: 0.1 })),
+        ("surface", keyed(SemanticBlocking::Off)),
+        ("simhash", keyed(SemanticBlocking::simhash_default())),
+    ];
+
+    let mut group = c.benchmark_group("value_matching_blocking");
+    group.sample_size(10);
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &columns, |b, cols| {
+            b.iter(|| {
+                match_column_values(cols, embedder.as_ref(), FuzzyFdConfig::with_blocking(policy))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_value_matching, bench_blocking_policies);
 criterion_main!(benches);

@@ -1,0 +1,862 @@
+//! Blocked candidate generation for fuzzy value matching.
+//!
+//! Each fold step of the Match Values component bipartite-matches the current
+//! combined column (the groups) against the next column's values.  Done
+//! naively that is one dense `groups × values` cost matrix — O(n²) distance
+//! computations plus a cubic assignment solve.  This module partitions the
+//! candidate space first; the connected components of the candidate-pair
+//! bipartite graph become independent sub-problems.  Pairs in different
+//! components are never compared; each component is solved as its own small
+//! assignment problem, and the components can be solved concurrently because
+//! they share no group and no value.
+//!
+//! Candidate pairs come from two channels:
+//!
+//! * **surface keys** ([`lake_text::string_block_keys`]: tokens, q-grams,
+//!   acronyms) — two items are candidates when they share a key, optionally
+//!   augmented with SimHash embedding-bucket keys from
+//!   [`lake_embed::SimHasher`] ([`SemanticBlocking::SimHash`]).  Cheap and
+//!   sub-quadratic, but probabilistic on the semantic side;
+//! * **exact sub-threshold distances** ([`SemanticBlocking::ExactBelow`],
+//!   the default) — one dot-product sweep over the fold computes every
+//!   (group, value) cosine distance and admits exactly the pairs below
+//!   `θ + slack`.  Any pair the post-solve thresholding step could accept is
+//!   a candidate by construction, and each candidate's distance is recorded
+//!   on the block so the solver reuses it instead of recomputing.  The sweep
+//!   costs the same dot products the exhaustive cost matrix would — the win
+//!   is the (cubic) solver seeing much smaller independent sub-problems and
+//!   the masked share of the matrix never being touched again.
+//!
+//! Within a block, non-candidate combinations are masked with an
+//! above-threshold cost, so blocked mode never matches a pair that was not a
+//! candidate.  The cartesian fallback ([`BlockingPolicy::Exhaustive`], or a
+//! keyed policy below its `min_blocked_pairs` floor) produces a single
+//! unmasked block covering every pair, which preserves the exact exhaustive
+//! behaviour.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use lake_embed::{SimHasher, Vector};
+use lake_text::{string_block_keys, BlockKeyOptions};
+
+use crate::config::{BlockingPolicy, KeyedBlockingConfig, SemanticBlocking};
+
+/// Namespace salt separating embedding-bucket keys from hashed surface keys.
+const BAND_KEY_NAMESPACE: u64 = 0xB10C_7E57_BA5E_D000;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Continues an FNV-1a hash over more bytes.
+#[inline]
+fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes one surface blocking key (a `value_block_keys` string) to the
+/// compact `u64` form the planner works with (FNV-1a, the same stable hash
+/// the embedders use).
+pub fn hash_key(key: &str) -> u64 {
+    fnv1a_continue(FNV_OFFSET, key.as_bytes())
+}
+
+/// The hashed key of SimHash band `band` hashing to `bucket` — the numeric
+/// twin of the `sh<band>:<bucket>` strings of
+/// [`SimHasher::band_keys`](lake_embed::SimHasher::band_keys).
+pub fn band_bucket_key(band: usize, bucket: u64) -> u64 {
+    // Splitmix64 finalizer: spreads the small (band, bucket) space over u64
+    // so chance collisions with FNV-hashed surface keys stay negligible.
+    let mut z = BAND_KEY_NAMESPACE ^ ((band as u64) << 32) ^ bucket;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashed planner keys are already uniformly mixed (`FNV` / splitmix
+/// output), so the bucket maps use them verbatim instead of re-hashing with
+/// SipHash.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | b as u64;
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.0 = value as u64;
+    }
+}
+
+type KeyMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+
+/// One independent sub-problem: row indices (groups) × column indices
+/// (values) that may be matched to each other.  Indices refer to the caller's
+/// candidate arrays, not to global group ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Row-side members (indices into the candidate group list).
+    pub rows: Vec<usize>,
+    /// Column-side members (indices into the candidate value list).
+    pub cols: Vec<usize>,
+    /// The candidate `(row, col)` pairs of this block (global indices,
+    /// sorted).  `None` means the block is dense — every combination is a
+    /// candidate (the cartesian fallback).
+    pub pairs: Option<Vec<(usize, usize)>>,
+    /// Cosine distances of the candidate pairs, aligned with `pairs`.  Filled
+    /// by the [`SemanticBlocking::ExactBelow`] planner (which computes them
+    /// anyway) so the solver builds cost matrices without re-embedding or
+    /// re-measuring; `None` when the planner was key-based.
+    pub costs: Option<Vec<f32>>,
+}
+
+impl Block {
+    /// Number of candidate pairs this block generates (combinations whose
+    /// distance is actually computed).
+    pub fn pair_count(&self) -> usize {
+        match &self.pairs {
+            Some(pairs) => pairs.len(),
+            None => self.rows.len() * self.cols.len(),
+        }
+    }
+
+    /// Number of participants (rows + columns).
+    pub fn size(&self) -> usize {
+        self.rows.len() + self.cols.len()
+    }
+}
+
+/// Statistics of one or more blocking rounds, reported through
+/// [`FuzzyFdReport`](crate::FuzzyFdReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockingStats {
+    /// Bipartite matching steps (column folds) that went through planning.
+    pub folds: usize,
+    /// Blocks actually solved (a cartesian fallback counts as one block).
+    pub blocks: usize,
+    /// Candidate pairs that entered cost matrices.
+    pub candidate_pairs: usize,
+    /// Pairs pruned away relative to the exhaustive cartesian space.
+    pub pruned_pairs: usize,
+    /// Participants (groups + values) of the largest block seen.
+    pub max_block_size: usize,
+}
+
+impl BlockingStats {
+    /// Folds another round's statistics into this accumulator.
+    pub fn merge(&mut self, other: &BlockingStats) {
+        self.folds += other.folds;
+        self.blocks += other.blocks;
+        self.candidate_pairs += other.candidate_pairs;
+        self.pruned_pairs += other.pruned_pairs;
+        self.max_block_size = self.max_block_size.max(other.max_block_size);
+    }
+
+    /// Fraction of the exhaustive candidate space that was pruned, in
+    /// `[0, 1]` (`0` when nothing was pruned or nothing was planned).
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.candidate_pairs + self.pruned_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_pairs as f64 / total as f64
+        }
+    }
+}
+
+/// The result of planning one bipartite matching step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPlan {
+    /// Independent sub-problems; every row and every column appears in at
+    /// most one block.  Rows/columns in no block have no candidate partner.
+    pub blocks: Vec<Block>,
+    /// What the plan pruned.
+    pub stats: BlockingStats,
+}
+
+/// The inputs of one bipartite matching step, from the planner's point of
+/// view: hashed surface keys and embeddings for both sides, plus the matching
+/// threshold.  Channels a policy does not use may be left empty — the
+/// key-based planners ignore the embeddings unless SimHash buckets are on,
+/// and [`SemanticBlocking::ExactBelow`] ignores the key slices entirely (a
+/// pair at distance ≥ θ + slack can never survive thresholding, so surface
+/// keys cannot add a useful candidate there).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoldInputs<'a> {
+    /// Hashed blocking keys of each row (surface keys via [`hash_key`];
+    /// duplicates within an item are tolerated).
+    pub row_keys: &'a [Vec<u64>],
+    /// Hashed blocking keys of each column.
+    pub col_keys: &'a [Vec<u64>],
+    /// Embedding of each row (group representative).
+    pub row_embeddings: &'a [&'a Vector],
+    /// Embedding of each column (value).
+    pub col_embeddings: &'a [&'a Vector],
+    /// Matching threshold θ of this fold (the `ExactBelow` candidacy cutoff
+    /// is `theta + slack`).
+    pub theta: f32,
+}
+
+impl FoldInputs<'_> {
+    /// Number of rows, from whichever channel is populated.
+    fn rows(&self) -> usize {
+        self.row_keys.len().max(self.row_embeddings.len())
+    }
+
+    /// Number of columns, from whichever channel is populated.
+    fn cols(&self) -> usize {
+        self.col_keys.len().max(self.col_embeddings.len())
+    }
+}
+
+/// The surface blocking keys of one value string under the value-matching
+/// profile (all trigrams + acronym keys).  Group keys are the union of the
+/// member values' keys, so a value and a group collide as soon as the value
+/// shares a key with any member.
+pub fn value_block_keys(value: &str) -> BTreeSet<String> {
+    string_block_keys(value, &BlockKeyOptions::value_matching())
+}
+
+/// A [`SimHasher`] configured for a [`SemanticBlocking::SimHash`] channel
+/// over `dim`-dimensional embeddings, or `None` for the other channels (and
+/// for `dim == 0`, where there is nothing to project).  Exposed so tests can
+/// reproduce the exact embedding-bucket keys the planner uses.
+///
+/// # Panics
+/// Panics on an unusable SimHash configuration (`bands == 0`,
+/// `band_bits == 0`, or `bands * band_bits > 64`) — rejecting the mistake
+/// where it is visible instead of silently dropping the semantic channel or
+/// failing deep inside [`SimHasher::new`].
+pub fn embedding_hasher(semantic: &SemanticBlocking, dim: usize) -> Option<SimHasher> {
+    match *semantic {
+        SemanticBlocking::SimHash { bands, band_bits } => {
+            assert!(
+                bands > 0 && band_bits > 0,
+                "SimHash blocking needs at least one band and one bit per band \
+                 (got {bands} × {band_bits}); use SemanticBlocking::Off to disable \
+                 the semantic channel"
+            );
+            assert!(
+                bands * band_bits <= 64,
+                "SimHash signature must fit in a u64: {bands} bands × {band_bits} bits > 64"
+            );
+            (dim > 0).then(|| SimHasher::new(bands * band_bits, dim))
+        }
+        SemanticBlocking::Off | SemanticBlocking::ExactBelow { .. } => None,
+    }
+}
+
+/// The hashed embedding-bucket keys of one embedding under a SimHash channel
+/// (empty for the other channels).  Convenience for tests and diagnostics —
+/// hot paths build one [`SimHasher`] via [`embedding_hasher`] and map its
+/// band buckets through [`band_bucket_key`] themselves.
+pub fn embedding_bucket_keys(semantic: &SemanticBlocking, embedding: &Vector) -> Vec<u64> {
+    let (hasher, band_bits) = match (embedding_hasher(semantic, embedding.dim()), semantic) {
+        (Some(hasher), SemanticBlocking::SimHash { band_bits, .. }) => (hasher, *band_bits),
+        _ => return Vec::new(),
+    };
+    hasher
+        .band_buckets(embedding, band_bits)
+        .into_iter()
+        .enumerate()
+        .map(|(band, bucket)| band_bucket_key(band, bucket))
+        .collect()
+}
+
+/// Hashes a full surface-key set ([`value_block_keys`]) into planner form.
+pub fn hashed_keys(keys: &BTreeSet<String>) -> Vec<u64> {
+    keys.iter().map(|k| hash_key(k)).collect()
+}
+
+/// The hashed surface keys of one value, computed without materialising the
+/// key strings — hash-identical to `hashed_keys(&value_block_keys(value))`
+/// (duplicates may appear; the planner dedups).  This is the hot-path form
+/// used by every fold step.
+pub fn hashed_value_block_keys(value: &str) -> Vec<u64> {
+    use lake_text::{acronym, normalize_aggressive, words};
+
+    // Seeds equal an FNV-1a hash of the namespace prefix, so continuing over
+    // the token bytes matches `hash_key("t:<token>")` &c. exactly.
+    let token_seed = fnv1a_continue(FNV_OFFSET, b"t:");
+    let gram_seed = fnv1a_continue(FNV_OFFSET, b"g:");
+    let acronym_seed = fnv1a_continue(FNV_OFFSET, b"a:");
+    let options = BlockKeyOptions::value_matching();
+
+    let mut keys = Vec::new();
+    let mut utf8 = [0u8; 4];
+    let text = normalize_aggressive(value);
+    let tokens = words(&text);
+    for token in &tokens {
+        // Byte-measured gate, mirroring `string_block_keys`.
+        if token.len() < options.min_token_len {
+            continue;
+        }
+        let chars: Vec<char> = token.chars().collect();
+        keys.push(fnv1a_continue(token_seed, token.as_bytes()));
+        if chars.len() < options.qgram {
+            // `char_ngrams` yields the whole (short) token as its one gram.
+            keys.push(fnv1a_continue(gram_seed, token.as_bytes()));
+        } else {
+            for gram in chars.windows(options.qgram) {
+                let mut hash = gram_seed;
+                for &c in gram {
+                    hash = fnv1a_continue(hash, c.encode_utf8(&mut utf8).as_bytes());
+                }
+                keys.push(hash);
+            }
+        }
+    }
+    if tokens.len() >= 2 {
+        // Round-trip through `acronym` so case-folding edge cases (ß → ss)
+        // agree with the string form byte for byte.
+        let initials = acronym(&text).to_lowercase();
+        if initials.chars().count() >= 2 {
+            keys.push(fnv1a_continue(acronym_seed, initials.as_bytes()));
+        }
+    } else if let Some(token) = tokens.first() {
+        let len = token.chars().count();
+        if (2..=lake_text::MAX_ACRONYM_LEN).contains(&len) {
+            keys.push(fnv1a_continue(acronym_seed, token.as_bytes()));
+        }
+    }
+    keys
+}
+
+/// Plans the blocks of one bipartite matching step.
+///
+/// Under [`BlockingPolicy::Exhaustive`] — or a keyed policy whose
+/// `min_blocked_pairs` floor exceeds the candidate space — the plan is a
+/// single cartesian block and nothing is pruned.  A keyed policy dispatches
+/// on its [`SemanticBlocking`] channel: `Off`/`SimHash` run the key-bucket
+/// planner over `input`'s key slices (SimHash band keys are derived from the
+/// embeddings internally), `ExactBelow` runs the exact distance sweep over
+/// the embedding slices.
+pub fn plan_blocks(input: &FoldInputs<'_>, policy: &BlockingPolicy) -> BlockPlan {
+    let rows = input.rows();
+    let cols = input.cols();
+    let total_pairs = rows * cols;
+    let keyed = match policy {
+        BlockingPolicy::Exhaustive => return plan_cartesian(rows, cols),
+        BlockingPolicy::Keyed(keyed) if total_pairs < keyed.min_blocked_pairs => {
+            return plan_cartesian(rows, cols);
+        }
+        BlockingPolicy::Keyed(keyed) => keyed,
+    };
+    match keyed.semantic {
+        SemanticBlocking::ExactBelow { slack } => plan_exact(input, input.theta + slack),
+        SemanticBlocking::Off | SemanticBlocking::SimHash { .. } => plan_by_keys(input, keyed),
+    }
+}
+
+/// The exact sub-threshold planner: one dot-product sweep computes every
+/// (row, col) cosine distance; pairs strictly below `cutoff` are candidates
+/// and carry their distance into the blocks.  Recall at the matching
+/// threshold is exact by construction.
+fn plan_exact(input: &FoldInputs<'_>, cutoff: f32) -> BlockPlan {
+    let rows = input.row_embeddings.len();
+    let cols = input.col_embeddings.len();
+    let row_norms: Vec<f32> = input.row_embeddings.iter().map(|e| e.norm()).collect();
+    let col_norms: Vec<f32> = input.col_embeddings.iter().map(|e| e.norm()).collect();
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut costs: Vec<f32> = Vec::new();
+    for (r, row) in input.row_embeddings.iter().enumerate() {
+        for (c, col) in input.col_embeddings.iter().enumerate() {
+            let distance = row.cosine_distance_given_norms(row_norms[r], col, col_norms[c]);
+            if distance < cutoff {
+                pairs.push((r, c));
+                costs.push(distance);
+            }
+        }
+    }
+    assemble_components(rows, cols, pairs, Some(costs))
+}
+
+/// The key-bucket planner: rows and columns sharing a usable key become
+/// candidate pairs.
+fn plan_by_keys(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> BlockPlan {
+    let rows = input.rows();
+    let cols = input.cols();
+    let total_pairs = rows * cols;
+
+    // SimHash band keys are derived here so callers only supply embeddings.
+    let dim =
+        input.row_embeddings.first().or(input.col_embeddings.first()).map(|e| e.dim()).unwrap_or(0);
+    let hasher = embedding_hasher(&keyed.semantic, dim);
+    let band_bits = match keyed.semantic {
+        SemanticBlocking::SimHash { band_bits, .. } => band_bits,
+        _ => 0,
+    };
+    let bucket_keys = |embedding: Option<&&Vector>, keys: &mut Vec<(u64, u32)>, node: u32| {
+        if let (Some(hasher), Some(embedding)) = (&hasher, embedding) {
+            keys.extend(
+                hasher
+                    .band_buckets(embedding, band_bits)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(band, bucket)| (band_bucket_key(band, bucket), node)),
+            );
+        }
+    };
+
+    // Bucket rows and columns by key — sort-based grouping of (key, node)
+    // entries instead of a hash map, which keeps the hot path allocation-free
+    // — then emit every cross-side combination of each usable bucket as a
+    // candidate pair.  Buckets bigger than the cap are uninformative
+    // ("the"-style keys) and skipped entirely.  A bitmap over the candidate
+    // space dedups pairs reachable through several shared keys (it costs one
+    // bit per cartesian pair, which is fine for any space worth blocking; a
+    // keyed map takes over for astronomically large folds).
+    let mut entries: Vec<(u64, u32)> = Vec::with_capacity(
+        input.row_keys.iter().map(Vec::len).sum::<usize>()
+            + input.col_keys.iter().map(Vec::len).sum::<usize>(),
+    );
+    for (i, keys) in input.row_keys.iter().enumerate() {
+        entries.extend(keys.iter().map(|&k| (k, i as u32)));
+    }
+    for i in 0..rows {
+        bucket_keys(input.row_embeddings.get(i), &mut entries, i as u32);
+    }
+    for (j, keys) in input.col_keys.iter().enumerate() {
+        entries.extend(keys.iter().map(|&k| (k, (rows + j) as u32)));
+    }
+    for j in 0..cols {
+        bucket_keys(input.col_embeddings.get(j), &mut entries, (rows + j) as u32);
+    }
+    entries.sort_unstable();
+    entries.dedup();
+
+    const BITMAP_CAP: usize = 1 << 24; // 2 MiB of bits
+    let mut bitmap: Vec<u64> =
+        if total_pairs <= BITMAP_CAP { vec![0u64; total_pairs.div_ceil(64)] } else { Vec::new() };
+    let mut seen: KeyMap<()> = KeyMap::default();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    while start < entries.len() {
+        let key = entries[start].0;
+        let mut end = start;
+        while end < entries.len() && entries[end].0 == key {
+            end += 1;
+        }
+        let bucket = &entries[start..end];
+        start = end;
+        // Nodes in a run are sorted, so rows come before columns.
+        let split = bucket.partition_point(|&(_, node)| (node as usize) < rows);
+        let (bucket_rows, bucket_cols) = bucket.split_at(split);
+        if bucket_rows.is_empty() || bucket_cols.is_empty() {
+            continue;
+        }
+        if bucket.len() > keyed.max_key_bucket {
+            continue;
+        }
+        for &(_, r) in bucket_rows {
+            for &(_, c) in bucket_cols {
+                let (r, c) = (r as usize, c as usize - rows);
+                let flat = r * cols + c;
+                let fresh = if bitmap.is_empty() {
+                    seen.insert(flat as u64, ()).is_none()
+                } else {
+                    let (word, bit) = (flat / 64, flat % 64);
+                    let fresh = bitmap[word] & (1 << bit) == 0;
+                    bitmap[word] |= 1 << bit;
+                    fresh
+                };
+                if fresh {
+                    pairs.push((r, c));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    assemble_components(rows, cols, pairs, None)
+}
+
+/// Builds the block plan from a sorted candidate-pair list: connected
+/// components of the candidate graph are independent sub-problems (they
+/// share no row and no column).  `costs`, when given, must align with
+/// `pairs` and is scattered onto the blocks.
+fn assemble_components(
+    rows: usize,
+    cols: usize,
+    pairs: Vec<(usize, usize)>,
+    costs: Option<Vec<f32>>,
+) -> BlockPlan {
+    // Union-find over rows (nodes 0..rows) and columns (rows..rows+cols).
+    let mut parent: Vec<usize> = (0..rows + cols).collect();
+    for &(r, c) in &pairs {
+        union(&mut parent, r, rows + c);
+    }
+
+    // Gather components in node order for determinism; nodes in no candidate
+    // pair form one-sided components and are dropped below.
+    let with_costs = costs.is_some();
+    let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut blocks: Vec<Block> = Vec::new();
+    for node in 0..rows + cols {
+        let root = find(&mut parent, node);
+        let idx = *component_of_root.entry(root).or_insert_with(|| {
+            blocks.push(Block {
+                rows: Vec::new(),
+                cols: Vec::new(),
+                pairs: Some(Vec::new()),
+                costs: with_costs.then(Vec::new),
+            });
+            blocks.len() - 1
+        });
+        if node < rows {
+            blocks[idx].rows.push(node);
+        } else {
+            blocks[idx].cols.push(node - rows);
+        }
+    }
+    let costs = costs.unwrap_or_default();
+    for (idx, (r, c)) in pairs.into_iter().enumerate() {
+        let root = find(&mut parent, r);
+        let block = &mut blocks[component_of_root[&root]];
+        if let Some(block_pairs) = &mut block.pairs {
+            block_pairs.push((r, c));
+        }
+        if let Some(block_costs) = &mut block.costs {
+            block_costs.push(costs[idx]);
+        }
+    }
+    // Blocks missing one side generate no pairs; drop them.
+    blocks.retain(|b| !b.rows.is_empty() && !b.cols.is_empty());
+
+    let candidate_pairs: usize = blocks.iter().map(Block::pair_count).sum();
+    let stats = BlockingStats {
+        folds: 1,
+        blocks: blocks.len(),
+        candidate_pairs,
+        pruned_pairs: rows * cols - candidate_pairs,
+        max_block_size: blocks.iter().map(Block::size).max().unwrap_or(0),
+    };
+    BlockPlan { blocks, stats }
+}
+
+/// The plan of a cartesian (unblocked) step: one dense block covering every
+/// (row, col) combination, nothing pruned.  This is what
+/// [`BlockingPolicy::Exhaustive`] and the `min_blocked_pairs` floor resolve
+/// to; exposed so callers that already know a fold is cartesian can skip
+/// [`plan_blocks`]' input assembly entirely.
+pub fn plan_cartesian(rows: usize, cols: usize) -> BlockPlan {
+    let mut blocks = Vec::new();
+    if rows > 0 && cols > 0 {
+        blocks.push(Block {
+            rows: (0..rows).collect(),
+            cols: (0..cols).collect(),
+            pairs: None,
+            costs: None,
+        });
+    }
+    let stats = BlockingStats {
+        folds: 1,
+        blocks: blocks.len(),
+        candidate_pairs: rows * cols,
+        pruned_pairs: 0,
+        max_block_size: blocks.first().map(Block::size).unwrap_or(0),
+    };
+    BlockPlan { blocks, stats }
+}
+
+fn find(parent: &mut [usize], node: usize) -> usize {
+    let mut root = node;
+    while parent[root] != root {
+        root = parent[root];
+    }
+    // Path compression.
+    let mut current = node;
+    while parent[current] != root {
+        let next = parent[current];
+        parent[current] = root;
+        current = next;
+    }
+    root
+}
+
+fn union(parent: &mut [usize], a: usize, b: usize) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra != rb {
+        // Attach the larger root under the smaller one so component roots —
+        // and with them block order — stay deterministic.
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        parent[hi] = lo;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(strs: &[&str]) -> Vec<Vec<u64>> {
+        strs.iter().map(|s| hashed_keys(&value_block_keys(s))).collect()
+    }
+
+    fn keyed(max_key_bucket: usize) -> BlockingPolicy {
+        BlockingPolicy::Keyed(KeyedBlockingConfig {
+            max_key_bucket,
+            semantic: SemanticBlocking::Off,
+            min_blocked_pairs: 0,
+        })
+    }
+
+    fn plan_keys(rows: &[Vec<u64>], cols: &[Vec<u64>], policy: &BlockingPolicy) -> BlockPlan {
+        let input = FoldInputs { row_keys: rows, col_keys: cols, ..FoldInputs::default() };
+        plan_blocks(&input, policy)
+    }
+
+    #[test]
+    fn exhaustive_policy_yields_one_cartesian_block() {
+        let rows = keys(&["Berlin", "Toronto"]);
+        let cols = keys(&["Boston", "Quito", "Lima"]);
+        let plan = plan_keys(&rows, &cols, &BlockingPolicy::Exhaustive);
+        assert_eq!(plan.blocks.len(), 1);
+        assert_eq!(plan.blocks[0].rows, vec![0, 1]);
+        assert_eq!(plan.blocks[0].cols, vec![0, 1, 2]);
+        assert_eq!(plan.stats.pruned_pairs, 0);
+        assert_eq!(plan.stats.candidate_pairs, 6);
+    }
+
+    #[test]
+    fn min_blocked_pairs_floor_falls_back_to_cartesian() {
+        let rows = keys(&["Berlin"]);
+        let cols = keys(&["Toronto"]);
+        let policy = BlockingPolicy::Keyed(KeyedBlockingConfig {
+            min_blocked_pairs: 100,
+            ..KeyedBlockingConfig::default()
+        });
+        let plan = plan_keys(&rows, &cols, &policy);
+        assert_eq!(plan.blocks.len(), 1);
+        assert_eq!(plan.stats.pruned_pairs, 0);
+    }
+
+    #[test]
+    fn disjoint_surfaces_split_into_independent_blocks() {
+        let rows = keys(&["Berlin", "Toronto"]);
+        let cols = keys(&["Berlinn", "Torontoo"]);
+        let plan = plan_keys(&rows, &cols, &keyed(64));
+        assert_eq!(plan.blocks.len(), 2);
+        assert_eq!(plan.blocks[0].rows, vec![0]);
+        assert_eq!(plan.blocks[0].cols, vec![0]);
+        assert_eq!(plan.blocks[1].rows, vec![1]);
+        assert_eq!(plan.blocks[1].cols, vec![1]);
+        assert_eq!(plan.stats.candidate_pairs, 2);
+        assert_eq!(plan.stats.pruned_pairs, 2);
+        assert_eq!(plan.stats.max_block_size, 2);
+    }
+
+    #[test]
+    fn unmatched_values_appear_in_no_block() {
+        let rows = keys(&["Berlin"]);
+        let cols = keys(&["Berlinn", "Zanzibar"]);
+        let plan = plan_keys(&rows, &cols, &keyed(64));
+        assert_eq!(plan.blocks.len(), 1);
+        assert_eq!(plan.blocks[0].cols, vec![0]);
+        assert_eq!(plan.stats.pruned_pairs, 1);
+    }
+
+    #[test]
+    fn oversized_key_buckets_are_ignored() {
+        // Every value shares the token "city", but the bucket cap is too
+        // small for that key to be usable, so nothing connects.
+        let rows = keys(&["city alpha", "city beta"]);
+        let cols = keys(&["city gamma", "city delta"]);
+        let plan = plan_keys(&rows, &cols, &keyed(3));
+        assert!(plan.blocks.is_empty(), "{plan:?}");
+        assert_eq!(plan.stats.pruned_pairs, 4);
+        // With a generous cap the shared token glues everything together.
+        let glued = plan_keys(&rows, &cols, &keyed(64));
+        assert_eq!(glued.blocks.len(), 1);
+        assert_eq!(glued.stats.max_block_size, 4);
+    }
+
+    #[test]
+    fn acronym_keys_bridge_initialisms() {
+        let rows = keys(&["United Nations"]);
+        let cols = keys(&["UN"]);
+        let plan = plan_keys(&rows, &cols, &keyed(64));
+        assert_eq!(plan.blocks.len(), 1);
+        assert_eq!(plan.stats.candidate_pairs, 1);
+    }
+
+    #[test]
+    fn empty_inputs_plan_no_blocks() {
+        let plan = plan_keys(&[], &[], &keyed(64));
+        assert!(plan.blocks.is_empty());
+        assert_eq!(plan.stats.candidate_pairs, 0);
+        let plan = plan_keys(&keys(&["Berlin"]), &[], &BlockingPolicy::Exhaustive);
+        assert!(plan.blocks.is_empty());
+    }
+
+    #[test]
+    fn blocks_partition_rows_and_cols() {
+        let rows = keys(&["alpha one", "beta two", "gamma three", "alpha four"]);
+        let cols = keys(&["alpha", "beta", "delta", "gamma"]);
+        let plan = plan_keys(&rows, &cols, &keyed(64));
+        let mut seen_rows = BTreeSet::new();
+        let mut seen_cols = BTreeSet::new();
+        for block in &plan.blocks {
+            for r in &block.rows {
+                assert!(seen_rows.insert(*r), "row {r} in two blocks");
+            }
+            for c in &block.cols {
+                assert!(seen_cols.insert(*c), "col {c} in two blocks");
+            }
+        }
+        let total: usize = plan.blocks.iter().map(Block::pair_count).sum();
+        assert_eq!(total, plan.stats.candidate_pairs);
+        assert_eq!(plan.stats.candidate_pairs + plan.stats.pruned_pairs, 16);
+    }
+
+    #[test]
+    fn allocation_free_hashing_matches_the_string_keys() {
+        for value in [
+            "Berlin",
+            "New Delhi",
+            "United Nations",
+            "UN",
+            "U.S.",
+            "Zürich",
+            "a",
+            "",
+            "Jean-Luc  Picard!",
+            "rock-n-roll 42",
+            "xy",
+            "東",
+            "東 京都",
+        ] {
+            let via_strings: BTreeSet<u64> =
+                hashed_keys(&value_block_keys(value)).into_iter().collect();
+            let direct: BTreeSet<u64> = hashed_value_block_keys(value).into_iter().collect();
+            assert_eq!(via_strings, direct, "hash mismatch for {value:?}");
+        }
+    }
+
+    #[test]
+    fn hashed_keys_are_stable_and_distinct_per_namespace() {
+        assert_eq!(hash_key("t:berlin"), hash_key("t:berlin"));
+        assert_ne!(hash_key("t:berlin"), hash_key("g:berlin"));
+        assert_ne!(band_bucket_key(0, 3), band_bucket_key(1, 3));
+        assert_ne!(band_bucket_key(0, 3), band_bucket_key(0, 4));
+        assert_eq!(band_bucket_key(2, 7), band_bucket_key(2, 7));
+    }
+
+    #[test]
+    fn embedding_bucket_keys_match_the_hasher() {
+        let semantic = SemanticBlocking::simhash_default();
+        let SemanticBlocking::SimHash { bands, band_bits } = semantic else { unreachable!() };
+        let embedding = Vector::new((0..16).map(|i| (i as f32).sin()).collect());
+        let via_helper = embedding_bucket_keys(&semantic, &embedding);
+        let hasher = embedding_hasher(&semantic, embedding.dim()).unwrap();
+        let via_hasher: Vec<u64> = hasher
+            .band_buckets(&embedding, band_bits)
+            .into_iter()
+            .enumerate()
+            .map(|(band, bucket)| band_bucket_key(band, bucket))
+            .collect();
+        assert_eq!(via_helper, via_hasher);
+        assert_eq!(via_helper.len(), bands);
+        // The non-SimHash channels produce no band keys and no hasher.
+        for other in [SemanticBlocking::Off, SemanticBlocking::ExactBelow { slack: 0.0 }] {
+            assert!(embedding_bucket_keys(&other, &embedding).is_empty());
+            assert!(embedding_hasher(&other, embedding.dim()).is_none());
+        }
+    }
+
+    #[test]
+    fn exact_channel_blocks_on_sub_threshold_distances() {
+        // Two orthogonal-ish clusters: e0/e1 close to each other, e2/e3 close
+        // to each other, cross-cluster pairs far.
+        let near = |base: f32| Vector::new(vec![base, 1.0 - base, 0.0, 0.0]);
+        let far = |base: f32| Vector::new(vec![0.0, 0.0, base, 1.0 - base]);
+        let (r0, r1) = (near(0.45), far(0.45));
+        let (c0, c1) = (near(0.55), far(0.55));
+        let input = FoldInputs {
+            row_embeddings: &[&r0, &r1],
+            col_embeddings: &[&c0, &c1],
+            theta: 0.5,
+            ..FoldInputs::default()
+        };
+        let policy = BlockingPolicy::Keyed(KeyedBlockingConfig {
+            semantic: SemanticBlocking::ExactBelow { slack: 0.0 },
+            min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
+        });
+        let plan = plan_blocks(&input, &policy);
+        assert_eq!(plan.blocks.len(), 2, "{plan:?}");
+        assert_eq!(plan.stats.candidate_pairs, 2);
+        assert_eq!(plan.stats.pruned_pairs, 2);
+        // Each candidate pair carries its measured distance, below θ.
+        for block in &plan.blocks {
+            let costs = block.costs.as_ref().expect("exact plans carry costs");
+            assert_eq!(costs.len(), block.pairs.as_ref().unwrap().len());
+            assert!(costs.iter().all(|&c| c < 0.5), "{costs:?}");
+        }
+        // A generous slack admits the cross-cluster pairs too and glues the
+        // fold into one block.
+        let loose = BlockingPolicy::Keyed(KeyedBlockingConfig {
+            semantic: SemanticBlocking::ExactBelow { slack: 1.5 },
+            min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
+        });
+        let glued = plan_blocks(&input, &loose);
+        assert_eq!(glued.blocks.len(), 1);
+        assert_eq!(glued.stats.pruned_pairs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimHash signature must fit")]
+    fn oversized_simhash_config_is_rejected_early() {
+        embedding_hasher(&SemanticBlocking::SimHash { bands: 16, band_bits: 8 }, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn zero_band_simhash_config_is_rejected() {
+        embedding_hasher(&SemanticBlocking::SimHash { bands: 0, band_bits: 8 }, 8);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut acc = BlockingStats::default();
+        acc.merge(&BlockingStats {
+            folds: 1,
+            blocks: 2,
+            candidate_pairs: 10,
+            pruned_pairs: 90,
+            max_block_size: 5,
+        });
+        acc.merge(&BlockingStats {
+            folds: 1,
+            blocks: 1,
+            candidate_pairs: 20,
+            pruned_pairs: 0,
+            max_block_size: 9,
+        });
+        assert_eq!(acc.folds, 2);
+        assert_eq!(acc.blocks, 3);
+        assert_eq!(acc.candidate_pairs, 30);
+        assert_eq!(acc.pruned_pairs, 90);
+        assert_eq!(acc.max_block_size, 9);
+        assert!((acc.pruned_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(BlockingStats::default().pruned_fraction(), 0.0);
+    }
+}

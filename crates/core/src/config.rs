@@ -25,6 +25,108 @@ impl Default for AssignmentStrategy {
     }
 }
 
+/// How the combined-column × next-column candidate space is partitioned
+/// before cost matrices are built (see `fuzzy_fd_core::blocking`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockingPolicy {
+    /// One dense cost matrix over every (group, value) pair — the paper's
+    /// exact behaviour, quadratic in the column size.
+    Exhaustive,
+    /// Key-based blocking: groups and values are partitioned into independent
+    /// sub-problems by shared surface keys (tokens, q-grams, acronyms) plus a
+    /// configurable semantic channel over the embeddings.  Pairs in no common
+    /// block are never candidates, which prunes most of the quadratic space;
+    /// each block is solved as its own (much smaller) assignment problem.
+    Keyed(KeyedBlockingConfig),
+}
+
+impl Default for BlockingPolicy {
+    fn default() -> Self {
+        BlockingPolicy::Keyed(KeyedBlockingConfig::default())
+    }
+}
+
+/// The semantic (embedding-based) candidate channel of
+/// [`BlockingPolicy::Keyed`].  Surface keys catch typos and shared tokens;
+/// this channel is what lets aliases and codes ("Germany" / "DE") that share
+/// no surface key still become candidates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SemanticBlocking {
+    /// Surface keys only.  Maximum pruning, but matches that exist purely in
+    /// embedding space are lost.
+    Off,
+    /// SimHash banded LSH keys over the embeddings (see
+    /// [`lake_embed::SimHasher`]): two items are candidates when they agree
+    /// on every bit of at least one band.  Probabilistic recall — more bands
+    /// × fewer bits raises recall but glues blocks together; fewer bands ×
+    /// more bits prunes harder but can miss borderline matches.  The only
+    /// channel that avoids the quadratic distance sweep, hence the right
+    /// choice for very large folds.
+    SimHash {
+        /// Number of bands (each contributes one key per item).
+        bands: usize,
+        /// Bits per band; `bands * band_bits` must be ≤ 64.
+        band_bits: usize,
+    },
+    /// Exact sub-threshold candidates: one cheap dot-product sweep over the
+    /// fold computes every (group, value) cosine distance, and pairs below
+    /// `θ + slack` become candidates.  *Guaranteed* recall at the matching
+    /// threshold — any pair the thresholding step could accept is a candidate
+    /// — so this is the fidelity-preserving default for moderate fold sizes.
+    /// The sweep costs the same dot products the exhaustive cost matrix
+    /// would, and the computed distances are reused as matrix entries, so
+    /// solve-time work only shrinks.
+    ExactBelow {
+        /// Safety margin added to θ when deciding candidacy.  `0.0` keeps
+        /// exactly the pairs thresholding could accept, which maximises
+        /// pruning but lets the global assignment drift on near-threshold
+        /// ties: the exhaustive solver's choice *among* sub-θ pairs is
+        /// steered by the true costs of slightly-above-θ pairs, and masking
+        /// those severs that influence.  A small positive slack keeps the
+        /// influence band as candidates; `0.1` reproduces the exhaustive
+        /// groups exactly on the Auto-Join benchmark sets while still
+        /// pruning ~90% of the candidate space.
+        slack: f32,
+    },
+}
+
+impl SemanticBlocking {
+    /// The suggested SimHash configuration: 8 bands × 8 bits (a full 64-bit
+    /// signature).  Selective enough that unrelated values rarely collide
+    /// (~3% per pair) while close pairs (cosine similarity ≳ 0.9) still
+    /// share a band with high probability.
+    pub fn simhash_default() -> Self {
+        SemanticBlocking::SimHash { bands: 8, band_bits: 8 }
+    }
+}
+
+/// Tuning knobs of [`BlockingPolicy::Keyed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyedBlockingConfig {
+    /// Surface keys shared by more than this many participants (groups +
+    /// values) are dropped as uninformative — they would glue everything into
+    /// one block and reintroduce the quadratic blow-up.
+    pub max_key_bucket: usize,
+    /// The embedding-based candidate channel.
+    pub semantic: SemanticBlocking,
+    /// Candidate spaces smaller than this many (group × value) pairs skip
+    /// blocking and use one cartesian block: below it the dense solve is
+    /// cheaper than key extraction, and the result is exactly the
+    /// exhaustive one.  Set to `usize::MAX` to force the cartesian fallback
+    /// (useful to A/B the paths), or to `0` to always block.
+    pub min_blocked_pairs: usize,
+}
+
+impl Default for KeyedBlockingConfig {
+    fn default() -> Self {
+        KeyedBlockingConfig {
+            max_key_bucket: 64,
+            semantic: SemanticBlocking::ExactBelow { slack: 0.1 },
+            min_blocked_pairs: 4_096,
+        }
+    }
+}
+
 /// Parameters of Fuzzy Full Disjunction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FuzzyFdConfig {
@@ -49,6 +151,14 @@ pub struct FuzzyFdConfig {
     /// (non-exact) matching.  Very short values ("1", "A") carry too little
     /// signal and are matched only exactly.
     pub min_fuzzy_length: usize,
+    /// How the candidate space of each bipartite matching step is pruned.
+    pub blocking: BlockingPolicy,
+    /// Worker threads for solving independent blocks concurrently.
+    /// `1` = sequential; an explicit count ≥ 2 parallelises whenever a
+    /// matching step produced at least two blocks; `0` = auto — use the
+    /// machine's available parallelism, but only when the blocks carry
+    /// enough work for the thread overhead to pay off.
+    pub matching_threads: usize,
 }
 
 impl Default for FuzzyFdConfig {
@@ -60,6 +170,8 @@ impl Default for FuzzyFdConfig {
             assignment_strategy: AssignmentStrategy::default(),
             exact_match_first: true,
             min_fuzzy_length: 2,
+            blocking: BlockingPolicy::default(),
+            matching_threads: 1,
         }
     }
 }
@@ -73,6 +185,25 @@ impl FuzzyFdConfig {
     /// Convenience constructor overriding only the embedding model.
     pub fn with_model(model: EmbeddingModel) -> Self {
         FuzzyFdConfig { model, ..FuzzyFdConfig::default() }
+    }
+
+    /// Convenience constructor overriding only the blocking policy.
+    pub fn with_blocking(blocking: BlockingPolicy) -> Self {
+        FuzzyFdConfig { blocking, ..FuzzyFdConfig::default() }
+    }
+
+    /// The configured candidate-space policy with the cartesian fallback
+    /// forced off (`min_blocked_pairs = 0`) — every matching step goes
+    /// through key-based blocking regardless of size.  Exhaustive stays
+    /// exhaustive.
+    pub fn force_blocking(self) -> Self {
+        let blocking = match self.blocking {
+            BlockingPolicy::Exhaustive => BlockingPolicy::Exhaustive,
+            BlockingPolicy::Keyed(keyed) => {
+                BlockingPolicy::Keyed(KeyedBlockingConfig { min_blocked_pairs: 0, ..keyed })
+            }
+        };
+        FuzzyFdConfig { blocking, ..self }
     }
 }
 
@@ -101,5 +232,46 @@ mod tests {
             AssignmentStrategy::ExactUpTo { max_side } => assert!(max_side >= 500),
             other => panic!("unexpected default {other:?}"),
         }
+    }
+
+    #[test]
+    fn default_blocking_is_keyed_with_a_cartesian_floor() {
+        let config = FuzzyFdConfig::default();
+        match config.blocking {
+            BlockingPolicy::Keyed(keyed) => {
+                assert!(keyed.min_blocked_pairs > 0, "small problems must stay exhaustive");
+                // The default semantic channel must be recall-exact so blocked
+                // matching reproduces the exhaustive groups.
+                match keyed.semantic {
+                    SemanticBlocking::ExactBelow { slack } => assert!(slack >= 0.0),
+                    other => panic!("default semantic channel must be exact, got {other:?}"),
+                }
+                assert!(keyed.max_key_bucket >= 2);
+            }
+            BlockingPolicy::Exhaustive => panic!("default must prune the candidate space"),
+        }
+        assert_eq!(config.matching_threads, 1);
+    }
+
+    #[test]
+    fn simhash_default_fits_one_signature() {
+        match SemanticBlocking::simhash_default() {
+            SemanticBlocking::SimHash { bands, band_bits } => {
+                assert!(bands > 0 && band_bits > 0);
+                assert!(bands * band_bits <= 64, "signature must fit in a u64");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn force_blocking_removes_the_cartesian_floor() {
+        let forced = FuzzyFdConfig::default().force_blocking();
+        match forced.blocking {
+            BlockingPolicy::Keyed(keyed) => assert_eq!(keyed.min_blocked_pairs, 0),
+            BlockingPolicy::Exhaustive => panic!("keyed must stay keyed"),
+        }
+        let exhaustive = FuzzyFdConfig::with_blocking(BlockingPolicy::Exhaustive).force_blocking();
+        assert_eq!(exhaustive.blocking, BlockingPolicy::Exhaustive);
     }
 }

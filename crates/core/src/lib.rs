@@ -41,14 +41,24 @@
 //! assert_eq!(result.table.len(), 3);
 //! ```
 
+pub mod blocking;
 pub mod config;
 pub mod pipeline;
 pub mod rewrite;
 pub mod value_match;
 
-pub use config::{AssignmentStrategy, FuzzyFdConfig};
+pub use blocking::{
+    band_bucket_key, embedding_bucket_keys, embedding_hasher, hash_key, hashed_keys,
+    hashed_value_block_keys, plan_blocks, plan_cartesian, value_block_keys, Block, BlockPlan,
+    BlockingStats, FoldInputs,
+};
+pub use config::{
+    AssignmentStrategy, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig, SemanticBlocking,
+};
 pub use pipeline::{
     regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,
 };
 pub use rewrite::build_substitutions;
-pub use value_match::{match_column_values, ColumnPosition, ValueGroup, ValueMatcher};
+pub use value_match::{
+    match_column_values, match_column_values_with_stats, ColumnPosition, ValueGroup, ValueMatcher,
+};

@@ -7,6 +7,7 @@ use lake_fd::{full_disjunction, IntegratedTable, IntegrationSchema};
 use lake_schema_match::{align_by_headers, align_columns, Alignment, AlignmentOptions};
 use lake_table::{ColumnRef, Table, TableResult, Value};
 
+use crate::blocking::BlockingStats;
 use crate::config::FuzzyFdConfig;
 use crate::rewrite::{apply_substitutions, build_substitutions};
 use crate::value_match::{ValueGroup, ValueMatcher};
@@ -22,6 +23,9 @@ pub struct FuzzyFdReport {
     pub matched_groups: usize,
     /// Number of cells rewritten to a representative value.
     pub rewritten_cells: usize,
+    /// How the value-matching candidate space was blocked and pruned,
+    /// accumulated over every aligned set and fold step.
+    pub blocking: BlockingStats,
     /// Wall-clock time spent matching and rewriting values.
     pub matching_time: Duration,
     /// Wall-clock time spent computing the Full Disjunction.
@@ -96,6 +100,7 @@ impl FuzzyFullDisjunction {
         let mut all_groups: Vec<(Vec<ColumnRef>, Vec<ValueGroup>)> = Vec::new();
         let mut substitutions = std::collections::HashMap::new();
         let mut aligned_sets = 0usize;
+        let mut blocking = BlockingStats::default();
 
         for group in alignment.multi_table_groups() {
             aligned_sets += 1;
@@ -109,7 +114,8 @@ impl FuzzyFullDisjunction {
                         .map(|vs| vs.into_iter().cloned().collect())
                 })
                 .collect::<TableResult<_>>()?;
-            let groups = matcher.match_values(&column_values);
+            let (groups, set_stats) = matcher.match_values_with_stats(&column_values);
+            blocking.merge(&set_stats);
             for (column, mapping) in build_substitutions(&columns, &groups) {
                 let entry: &mut std::collections::HashMap<Value, Value> =
                     substitutions.entry(column).or_default();
@@ -139,6 +145,7 @@ impl FuzzyFullDisjunction {
                 .filter(|g| !g.is_singleton())
                 .count(),
             rewritten_cells,
+            blocking,
             matching_time,
             fd_time,
             fd_stats,
@@ -214,6 +221,12 @@ mod tests {
         assert_eq!(outcome.report.aligned_sets, 2);
         assert!(outcome.report.matched_groups >= 5);
         assert!(outcome.report.rewritten_cells >= 4);
+        // City folds twice, Country folds once; at this size every fold is a
+        // single cartesian block below the blocking floor.
+        assert_eq!(outcome.report.blocking.folds, 3);
+        assert!(outcome.report.blocking.blocks >= 3);
+        assert!(outcome.report.blocking.candidate_pairs > 0);
+        assert_eq!(outcome.report.blocking.pruned_pairs, 0);
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub fn build_substitutions(
 ) -> HashMap<ColumnRef, HashMap<Value, Value>> {
     let mut substitutions: HashMap<ColumnRef, HashMap<Value, Value>> = HashMap::new();
     for group in groups {
-        if group.is_singleton() {
+        // Empty or singleton groups have no cross-column match to rewrite.
+        if group.len() < 2 {
             continue;
         }
         for (position, value) in &group.members {

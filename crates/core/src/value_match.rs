@@ -7,6 +7,11 @@
 //! against the next column (linear sum assignment over cosine distances,
 //! discarding assignments at distance ≥ θ), merge matched values, and repeat
 //! until every column has been folded in.
+//!
+//! Each bipartite step first partitions its candidate space into independent
+//! blocks (see [`crate::blocking`]); the dense cartesian matrix of the paper
+//! is the fallback for small steps and for
+//! [`BlockingPolicy::Exhaustive`](crate::config::BlockingPolicy).
 
 use std::collections::HashMap;
 
@@ -14,7 +19,16 @@ use lake_assign::{solve, Assignment, AssignmentAlgorithm, CostMatrix};
 use lake_embed::{Embedder, Vector};
 use lake_table::Value;
 
-use crate::config::{AssignmentStrategy, FuzzyFdConfig};
+use crate::blocking::{
+    hashed_value_block_keys, plan_blocks, plan_cartesian, Block, BlockingStats, FoldInputs,
+};
+use crate::config::{AssignmentStrategy, BlockingPolicy, FuzzyFdConfig, SemanticBlocking};
+
+/// Cost assigned to masked (non-candidate) combinations inside a block.
+/// Far above any cosine distance (≤ 2) and any sane θ, so a masked pair can
+/// be assigned (the solver must produce a maximum matching) but never
+/// survives thresholding.
+const PRUNED_COST: f64 = 1.0e6;
 
 /// Index of a column within one aligned column set (0 = first/earliest table).
 pub type ColumnPosition = usize;
@@ -57,9 +71,12 @@ impl ValueGroup {
         self.members.is_empty()
     }
 
-    /// `true` when the group has a single member (nothing was matched to it).
+    /// `true` when the group has exactly one member (nothing was matched to
+    /// it).  An empty group is *not* a singleton — use
+    /// [`is_empty`](Self::is_empty) for that; the two states are distinct so
+    /// `is_empty() || is_singleton()` is the "no actual match" predicate.
     pub fn is_singleton(&self) -> bool {
-        self.members.len() <= 1
+        self.members.len() == 1
     }
 }
 
@@ -74,6 +91,11 @@ struct WorkingGroup {
     members: Vec<(ColumnPosition, Value)>,
     representative: Value,
     embedding: Vector,
+    /// Hashed surface blocking keys of all members, maintained incrementally
+    /// so key-based planners never re-normalise/re-hash a member on later
+    /// folds.  Left empty when the policy's semantic channel does not use
+    /// surface keys (duplicates are fine — the planner dedups).
+    surface_keys: Vec<u64>,
 }
 
 impl<'a> ValueMatcher<'a> {
@@ -89,6 +111,15 @@ impl<'a> ValueMatcher<'a> {
     /// clean-clean assumption means duplicates within a column are simply
     /// collapsed).
     pub fn match_values(&self, columns: &[Vec<Value>]) -> Vec<ValueGroup> {
+        self.match_values_with_stats(columns).0
+    }
+
+    /// As [`match_values`](Self::match_values), additionally reporting how
+    /// the candidate space was blocked and pruned across all fold steps.
+    pub fn match_values_with_stats(
+        &self,
+        columns: &[Vec<Value>],
+    ) -> (Vec<ValueGroup>, BlockingStats) {
         // Global occurrence counts drive representative selection.
         let mut counts: HashMap<Value, usize> = HashMap::new();
         for column in columns {
@@ -99,6 +130,7 @@ impl<'a> ValueMatcher<'a> {
             }
         }
 
+        let mut stats = BlockingStats::default();
         let mut groups: Vec<WorkingGroup> = Vec::new();
         for (position, column) in columns.iter().enumerate() {
             let distinct = distinct_present(column);
@@ -108,23 +140,25 @@ impl<'a> ValueMatcher<'a> {
                 }
                 continue;
             }
-            self.fold_column(&mut groups, position, distinct, &counts);
+            stats.merge(&self.fold_column(&mut groups, position, distinct, &counts));
         }
 
-        groups
+        let groups = groups
             .into_iter()
             .map(|g| ValueGroup { members: g.members, representative: g.representative })
-            .collect()
+            .collect();
+        (groups, stats)
     }
 
-    /// Folds one more column into the current combined column (the groups).
+    /// Folds one more column into the current combined column (the groups),
+    /// returning the blocking statistics of the fuzzy pass.
     fn fold_column(
         &self,
         groups: &mut Vec<WorkingGroup>,
         position: ColumnPosition,
         values: Vec<Value>,
         counts: &HashMap<Value, usize>,
-    ) {
+    ) -> BlockingStats {
         // Which groups already absorbed a value from this column (bipartite
         // constraint: at most one value per column per group).
         let mut group_taken = vec![false; groups.len()];
@@ -143,7 +177,9 @@ impl<'a> ValueMatcher<'a> {
             for value in values {
                 match member_index.get(&value) {
                     Some(&g_idx) if !group_taken[g_idx] => {
+                        let keys = self.value_surface_keys(&value);
                         groups[g_idx].members.push((position, value));
+                        groups[g_idx].surface_keys.extend(keys);
                         group_taken[g_idx] = true;
                         self.refresh_representative(&mut groups[g_idx], counts);
                     }
@@ -155,33 +191,42 @@ impl<'a> ValueMatcher<'a> {
         }
 
         // Pass 2: fuzzy matching of the leftovers against the untaken groups.
+        // The candidate space is partitioned into blocks first; each block is
+        // an independent assignment sub-problem (see `crate::blocking`).
         let candidate_groups: Vec<usize> = (0..groups.len()).filter(|&i| !group_taken[i]).collect();
-        let fuzzy_values: Vec<Value> = leftover
-            .iter()
-            .filter(|v| v.render().chars().count() >= self.config.min_fuzzy_length)
-            .cloned()
-            .collect();
+        // Leftover slots long enough to participate in fuzzy matching, paired
+        // with their index back into `leftover`.
+        let mut fuzzy_values: Vec<Value> = Vec::new();
+        let mut fuzzy_slots: Vec<usize> = Vec::new();
+        for (slot, value) in leftover.iter().enumerate() {
+            if value.render().chars().count() >= self.config.min_fuzzy_length {
+                fuzzy_values.push(value.clone());
+                fuzzy_slots.push(slot);
+            }
+        }
         let mut matched_values: Vec<bool> = vec![false; leftover.len()];
+        let mut stats = BlockingStats::default();
 
+        let mut leftover_embeddings: Vec<Option<Vector>> = vec![None; leftover.len()];
         if !candidate_groups.is_empty() && !fuzzy_values.is_empty() {
             let value_embeddings: Vec<Vector> =
                 fuzzy_values.iter().map(|v| self.embedder.embed(&v.render())).collect();
-            let matrix = CostMatrix::from_fn(candidate_groups.len(), fuzzy_values.len(), |r, c| {
-                groups[candidate_groups[r]].embedding.cosine_distance(&value_embeddings[c]) as f64
-            });
-            let assignment = self.solve_assignment(&matrix);
-            let accepted = assignment.threshold(&matrix, self.config.theta as f64);
-            for (row, col) in &accepted.pairs {
-                let g_idx = candidate_groups[*row];
-                let value = fuzzy_values[*col].clone();
-                groups[g_idx].members.push((position, value.clone()));
+            let plan = self.plan_fold(&candidate_groups, groups, &fuzzy_values, &value_embeddings);
+            stats = plan.stats;
+            let accepted =
+                self.solve_blocks(&plan.blocks, &candidate_groups, groups, &value_embeddings);
+            for (row, col) in accepted {
+                let g_idx = candidate_groups[row];
+                let keys = self.value_surface_keys(&fuzzy_values[col]);
+                groups[g_idx].members.push((position, fuzzy_values[col].clone()));
+                groups[g_idx].surface_keys.extend(keys);
                 self.refresh_representative(&mut groups[g_idx], counts);
-                // Mark the original leftover slot as matched.
-                if let Some(slot) =
-                    leftover.iter().enumerate().position(|(i, v)| !matched_values[i] && *v == value)
-                {
-                    matched_values[slot] = true;
-                }
+                matched_values[fuzzy_slots[col]] = true;
+            }
+            // Keep the embeddings of unmatched fuzzy values: pass 3 turns
+            // them into singletons and must not embed them a second time.
+            for (f_idx, embedding) in value_embeddings.into_iter().enumerate() {
+                leftover_embeddings[fuzzy_slots[f_idx]] = Some(embedding);
             }
         }
 
@@ -189,9 +234,186 @@ impl<'a> ValueMatcher<'a> {
         // "left in a singleton set represented by its embedding".
         for (idx, value) in leftover.into_iter().enumerate() {
             if !matched_values[idx] {
-                groups.push(self.singleton(position, value));
+                let group = match leftover_embeddings[idx].take() {
+                    Some(embedding) => WorkingGroup {
+                        surface_keys: self.value_surface_keys(&value),
+                        members: vec![(position, value.clone())],
+                        representative: value,
+                        embedding,
+                    },
+                    None => self.singleton(position, value),
+                };
+                groups.push(group);
             }
         }
+        stats
+    }
+
+    /// Plans the blocks of one fuzzy pass.  Key extraction is skipped
+    /// entirely when the policy resolves to a cartesian block anyway, and
+    /// also under [`SemanticBlocking::ExactBelow`], whose candidacy test is
+    /// purely distance-based.
+    fn plan_fold(
+        &self,
+        candidate_groups: &[usize],
+        groups: &[WorkingGroup],
+        fuzzy_values: &[Value],
+        value_embeddings: &[Vector],
+    ) -> crate::blocking::BlockPlan {
+        let rows = candidate_groups.len();
+        let cols = fuzzy_values.len();
+        let keyed = match self.config.blocking {
+            BlockingPolicy::Keyed(keyed) if rows * cols >= keyed.min_blocked_pairs => keyed,
+            _ => return plan_cartesian(rows, cols),
+        };
+
+        let row_embeddings: Vec<&Vector> =
+            candidate_groups.iter().map(|&g_idx| &groups[g_idx].embedding).collect();
+        let col_embeddings: Vec<&Vector> = value_embeddings.iter().collect();
+        // Group keys are maintained incrementally on the working groups, so
+        // key-based channels only hash this fold's new values here.
+        let row_keys: Vec<Vec<u64>> = if self.uses_surface_keys() {
+            candidate_groups.iter().map(|&g_idx| groups[g_idx].surface_keys.clone()).collect()
+        } else {
+            Vec::new()
+        };
+        let col_keys: Vec<Vec<u64>> = if self.uses_surface_keys() {
+            fuzzy_values.iter().map(|value| hashed_value_block_keys(&value.render())).collect()
+        } else {
+            Vec::new()
+        };
+        let input = FoldInputs {
+            row_keys: &row_keys,
+            col_keys: &col_keys,
+            row_embeddings: &row_embeddings,
+            col_embeddings: &col_embeddings,
+            theta: self.config.theta,
+        };
+        plan_blocks(&input, &BlockingPolicy::Keyed(keyed))
+    }
+
+    /// Solves every block and returns the accepted `(row, col)` pairs, where
+    /// `row` indexes `candidate_groups` and `col` indexes the fuzzy values.
+    /// Blocks share no row and no column, so they are solved independently —
+    /// across scoped worker threads when configured and worthwhile.
+    ///
+    /// Combinations that are not candidate pairs of their block (they share
+    /// no blocking key) are masked with [`PRUNED_COST`]: their distance is
+    /// never computed and, being far above any θ, a masked assignment is
+    /// always discarded — blocked mode can only ever match key-sharing pairs.
+    fn solve_blocks(
+        &self,
+        blocks: &[Block],
+        candidate_groups: &[usize],
+        groups: &[WorkingGroup],
+        value_embeddings: &[Vector],
+    ) -> Vec<(usize, usize)> {
+        // Norms are reused across every matrix entry a vector appears in.
+        let group_norms: Vec<f32> =
+            candidate_groups.iter().map(|&g| groups[g].embedding.norm()).collect();
+        let value_norms: Vec<f32> = value_embeddings.iter().map(Vector::norm).collect();
+
+        /// What one cost-matrix cell needs: masking, a fresh distance, or a
+        /// distance the planner already measured.
+        #[derive(Clone, Copy)]
+        enum Cell {
+            Masked,
+            Compute,
+            Known(f32),
+        }
+
+        let solve_one = |block: &Block| -> Vec<(usize, usize)> {
+            // Local-index grid of the block's candidate pairs; rows/cols are
+            // sorted, so global→local is a binary search.  An exact-channel
+            // plan already measured each candidate's distance — reuse it so
+            // the matrix entry is bit-identical and computed exactly once.
+            let n_cols = block.cols.len();
+            let grid: Option<Vec<Cell>> = block.pairs.as_ref().map(|pairs| {
+                let mut grid = vec![Cell::Masked; block.rows.len() * n_cols];
+                for (idx, &(r, c)) in pairs.iter().enumerate() {
+                    let lr = block.rows.binary_search(&r).expect("pair row outside block");
+                    let lc = block.cols.binary_search(&c).expect("pair col outside block");
+                    grid[lr * n_cols + lc] = match &block.costs {
+                        Some(costs) => Cell::Known(costs[idx]),
+                        None => Cell::Compute,
+                    };
+                }
+                grid
+            });
+            let matrix = CostMatrix::from_fn(block.rows.len(), n_cols, |r, c| {
+                if let Some(grid) = &grid {
+                    match grid[r * n_cols + c] {
+                        Cell::Masked => return PRUNED_COST,
+                        Cell::Known(cost) => return cost as f64,
+                        Cell::Compute => {}
+                    }
+                }
+                let (row, col) = (block.rows[r], block.cols[c]);
+                groups[candidate_groups[row]].embedding.cosine_distance_given_norms(
+                    group_norms[row],
+                    &value_embeddings[col],
+                    value_norms[col],
+                ) as f64
+            });
+            let assignment = self.solve_assignment(&matrix);
+            let accepted = assignment.threshold(&matrix, self.config.theta as f64);
+            accepted.pairs.iter().map(|&(r, c)| (block.rows[r], block.cols[c])).collect()
+        };
+
+        let threads = self.worker_threads(blocks);
+        let mut accepted: Vec<(usize, usize)> = if threads > 1 {
+            // Round-robin block assignment over a fixed scoped pool, like
+            // `lake_fd::parallel`.
+            let mut buckets: Vec<Vec<&Block>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, block) in blocks.iter().enumerate() {
+                buckets[i % threads].push(block);
+            }
+            let mut results: Vec<Vec<(usize, usize)>> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket.into_iter().flat_map(solve_one).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    results.push(handle.join().expect("block solver thread panicked"));
+                }
+            });
+            results.into_iter().flatten().collect()
+        } else {
+            blocks.iter().flat_map(solve_one).collect()
+        };
+        // Blocks are disjoint, so ordering only affects the order in which
+        // members are appended — sort for run-to-run and thread-count
+        // determinism.
+        accepted.sort_unstable();
+        accepted
+    }
+
+    /// How many worker threads to use for a set of blocks.  Fewer than two
+    /// blocks can never parallelise; beyond that an explicit thread count is
+    /// a command, while auto mode (`0`) additionally requires the blocks to
+    /// carry enough solver work (cost-matrix cells) for the scoped-thread
+    /// overhead to pay off.
+    fn worker_threads(&self, blocks: &[Block]) -> usize {
+        const MIN_AUTO_PARALLEL_CELLS: usize = 2_048;
+        if blocks.len() < 2 {
+            return 1;
+        }
+        let configured = match self.config.matching_threads {
+            0 => {
+                let cells: usize = blocks.iter().map(|b| b.rows.len() * b.cols.len()).sum();
+                if cells < MIN_AUTO_PARALLEL_CELLS {
+                    return 1;
+                }
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            n => n,
+        };
+        configured.min(blocks.len())
     }
 
     fn solve_assignment(&self, matrix: &CostMatrix) -> Assignment {
@@ -210,7 +432,33 @@ impl<'a> ValueMatcher<'a> {
 
     fn singleton(&self, position: ColumnPosition, value: Value) -> WorkingGroup {
         let embedding = self.embedder.embed(&value.render());
-        WorkingGroup { members: vec![(position, value.clone())], representative: value, embedding }
+        WorkingGroup {
+            surface_keys: self.value_surface_keys(&value),
+            members: vec![(position, value.clone())],
+            representative: value,
+            embedding,
+        }
+    }
+
+    /// Whether the configured policy plans with surface blocking keys (the
+    /// exact semantic channel is purely distance-based and skips key work).
+    fn uses_surface_keys(&self) -> bool {
+        match self.config.blocking {
+            BlockingPolicy::Keyed(keyed) => {
+                !matches!(keyed.semantic, SemanticBlocking::ExactBelow { .. })
+            }
+            BlockingPolicy::Exhaustive => false,
+        }
+    }
+
+    /// The hashed surface keys of one value, or nothing when the policy does
+    /// not block on keys.
+    fn value_surface_keys(&self, value: &Value) -> Vec<u64> {
+        if self.uses_surface_keys() {
+            hashed_value_block_keys(&value.render())
+        } else {
+            Vec::new()
+        }
     }
 
     /// Recomputes the representative (most frequent member, ties to the
@@ -246,6 +494,15 @@ pub fn match_column_values(
     config: FuzzyFdConfig,
 ) -> Vec<ValueGroup> {
     ValueMatcher::new(embedder, config).match_values(columns)
+}
+
+/// As [`match_column_values`], additionally returning blocking statistics.
+pub fn match_column_values_with_stats(
+    columns: &[Vec<Value>],
+    embedder: &dyn Embedder,
+    config: FuzzyFdConfig,
+) -> (Vec<ValueGroup>, BlockingStats) {
+    ValueMatcher::new(embedder, config).match_values_with_stats(columns)
 }
 
 fn distinct_present(column: &[Value]) -> Vec<Value> {
@@ -409,6 +666,122 @@ mod tests {
         let singleton =
             ValueGroup { members: vec![(0, Value::text("x"))], representative: Value::text("x") };
         assert!(singleton.cross_column_pairs().is_empty());
+    }
+
+    #[test]
+    fn cross_column_pairs_preserve_member_order_and_never_duplicate() {
+        // Pairs must come out in member order ((i, j) with i < j), skipping
+        // same-column combinations, with no pair enumerated twice.
+        let group = ValueGroup {
+            members: vec![
+                (0, Value::text("a")),
+                (1, Value::text("b")),
+                (0, Value::text("c")), // same column as the first member
+                (2, Value::text("d")),
+            ],
+            representative: Value::text("a"),
+        };
+        let pairs = group.cross_column_pairs();
+        let expected = vec![
+            ((0, Value::text("a")), (1, Value::text("b"))),
+            ((0, Value::text("a")), (2, Value::text("d"))),
+            ((1, Value::text("b")), (0, Value::text("c"))),
+            ((1, Value::text("b")), (2, Value::text("d"))),
+            ((0, Value::text("c")), (2, Value::text("d"))),
+        ];
+        assert_eq!(pairs, expected);
+        let unique: std::collections::HashSet<_> = pairs.iter().cloned().collect();
+        assert_eq!(unique.len(), pairs.len(), "cross-column pairs must be unique");
+    }
+
+    #[test]
+    fn empty_and_singleton_are_distinct_states() {
+        let empty = ValueGroup { members: vec![], representative: Value::text("x") };
+        assert!(empty.is_empty());
+        assert!(!empty.is_singleton(), "an empty group is not a singleton");
+        assert_eq!(empty.len(), 0);
+
+        let singleton =
+            ValueGroup { members: vec![(0, Value::text("x"))], representative: Value::text("x") };
+        assert!(!singleton.is_empty());
+        assert!(singleton.is_singleton());
+
+        let pair = ValueGroup {
+            members: vec![(0, Value::text("x")), (1, Value::text("y"))],
+            representative: Value::text("x"),
+        };
+        assert!(!pair.is_empty());
+        assert!(!pair.is_singleton());
+    }
+
+    #[test]
+    fn matcher_reports_cartesian_stats_on_small_inputs() {
+        // Under the default config, a figure-1-sized input stays below the
+        // blocking floor: one cartesian block per fold, nothing pruned.
+        let columns = vec![values(&["Berlinn", "Toronto"]), values(&["Berlin", "Boston"])];
+        let embedder = EmbeddingModel::Mistral.build();
+        let matcher = ValueMatcher::new(embedder.as_ref(), FuzzyFdConfig::default());
+        let (groups, stats) = matcher.match_values_with_stats(&columns);
+        assert!(!groups.is_empty());
+        assert_eq!(stats.folds, 1);
+        assert_eq!(stats.blocks, 1);
+        assert_eq!(stats.pruned_pairs, 0);
+        assert!(stats.candidate_pairs > 0);
+    }
+
+    #[test]
+    fn forced_blocking_prunes_disjoint_values_and_still_matches_typos() {
+        let columns = vec![
+            values(&["Berlin", "Toronto", "Barcelona", "Quito"]),
+            values(&["Berlinn", "Torontoo", "Barcelonna", "Lagos"]),
+        ];
+        let embedder = EmbeddingModel::FastText.build();
+        // Surface keys only: on a handful of values a semantic channel can
+        // glue everything into one block by chance, which would hide the
+        // pruning this test is about.
+        let config = FuzzyFdConfig {
+            blocking: crate::config::BlockingPolicy::Keyed(crate::config::KeyedBlockingConfig {
+                semantic: SemanticBlocking::Off,
+                min_blocked_pairs: 0,
+                ..crate::config::KeyedBlockingConfig::default()
+            }),
+            ..FuzzyFdConfig::default()
+        };
+        let (groups, stats) = match_column_values_with_stats(&columns, embedder.as_ref(), config);
+        assert!(stats.pruned_pairs > 0, "{stats:?}");
+        assert!(stats.blocks >= 2, "{stats:?}");
+        for (city, typo) in
+            [("Berlin", "Berlinn"), ("Toronto", "Torontoo"), ("Barcelona", "Barcelonna")]
+        {
+            let group = groups
+                .iter()
+                .find(|g| g.members.iter().any(|(_, v)| v == &Value::text(city)))
+                .unwrap();
+            assert!(
+                group.members.iter().any(|(_, v)| v == &Value::text(typo)),
+                "{city} did not absorb {typo}: {groups:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_block_solving_matches_sequential() {
+        let columns = vec![
+            values(&["Berlin", "Toronto", "Barcelona", "Quito", "Lima", "Dallas"]),
+            values(&["Berlinn", "Torontoo", "Barcelonna", "Quitoo", "Limaa", "Dalas"]),
+        ];
+        let embedder = EmbeddingModel::FastText.build();
+        let sequential = match_column_values(
+            &columns,
+            embedder.as_ref(),
+            FuzzyFdConfig::default().force_blocking(),
+        );
+        for threads in [0, 2, 4] {
+            let config = FuzzyFdConfig { matching_threads: threads, ..FuzzyFdConfig::default() }
+                .force_blocking();
+            let parallel = match_column_values(&columns, embedder.as_ref(), config);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -7,26 +7,22 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use lake_fd::IntegratedTuple;
-use lake_text::{char_ngrams, normalize_aggressive, words};
+use lake_text::{string_block_keys, BlockKeyOptions};
 
 /// The blocking keys of one integrated tuple: every normalised word token of
 /// every non-null value, plus the leading character trigram of each token
-/// (which lets typo variants land in the same block).
+/// (which lets typo variants land in the same block).  Key generation is
+/// shared with the fuzzy value matcher via
+/// [`lake_text::string_block_keys`]; this profile is
+/// [`BlockKeyOptions::default`].
 pub fn blocking_keys(tuple: &IntegratedTuple) -> BTreeSet<String> {
+    let options = BlockKeyOptions::default();
     let mut keys = BTreeSet::new();
     for value in tuple.values() {
         if value.is_null() {
             continue;
         }
-        let text = normalize_aggressive(&value.render());
-        for token in words(&text) {
-            if token.len() >= 2 {
-                if let Some(gram) = char_ngrams(&token, 3).into_iter().next() {
-                    keys.insert(format!("g:{gram}"));
-                }
-                keys.insert(format!("t:{token}"));
-            }
-        }
+        keys.extend(string_block_keys(&value.render(), &options));
     }
     keys
 }
@@ -115,5 +111,49 @@ mod tests {
         let tuples = vec![tuple(&["Barcelona"]), tuple(&["Barcelonna"])];
         let pairs = candidate_pairs(&tuples, 10);
         assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_pairs() {
+        assert!(candidate_pairs(&[], 10).is_empty());
+        // A single tuple has nothing to pair with.
+        assert!(candidate_pairs(&[tuple(&["Berlin"])], 10).is_empty());
+        // Tuples with no keys (all-null) never pair, even with themselves.
+        assert!(candidate_pairs(&[tuple(&["", ""]), tuple(&["", ""])], 10).is_empty());
+    }
+
+    #[test]
+    fn max_block_size_boundary_is_inclusive() {
+        // Five tuples all share the block of "common": a block of exactly
+        // `max_block_size` members is kept, one member more drops it.
+        let tuples: Vec<IntegratedTuple> = (0..5).map(|_| tuple(&["common"])).collect();
+        assert_eq!(candidate_pairs(&tuples, 5).len(), 5 * 4 / 2);
+        assert!(candidate_pairs(&tuples, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_max_block_size_prunes_everything() {
+        let tuples = vec![tuple(&["Berlin"]), tuple(&["Berlin"])];
+        assert!(candidate_pairs(&tuples, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_across_values_do_not_duplicate_pairs() {
+        // Both tuples repeat the same token in two columns, so the pair is
+        // reachable through several identical keys — it must appear once.
+        let tuples = vec![tuple(&["Berlin", "Berlin West"]), tuple(&["Berlin", "Berlin East"])];
+        let pairs = candidate_pairs(&tuples, 10);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn pairs_are_sorted_and_unique() {
+        let tuples = vec![
+            tuple(&["Berlin", "Germany"]),
+            tuple(&["Berlin", "Prussia"]),
+            tuple(&["Berlin", "Europe"]),
+        ];
+        let pairs = candidate_pairs(&tuples, 10);
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
     }
 }

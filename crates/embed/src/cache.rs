@@ -120,6 +120,54 @@ mod tests {
     }
 
     #[test]
+    fn stats_accounting_is_exact_under_interleaving() {
+        // Regression: hits + misses must equal the total number of embed
+        // calls, misses must equal the number of distinct values, and the
+        // counters must not drift when lookups interleave.
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        let calls = ["a", "b", "a", "c", "b", "a", "c", "c", "d", "a"];
+        for value in calls {
+            cache.embed(value);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, calls.len() as u64);
+        assert_eq!(misses, 4, "one miss per distinct value");
+        assert_eq!(hits, 6);
+        assert_eq!(cache.len(), 4);
+        // A fresh value is a miss, a repeat is a hit — in that exact order.
+        cache.embed("e");
+        assert_eq!(cache.stats(), (6, 5));
+        cache.embed("e");
+        assert_eq!(cache.stats(), (7, 5));
+    }
+
+    #[test]
+    fn stats_account_for_every_threaded_call() {
+        // 4 threads × 8 calls over 2 distinct values: every call is either a
+        // hit or a miss, and only distinct values count as misses.
+        let cache = std::sync::Arc::new(EmbeddingCache::new(HashingNgramEmbedder::new()));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8 {
+                    c.embed(&format!("value-{}", (t + i) % 2));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 32);
+        assert_eq!(cache.len(), 2);
+        // Concurrent first lookups may race past the read-then-insert gap,
+        // so a distinct value can miss more than once — but never more than
+        // once per thread.
+        assert!((2..=8).contains(&misses), "misses = {misses}");
+    }
+
+    #[test]
     fn usable_across_threads() {
         let cache = std::sync::Arc::new(EmbeddingCache::new(HashingNgramEmbedder::new()));
         let mut handles = Vec::new();

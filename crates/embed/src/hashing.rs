@@ -84,6 +84,98 @@ fn xw_seed() -> u64 {
     0xDEAD_BEEF_1234_5678
 }
 
+// Salt separating SimHash hyperplane seeds from every other direction seed.
+const SIMHASH_SALT: u64 = 0x51A4_7E05_6B1C_93D7;
+
+/// Locality-sensitive signature generator over embedding vectors
+/// (SimHash / random-hyperplane LSH, Charikar 2002).
+///
+/// Each signature bit is the sign of the vector's projection onto one fixed
+/// pseudo-random hyperplane; vectors at small cosine distance agree on most
+/// bits.  [`band_keys`](Self::band_keys) splits the signature into bands so
+/// that close vectors collide on at least one band key with high probability
+/// — the embedding-bucket blocking used by the fuzzy value matcher for
+/// semantic matches (aliases, codes) that share no surface key.
+///
+/// Hyperplane directions depend only on `(bit index, dimension)`, so
+/// signatures are comparable across embedders of the same dimension and
+/// stable across runs.
+#[derive(Debug, Clone)]
+pub struct SimHasher {
+    directions: Vec<Vector>,
+}
+
+impl SimHasher {
+    /// Creates a hasher producing `bits`-bit signatures for `dim`-dimensional
+    /// vectors.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`, `bits > 64` or `dim == 0`.
+    pub fn new(bits: usize, dim: usize) -> Self {
+        assert!(bits > 0 && bits <= 64, "signature width must be in 1..=64");
+        assert!(dim > 0, "vector dimension must be positive");
+        let directions = (0..bits)
+            .map(|bit| {
+                let seed = SIMHASH_SALT ^ (bit as u64).wrapping_mul(0x9E37_79B9_97F4_A7C1);
+                seeded_direction(seed, dim)
+            })
+            .collect();
+        SimHasher { directions }
+    }
+
+    /// Signature width in bits.
+    pub fn bits(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// The SimHash signature of a vector (bit *i* is the sign of the
+    /// projection onto hyperplane *i*).
+    ///
+    /// # Panics
+    /// Panics when the vector dimension differs from the hasher's.
+    pub fn signature(&self, vector: &Vector) -> u64 {
+        let mut signature = 0u64;
+        for (bit, direction) in self.directions.iter().enumerate() {
+            if vector.dot(direction) >= 0.0 {
+                signature |= 1 << bit;
+            }
+        }
+        signature
+    }
+
+    /// Banded LSH keys of a vector: the signature split into
+    /// `bits() / band_bits` contiguous bands, each rendered as
+    /// `sh<band>:<value>`.  Two vectors share a key iff they agree on every
+    /// bit of at least one band.
+    ///
+    /// # Panics
+    /// Panics if `band_bits == 0` or does not divide [`bits`](Self::bits).
+    pub fn band_keys(&self, vector: &Vector, band_bits: usize) -> Vec<String> {
+        self.band_buckets(vector, band_bits)
+            .into_iter()
+            .enumerate()
+            .map(|(band, bucket)| format!("sh{band}:{bucket:x}"))
+            .collect()
+    }
+
+    /// As [`band_keys`](Self::band_keys) but returning the raw per-band
+    /// bucket values — the allocation-free form hot paths bucket on.  Band
+    /// `i` of [`band_keys`](Self::band_keys) is exactly
+    /// `format!("sh{i}:{bucket:x}")` of entry `i` here.
+    ///
+    /// # Panics
+    /// Panics if `band_bits == 0` or does not divide [`bits`](Self::bits).
+    pub fn band_buckets(&self, vector: &Vector, band_bits: usize) -> Vec<u64> {
+        assert!(
+            band_bits > 0 && self.bits().is_multiple_of(band_bits),
+            "band width must divide the signature width"
+        );
+        let signature = self.signature(vector);
+        let mask = if band_bits == 64 { u64::MAX } else { (1u64 << band_bits) - 1 };
+        (0..self.bits() / band_bits).map(|band| (signature >> (band * band_bits)) & mask).collect()
+    }
+}
+
 impl Default for HashingNgramEmbedder {
     fn default() -> Self {
         HashingNgramEmbedder::new()
@@ -166,5 +258,61 @@ mod tests {
     #[should_panic(expected = "invalid n-gram range")]
     fn bad_ngram_range_rejected() {
         HashingNgramEmbedder::with_config(8, 3, 2, 1.0);
+    }
+
+    #[test]
+    fn simhash_is_deterministic_and_locality_sensitive() {
+        let e = HashingNgramEmbedder::new();
+        let hasher = SimHasher::new(64, e.dim());
+        let berlin = hasher.signature(&e.embed("Berlin"));
+        assert_eq!(berlin, hasher.signature(&e.embed("Berlin")));
+        // Close pairs agree on more bits than far pairs.  Individual pairs
+        // can be unlucky with the fixed hyperplane draw, so compare totals
+        // over several pairs.
+        let flips = |pairs: &[(&str, &str)]| -> u32 {
+            pairs
+                .iter()
+                .map(|(a, b)| {
+                    (hasher.signature(&e.embed(a)) ^ hasher.signature(&e.embed(b))).count_ones()
+                })
+                .sum()
+        };
+        let typo = flips(&[("Berlin", "Berlinn"), ("Toronto", "Torontoo"), ("Lima", "Limaa")]);
+        let unrelated = flips(&[("Berlin", "Toronto"), ("Toronto", "Lima"), ("Lima", "Berlin")]);
+        assert!(typo < unrelated, "typo flips {typo} bits, unrelated {unrelated}");
+    }
+
+    #[test]
+    fn band_keys_collide_for_near_duplicates() {
+        let e = HashingNgramEmbedder::new();
+        let hasher = SimHasher::new(32, e.dim());
+        let a = hasher.band_keys(&e.embed("Barcelona"), 4);
+        let b = hasher.band_keys(&e.embed("Barcelonna"), 4);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().any(|k| b.contains(k)), "no shared band: {a:?} vs {b:?}");
+        // Identical vectors share every band key.
+        assert_eq!(a, hasher.band_keys(&e.embed("Barcelona"), 4));
+    }
+
+    #[test]
+    fn band_keys_are_namespaced_per_band() {
+        let e = HashingNgramEmbedder::new();
+        let hasher = SimHasher::new(8, e.dim());
+        let keys = hasher.band_keys(&e.embed("x"), 4);
+        assert!(keys[0].starts_with("sh0:"));
+        assert!(keys[1].starts_with("sh1:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "band width must divide")]
+    fn band_width_must_divide_signature_width() {
+        let hasher = SimHasher::new(32, 8);
+        hasher.band_keys(&Vector::zeros(8), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature width")]
+    fn zero_bits_rejected() {
+        SimHasher::new(0, 8);
     }
 }

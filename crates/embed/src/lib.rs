@@ -35,7 +35,7 @@ pub mod vector;
 
 pub use cache::EmbeddingCache;
 pub use embedder::{cosine_distance_between, Embedder};
-pub use hashing::HashingNgramEmbedder;
+pub use hashing::{HashingNgramEmbedder, SimHasher};
 pub use knowledge::KnowledgeBase;
 pub use models::{EmbeddingModel, ALL_MODELS};
 pub use simlm::SimulatedLmEmbedder;

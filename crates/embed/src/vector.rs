@@ -80,6 +80,34 @@ impl Vector {
         1.0 - self.cosine_similarity(other)
     }
 
+    /// [`cosine_similarity`](Self::cosine_similarity) with both norms
+    /// supplied by the caller.  Hot loops that compare the same vectors many
+    /// times (cost-matrix construction) compute each norm once instead of
+    /// per entry; the arithmetic is identical, so the result is bit-equal to
+    /// the naive form.
+    pub fn cosine_similarity_given_norms(
+        &self,
+        self_norm: f32,
+        other: &Vector,
+        other_norm: f32,
+    ) -> f32 {
+        if self_norm == 0.0 || other_norm == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / (self_norm * other_norm)).clamp(-1.0, 1.0)
+    }
+
+    /// [`cosine_distance`](Self::cosine_distance) with both norms supplied
+    /// by the caller.
+    pub fn cosine_distance_given_norms(
+        &self,
+        self_norm: f32,
+        other: &Vector,
+        other_norm: f32,
+    ) -> f32 {
+        1.0 - self.cosine_similarity_given_norms(self_norm, other, other_norm)
+    }
+
     /// The element-wise mean of a non-empty set of vectors; `None` when the
     /// iterator is empty.  Used to build column-level signatures for schema
     /// matching.
@@ -128,6 +156,17 @@ mod tests {
         let b = Vector::new(vec![0.0, 1.0]);
         assert!((a.cosine_distance(&b) - 1.0).abs() < 1e-6);
         assert!((a.cosine_distance(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn given_norms_variant_is_bit_identical() {
+        let a = Vector::new(vec![0.3, -1.2, 0.7]);
+        let b = Vector::new(vec![-0.9, 0.1, 2.0]);
+        let (na, nb) = (a.norm(), b.norm());
+        assert_eq!(a.cosine_similarity(&b), a.cosine_similarity_given_norms(na, &b, nb));
+        assert_eq!(a.cosine_distance(&b), a.cosine_distance_given_norms(na, &b, nb));
+        let zero = Vector::zeros(3);
+        assert_eq!(zero.cosine_distance_given_norms(0.0, &b, nb), 1.0);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Shared blocking-key generation.
+//!
+//! Blocking prunes a quadratic candidate space by only comparing items that
+//! share at least one cheap *blocking key*.  Two subsystems block on strings:
+//! the downstream entity matcher (`lake-em`, tuple-level keys) and the fuzzy
+//! value matcher (`fuzzy-fd-core`, value-level keys).  Both derive their keys
+//! from the same primitives, centralised here:
+//!
+//! * `t:<token>` — every normalised word token (equality on a word);
+//! * `g:<gram>`  — character q-grams of a token, either just the leading gram
+//!   (cheap, catches suffix typos) or all of them (catches typos anywhere);
+//! * `a:<letters>` — acronym keys linking `"United Nations"` to `"UN"`: the
+//!   first letters of a multi-word string, and short single tokens verbatim
+//!   (a short token may *be* the acronym of some multi-word value).
+//!
+//! Keys are namespaced by prefix so a token never accidentally collides with
+//! a q-gram or an acronym.
+
+use std::collections::BTreeSet;
+
+use crate::abbrev::acronym;
+use crate::normalize::normalize_aggressive;
+use crate::tokenize::{char_ngrams, words};
+
+/// Longest single token (in characters) that is still plausibly an acronym
+/// ("NYC", "UNESCO").  Shared with the hot-path key hasher in
+/// `fuzzy-fd-core::blocking`, which must stay key-identical to
+/// [`string_block_keys`].
+pub const MAX_ACRONYM_LEN: usize = 5;
+
+/// Tuning knobs for [`string_block_keys`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockKeyOptions {
+    /// Tokens shorter than this many *bytes* produce no keys of their own
+    /// (very short tokens are uninformative and create huge blocks).  Bytes,
+    /// not characters, so single-glyph multi-byte tokens — one CJK ideograph
+    /// carries as much signal as a short word — still emit keys.
+    pub min_token_len: usize,
+    /// Size of the character q-grams; `0` disables q-gram keys.
+    pub qgram: usize,
+    /// Emit every q-gram of a token instead of only the leading one.  All
+    /// q-grams let typo variants collide regardless of where the edit sits;
+    /// the leading gram alone is cheaper and suits coarse tuple-level keys.
+    pub all_qgrams: bool,
+    /// Emit acronym keys (`a:` namespace) linking multi-word strings to their
+    /// initialisms.
+    pub acronym_keys: bool,
+}
+
+impl Default for BlockKeyOptions {
+    /// The tuple-level profile used by `lake-em`: tokens plus leading
+    /// trigrams, no acronym keys.
+    fn default() -> Self {
+        BlockKeyOptions { min_token_len: 2, qgram: 3, all_qgrams: false, acronym_keys: false }
+    }
+}
+
+impl BlockKeyOptions {
+    /// The value-level profile used by the fuzzy value matcher: all trigrams
+    /// (typos anywhere still share a key) and acronym keys.
+    pub fn value_matching() -> Self {
+        BlockKeyOptions { min_token_len: 2, qgram: 3, all_qgrams: true, acronym_keys: true }
+    }
+}
+
+/// The blocking keys of one string under the given options.  Deterministic,
+/// and empty only when the string has no token of the minimum length.
+pub fn string_block_keys(s: &str, options: &BlockKeyOptions) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let text = normalize_aggressive(s);
+    let tokens = words(&text);
+    for token in &tokens {
+        if token.len() < options.min_token_len {
+            continue;
+        }
+        keys.insert(format!("t:{token}"));
+        if options.qgram > 0 {
+            let grams = char_ngrams(token, options.qgram);
+            if options.all_qgrams {
+                for gram in grams {
+                    keys.insert(format!("g:{gram}"));
+                }
+            } else if let Some(gram) = grams.into_iter().next() {
+                keys.insert(format!("g:{gram}"));
+            }
+        }
+    }
+    if options.acronym_keys {
+        if tokens.len() >= 2 {
+            let initials = acronym(&text).to_lowercase();
+            if initials.chars().count() >= 2 {
+                keys.insert(format!("a:{initials}"));
+            }
+        } else if let Some(token) = tokens.first() {
+            let len = token.chars().count();
+            if (2..=MAX_ACRONYM_LEN).contains(&len) {
+                keys.insert(format!("a:{token}"));
+            }
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_matches_em_semantics() {
+        let keys = string_block_keys("New York", &BlockKeyOptions::default());
+        assert!(keys.contains("t:new"));
+        assert!(keys.contains("t:york"));
+        assert!(keys.contains("g:new"));
+        assert!(keys.contains("g:yor"));
+        // Leading gram only: "ork" must not appear.
+        assert!(!keys.contains("g:ork"));
+        // No acronym keys in the default profile.
+        assert!(!keys.iter().any(|k| k.starts_with("a:")));
+    }
+
+    #[test]
+    fn value_profile_emits_all_trigrams() {
+        let keys = string_block_keys("Barcelona", &BlockKeyOptions::value_matching());
+        for gram in ["bar", "arc", "rce", "cel", "elo", "lon", "ona"] {
+            assert!(keys.contains(&format!("g:{gram}")), "missing g:{gram} in {keys:?}");
+        }
+    }
+
+    #[test]
+    fn acronyms_link_initialisms_to_expansions() {
+        let options = BlockKeyOptions::value_matching();
+        let long = string_block_keys("United Nations", &options);
+        let short = string_block_keys("UN", &options);
+        assert!(long.contains("a:un"));
+        assert!(short.contains("a:un"));
+        assert!(!long.is_disjoint(&short));
+    }
+
+    #[test]
+    fn long_single_tokens_are_not_acronyms() {
+        let keys = string_block_keys("Barcelona", &BlockKeyOptions::value_matching());
+        assert!(!keys.iter().any(|k| k.starts_with("a:")));
+    }
+
+    #[test]
+    fn short_tokens_produce_no_keys() {
+        assert!(string_block_keys("a", &BlockKeyOptions::default()).is_empty());
+        assert!(string_block_keys("", &BlockKeyOptions::default()).is_empty());
+        assert!(string_block_keys("!!!", &BlockKeyOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn single_glyph_multibyte_tokens_keep_their_keys() {
+        // The length gate is measured in bytes: a one-character CJK token is
+        // ≥ 3 bytes and must still block (it is a whole word), while a
+        // one-byte ASCII letter must not.
+        let keys = string_block_keys("東", &BlockKeyOptions::default());
+        assert!(keys.contains("t:東"), "{keys:?}");
+        assert!(keys.contains("g:東"), "{keys:?}");
+    }
+
+    #[test]
+    fn typo_variants_share_a_key_wherever_the_edit_sits() {
+        let options = BlockKeyOptions::value_matching();
+        for (a, b) in [("berlin", "xerlin"), ("berlin", "berlix"), ("berlin", "bexlin")] {
+            let ka = string_block_keys(a, &options);
+            let kb = string_block_keys(b, &options);
+            assert!(!ka.is_disjoint(&kb), "{a} / {b} share no key");
+        }
+    }
+
+    #[test]
+    fn keys_are_case_and_punctuation_insensitive() {
+        let options = BlockKeyOptions::default();
+        assert_eq!(
+            string_block_keys("Jean-Luc  Picard!", &options),
+            string_block_keys("jean luc picard", &options)
+        );
+    }
+}

@@ -12,11 +12,13 @@
 //!   same notions of abbreviation/typo the matcher is later asked to undo.
 
 pub mod abbrev;
+pub mod blockkeys;
 pub mod distance;
 pub mod normalize;
 pub mod tokenize;
 
 pub use abbrev::{acronym, expands_acronym, is_prefix_abbreviation};
+pub use blockkeys::{string_block_keys, BlockKeyOptions, MAX_ACRONYM_LEN};
 pub use distance::{
     cosine_token_similarity, dice_coefficient, jaccard, jaro, jaro_winkler, levenshtein,
     levenshtein_similarity, monge_elkan,

@@ -1,0 +1,66 @@
+//! Compares the candidate-space policies of the fuzzy value matcher on one
+//! Auto-Join-style integration set: the exhaustive dense matrix, the default
+//! exact sub-threshold channel, surface keys only, and SimHash banding.
+//!
+//! Run with `cargo run --release --example diag_blocking`.
+
+use datalake_fuzzy_fd::benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
+use datalake_fuzzy_fd::core::{
+    match_column_values_with_stats, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig,
+    SemanticBlocking,
+};
+use datalake_fuzzy_fd::table::Value;
+use std::time::Instant;
+
+const REPS: u32 = 30;
+
+fn main() {
+    let config =
+        AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
+    let set = generate_autojoin_benchmark(config).remove(0);
+    let columns: Vec<Vec<Value>> = set
+        .columns
+        .iter()
+        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
+        .collect();
+    let embedder = FuzzyFdConfig::default().model.build();
+
+    let t = Instant::now();
+    let mut exhaustive = Vec::new();
+    for _ in 0..REPS {
+        exhaustive = match_column_values_with_stats(
+            &columns,
+            embedder.as_ref(),
+            FuzzyFdConfig::with_blocking(BlockingPolicy::Exhaustive),
+        )
+        .0;
+    }
+    println!("exhaustive      {:>12?}", t.elapsed() / REPS);
+
+    let keyed = |semantic| {
+        FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+            semantic,
+            min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
+        }))
+    };
+    for (label, cfg) in [
+        ("exact (default)", FuzzyFdConfig::default().force_blocking()),
+        ("exact, no slack", keyed(SemanticBlocking::ExactBelow { slack: 0.0 })),
+        ("surface only   ", keyed(SemanticBlocking::Off)),
+        ("simhash 8x8    ", keyed(SemanticBlocking::simhash_default())),
+    ] {
+        let t = Instant::now();
+        let mut groups = Vec::new();
+        let mut stats = Default::default();
+        for _ in 0..REPS {
+            (groups, stats) = match_column_values_with_stats(&columns, embedder.as_ref(), cfg);
+        }
+        let diff = exhaustive.iter().filter(|g| !groups.contains(g)).count();
+        println!(
+            "{label} {:>12?}  groups-vs-exhaustive-diff={diff}  pruned={:.1}%  {stats:?}",
+            t.elapsed() / REPS,
+            100.0 * stats.pruned_fraction(),
+        );
+    }
+}

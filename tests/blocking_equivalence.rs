@@ -1,0 +1,324 @@
+//! Equivalence and property harness for blocked candidate generation.
+//!
+//! The blocked value matcher must be a faithful optimisation: its cartesian
+//! fallback has to reproduce the exhaustive path exactly, the keyed channels
+//! must never match pairs that were not candidates (SimHash mode: sharing no
+//! blocking key; exact mode: at or above the distance cutoff), and on the
+//! Auto-Join benchmark set the pruned search space may not change the
+//! produced groups.
+
+use std::collections::BTreeSet;
+
+use datalake_fuzzy_fd::core::{
+    embedding_bucket_keys, hash_key, match_column_values, match_column_values_with_stats,
+    value_block_keys, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig, SemanticBlocking,
+    ValueGroup,
+};
+use datalake_fuzzy_fd::embed::{Embedder, EmbeddingModel};
+use datalake_fuzzy_fd::table::Value;
+use proptest::prelude::*;
+
+fn to_value_columns(columns: &[Vec<String>]) -> Vec<Vec<Value>> {
+    columns.iter().map(|col| col.iter().map(|s| Value::text(s.clone())).collect()).collect()
+}
+
+fn run(columns: &[Vec<String>], config: FuzzyFdConfig) -> Vec<ValueGroup> {
+    let embedder = config.model.build();
+    match_column_values(&to_value_columns(columns), embedder.as_ref(), config)
+}
+
+/// Strategy: 2–3 columns mixing exact duplicates, typo variants, acronyms and
+/// unrelated values, so exact, fuzzy and unmatched paths are all exercised.
+fn columns_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    let word = prop::sample::select(vec![
+        "berlin",
+        "berlinn",
+        "toronto",
+        "torontoo",
+        "boston",
+        "barcelona",
+        "barcelonna",
+        "new delhi",
+        "nd",
+        "united nations",
+        "un",
+        "germany",
+        "de",
+        "canada",
+        "ca",
+        "quito",
+        "lima",
+        "lagos",
+        "dallas",
+        "austin",
+    ]);
+    let column = prop::collection::hash_set(word, 0..10)
+        .prop_map(|set| set.into_iter().map(String::from).collect::<Vec<String>>());
+    prop::collection::vec(column, 2..=3)
+}
+
+/// Forces keyed blocking (the default exact semantic channel) regardless of
+/// problem size.
+fn keyed_config(theta: f32, threads: usize) -> FuzzyFdConfig {
+    FuzzyFdConfig { theta, matching_threads: threads, ..FuzzyFdConfig::default() }.force_blocking()
+}
+
+/// A keyed config on the SimHash semantic channel, floor removed.
+fn simhash_config(theta: f32) -> FuzzyFdConfig {
+    FuzzyFdConfig {
+        theta,
+        blocking: BlockingPolicy::Keyed(KeyedBlockingConfig {
+            semantic: SemanticBlocking::simhash_default(),
+            min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
+        }),
+        ..FuzzyFdConfig::default()
+    }
+}
+
+/// The full (hashed) blocking keys of one value the way the SimHash planner
+/// derives them: surface keys plus the band-bucket keys of the value's own
+/// embedding.
+fn full_keys(value: &str, semantic: &SemanticBlocking, model: EmbeddingModel) -> BTreeSet<u64> {
+    let embedder = model.build();
+    let mut keys: BTreeSet<u64> = value_block_keys(value).iter().map(|k| hash_key(k)).collect();
+    keys.extend(embedding_bucket_keys(semantic, &embedder.embed(value)));
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// The keyed policy's cartesian fallback (blocking floor never reached)
+    /// is bit-identical to the exhaustive path.
+    #[test]
+    fn cartesian_fallback_equals_exhaustive(
+        columns in columns_strategy(),
+        theta in 0.0f32..0.95,
+    ) {
+        let exhaustive = run(
+            &columns,
+            FuzzyFdConfig { theta, ..FuzzyFdConfig::with_blocking(BlockingPolicy::Exhaustive) },
+        );
+        let fallback = run(
+            &columns,
+            FuzzyFdConfig {
+                theta,
+                blocking: BlockingPolicy::Keyed(KeyedBlockingConfig {
+                    min_blocked_pairs: usize::MAX,
+                    ..KeyedBlockingConfig::default()
+                }),
+                ..FuzzyFdConfig::default()
+            },
+        );
+        prop_assert_eq!(exhaustive, fallback);
+    }
+
+    /// The default exact semantic channel never groups a value with others it
+    /// is not close to: every member of a multi-member group is an exact
+    /// duplicate of another member, or lies within the distance cutoff
+    /// (θ + slack) of at least one other member — the witness being the group
+    /// representative it was matched against, which stays a member forever.
+    #[test]
+    fn exact_mode_only_groups_sub_threshold_values(
+        columns in columns_strategy(),
+        theta in 0.0f32..0.95,
+    ) {
+        let config = keyed_config(theta, 1);
+        let BlockingPolicy::Keyed(keyed) = config.blocking else { unreachable!() };
+        let SemanticBlocking::ExactBelow { slack } = keyed.semantic else {
+            panic!("default channel must be exact, got {:?}", keyed.semantic)
+        };
+        let cutoff = theta + slack;
+        let embedder = config.model.build();
+        let groups = run(&columns, config);
+        for group in groups.iter().filter(|g| g.len() >= 2) {
+            for (i, (_, value)) in group.members.iter().enumerate() {
+                let rendered = value.render();
+                if group.members.iter().enumerate().any(|(j, (_, other))| {
+                    i != j && other.render() == rendered
+                }) {
+                    continue; // exact duplicate, joined by the exact pass
+                }
+                let own = embedder.embed(&rendered);
+                let close = group.members.iter().enumerate().any(|(j, (_, other))| {
+                    i != j && own.cosine_distance(&embedder.embed(&other.render())) < cutoff
+                });
+                prop_assert!(
+                    close,
+                    "{rendered:?} grouped at distance ≥ {cutoff}: {group:#?}"
+                );
+            }
+        }
+    }
+
+    /// SimHash mode never groups a value with others it shares no blocking
+    /// key with: every member of a multi-member group shares at least one key
+    /// (surface or embedding bucket) with the union of the other members'
+    /// keys, or is an exact duplicate of another member.
+    #[test]
+    fn simhash_mode_only_pairs_key_sharing_values(
+        columns in columns_strategy(),
+        theta in 0.0f32..0.95,
+    ) {
+        let config = simhash_config(theta);
+        let BlockingPolicy::Keyed(keyed) = config.blocking else { unreachable!() };
+        let groups = run(&columns, config);
+        for group in groups.iter().filter(|g| g.len() >= 2) {
+            for (i, (_, value)) in group.members.iter().enumerate() {
+                let rendered = value.render();
+                if group.members.iter().enumerate().any(|(j, (_, other))| {
+                    i != j && other.render() == rendered
+                }) {
+                    continue; // exact duplicate, joined by the exact pass
+                }
+                let own = full_keys(&rendered, &keyed.semantic, config.model);
+                let mut rest = BTreeSet::new();
+                for (j, (_, other)) in group.members.iter().enumerate() {
+                    if i != j {
+                        rest.extend(full_keys(&other.render(), &keyed.semantic, config.model));
+                    }
+                }
+                prop_assert!(
+                    !own.is_disjoint(&rest),
+                    "{rendered:?} grouped with values sharing none of its keys: {group:#?}"
+                );
+            }
+        }
+    }
+
+    /// Block solving is deterministic in the worker-thread count.
+    #[test]
+    fn blocked_matching_is_thread_count_invariant(
+        columns in columns_strategy(),
+        theta in 0.0f32..0.95,
+    ) {
+        let sequential = run(&columns, keyed_config(theta, 1));
+        for threads in [0usize, 3] {
+            let parallel = run(&columns, keyed_config(theta, threads));
+            prop_assert_eq!(&sequential, &parallel, "threads = {}", threads);
+        }
+    }
+}
+
+/// Acceptance: on the Auto-Join 150-value integration set, keyed blocking
+/// prunes a substantial share of the candidate space without changing a
+/// single group, sequentially and across worker threads.
+#[test]
+fn autojoin_150_set_blocked_equals_exhaustive() {
+    use datalake_fuzzy_fd::benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
+
+    let config =
+        AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
+    let set = generate_autojoin_benchmark(config).remove(0);
+    let columns = to_value_columns(&set.columns);
+    let embedder = EmbeddingModel::Mistral.build();
+
+    let (exhaustive, exhaustive_stats) = match_column_values_with_stats(
+        &columns,
+        embedder.as_ref(),
+        FuzzyFdConfig::with_blocking(BlockingPolicy::Exhaustive),
+    );
+    assert_eq!(exhaustive_stats.pruned_pairs, 0);
+
+    let (blocked, stats) = match_column_values_with_stats(
+        &columns,
+        embedder.as_ref(),
+        FuzzyFdConfig::default().force_blocking(),
+    );
+    assert_eq!(blocked, exhaustive, "blocking changed the produced groups");
+    assert!(stats.pruned_pairs > 0, "no pruning happened: {stats:?}");
+    assert!(
+        stats.candidate_pairs < exhaustive_stats.candidate_pairs,
+        "blocked: {stats:?}, exhaustive: {exhaustive_stats:?}"
+    );
+    // On single-topic data the sub-cutoff candidate graph is connected, so
+    // the plan is one (heavily sparsified) block; splitting into several
+    // blocks needs genuinely separable value clusters and is covered by the
+    // dedicated multi-cluster test below.
+    assert!(stats.blocks >= 1, "{stats:?}");
+    assert!(
+        stats.pruned_fraction() > 0.5,
+        "the exact channel should prune most of the space: {stats:?}"
+    );
+
+    // The default config (with its cartesian floor) must also agree: the
+    // 150-value columns sit far above the floor, so blocking engages.
+    let (default_mode, default_stats) =
+        match_column_values_with_stats(&columns, embedder.as_ref(), FuzzyFdConfig::default());
+    assert_eq!(default_mode, exhaustive);
+    assert!(default_stats.pruned_pairs > 0);
+
+    // And the parallel path must agree with the sequential one.
+    let parallel = match_column_values(
+        &columns,
+        embedder.as_ref(),
+        FuzzyFdConfig { matching_threads: 4, ..FuzzyFdConfig::default() }.force_blocking(),
+    );
+    assert_eq!(parallel, exhaustive);
+}
+
+/// Acceptance: a fold over well-separated value clusters (no shared surface,
+/// distant embeddings) splits into many independent blocks that solve to the
+/// same groups as the exhaustive path, sequentially and across worker
+/// threads.
+#[test]
+fn separable_clusters_split_into_parallel_blocks() {
+    // Distinctive base words sharing no character trigrams, so both the
+    // surface and the embedding of different clusters are far apart; the
+    // second column holds a typo variant of each base (last letter doubled).
+    let bases = [
+        "qavlumper",
+        "zorbekkin",
+        "wyxtrovan",
+        "fenglodar",
+        "mubrizzok",
+        "tislenkor",
+        "hardwexil",
+        "covantrup",
+        "jesprilon",
+        "nuxbalter",
+        "ryzomenta",
+        "gwalfiddo",
+        "spuncrati",
+        "dovekharn",
+        "ilmoquist",
+        "braxxulen",
+    ];
+    let columns: Vec<Vec<String>> = vec![
+        bases.iter().map(|b| b.to_string()).collect(),
+        bases.iter().map(|b| format!("{b}{}", b.chars().last().unwrap())).collect(),
+    ];
+    let value_columns = to_value_columns(&columns);
+    let embedder = EmbeddingModel::Mistral.build();
+
+    let exhaustive = match_column_values(
+        &value_columns,
+        embedder.as_ref(),
+        FuzzyFdConfig::with_blocking(BlockingPolicy::Exhaustive),
+    );
+    let (blocked, stats) = match_column_values_with_stats(
+        &value_columns,
+        embedder.as_ref(),
+        FuzzyFdConfig::default().force_blocking(),
+    );
+    assert_eq!(blocked, exhaustive, "blocking changed the produced groups");
+    assert!(stats.blocks > 1, "separable clusters must split: {stats:?}");
+    assert!(stats.pruned_pairs > 0, "{stats:?}");
+    // Every base must still absorb its typo variant.
+    for group in &blocked {
+        assert_eq!(group.len(), 2, "cluster failed to pair: {group:#?}");
+    }
+
+    // With several blocks and an explicit thread count the scoped-thread
+    // solver engages; it must agree with the sequential result.
+    for threads in [2, 4, 32] {
+        let parallel = match_column_values(
+            &value_columns,
+            embedder.as_ref(),
+            FuzzyFdConfig { matching_threads: threads, ..FuzzyFdConfig::default() }
+                .force_blocking(),
+        );
+        assert_eq!(parallel, exhaustive, "threads = {threads}");
+    }
+}
