@@ -10,10 +10,10 @@
 //!
 //! * [`shortest_augmenting_path`] — exact solver for rectangular matrices,
 //!   the default used by the pipeline (scipy-equivalent);
-//! * [`hungarian`] — classic Kuhn–Munkres with dual potentials, kept as an
+//! * [`mod@hungarian`] — classic Kuhn–Munkres with dual potentials, kept as an
 //!   independent exact implementation used to cross-check the first in tests
 //!   and exposed for ablation benches;
-//! * [`greedy`] — a cheap approximate baseline used by the ablation study;
+//! * [`mod@greedy`] — a cheap approximate baseline used by the ablation study;
 //! * [`Assignment`] — the solver output, plus helpers for thresholded
 //!   matching (discard assigned pairs whose cost exceeds θ).
 

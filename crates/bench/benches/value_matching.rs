@@ -1,12 +1,16 @@
 //! Criterion bench backing Table 1: value-matching cost per embedding model
-//! on one Auto-Join-style integration set, plus a blocked-vs-exhaustive
-//! comparison of the candidate-space policies.
+//! on one Auto-Join-style integration set, a blocked-vs-exhaustive
+//! comparison of the candidate-space policies, and the escalation tier on a
+//! lake-scale fold.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuzzy_fd_core::{
-    match_column_values, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig, SemanticBlocking,
+    match_column_values, BlockingPolicy, EscalationPolicy, FuzzyFdConfig, KeyedBlockingConfig,
+    SemanticBlocking,
 };
-use lake_benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
+use lake_benchdata::{
+    generate_autojoin_benchmark, generate_escalation_fold, AutoJoinConfig, EscalationFoldConfig,
+};
 use lake_embed::ALL_MODELS;
 use lake_table::Value;
 
@@ -67,5 +71,41 @@ fn bench_blocking_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_value_matching, bench_blocking_policies);
+/// The escalation tier on a lake-scale fold (4200 distinctive values plus
+/// surface variants — see `lake_benchdata::escalation`): the quadratic exact
+/// sweep vs the ANN-gated escalated channel, both under the default model.
+/// At this size the sweep's quadratic cost dominates and the escalated
+/// channel wins on wall clock as well as on scored pairs (~8× fewer, the
+/// number `FuzzyFdReport::blocking` reports and the equivalence harness
+/// asserts on).
+fn bench_escalation(c: &mut Criterion) {
+    let fold =
+        generate_escalation_fold(EscalationFoldConfig { entities: 4_200, ..Default::default() });
+    let columns: Vec<Vec<Value>> = fold
+        .columns
+        .iter()
+        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
+        .collect();
+    // Embeddings are memoised across iterations (as the pipeline does via
+    // `EmbeddingCache`), so the series isolates candidate generation and
+    // solving instead of re-measuring the linear embedding cost.
+    let embedder = lake_embed::EmbeddingCache::new(FuzzyFdConfig::default().model.build());
+
+    let policies: [(&str, EscalationPolicy); 2] =
+        [("exact-sweep", EscalationPolicy::never()), ("escalated", EscalationPolicy::default())];
+    let mut group = c.benchmark_group("value_matching_escalation");
+    group.sample_size(10);
+    for (name, escalation) in policies {
+        let config = FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+            escalation,
+            ..KeyedBlockingConfig::default()
+        }));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &columns, |b, cols| {
+            b.iter(|| match_column_values(cols, &embedder, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_value_matching, bench_blocking_policies, bench_escalation);
 criterion_main!(benches);

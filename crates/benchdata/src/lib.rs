@@ -13,6 +13,8 @@
 //! * [`imdb`] — an IMDB-schema-shaped efficiency benchmark: six key-joinable
 //!   tables sampled to a requested total tuple count (5K–30K).  Drives the
 //!   Figure 3 runtime experiment.
+//! * [`escalation`] — a lake-scale fold (1k+ distinctive values plus surface
+//!   variants) driving the blocking escalation benchmark.
 //! * [`lexicon`] — topic vocabularies (cities, songs, movies, people, …) and
 //!   alias groups shared by the generators.
 //! * [`noise`] — the deterministic fuzzy transformations (typos, case
@@ -23,12 +25,14 @@
 
 pub mod alite_em;
 pub mod autojoin;
+pub mod escalation;
 pub mod imdb;
 pub mod lexicon;
 pub mod noise;
 
 pub use alite_em::{generate_em_benchmark, EmBenchmark, EmBenchmarkConfig};
 pub use autojoin::{generate_autojoin_benchmark, AutoJoinConfig, ValueMatchingSet};
+pub use escalation::{generate_escalation_fold, EscalationFold, EscalationFoldConfig};
 pub use imdb::{generate_imdb_benchmark, ImdbConfig};
 pub use lexicon::{topic_values, Topic, ALL_TOPICS};
 pub use noise::{apply_transformation, Transformation};

@@ -33,12 +33,40 @@
 //! keyed policy below its `min_blocked_pairs` floor) produces a single
 //! unmasked block covering every pair, which preserves the exact exhaustive
 //! behaviour.
+//!
+//! # Size-tiered planning
+//!
+//! Fold size picks the plan, so blocking stays faithful where it is cheap to
+//! be and sub-quadratic where it has to be:
+//!
+//! 1. **cartesian** (below `min_blocked_pairs`) — one dense block, exactly
+//!    the exhaustive behaviour;
+//! 2. **exact sweep** (default) — every pair scored once, candidacy below
+//!    `θ + slack` guaranteed; recall at the matching threshold is *exact*
+//!    as long as no connected component trips the splitting cap below;
+//! 3. **escalated ANN** (at or above
+//!    [`EscalationPolicy::min_fold_pairs`](crate::config::EscalationPolicy))
+//!    — the fold's value embeddings are indexed in a
+//!    [`lake_embed::AnnIndex`] (SimHash multi-probe buckets), each group
+//!    embedding retrieves its colliding values, and only the union of
+//!    collisions and surface-key candidates is exactly re-scored.
+//!    Probabilistic recall: a sub-cutoff pair can be missed when its
+//!    signature disagreements all carry large margins *and* it shares no
+//!    usable surface key.
+//!
+//! Independently of the tier, cost-carrying plans split oversized connected
+//! components before solving (see
+//! [`KeyedBlockingConfig::max_component_cells`]): candidate edges re-join
+//! components strongest-first, and an edge that would merge two clusters
+//! past the cell cap is severed and recorded as a [`CutEdge`] so post-solve
+//! thresholding (and the equivalence harness) can re-verify that nothing
+//! below θ was lost.
 
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use lake_embed::{SimHasher, Vector};
+use lake_embed::{AnnIndex, SimHasher, Vector};
 use lake_text::{string_block_keys, BlockKeyOptions};
 
 use crate::config::{BlockingPolicy, KeyedBlockingConfig, SemanticBlocking};
@@ -145,34 +173,60 @@ impl Block {
 
 /// Statistics of one or more blocking rounds, reported through
 /// [`FuzzyFdReport`](crate::FuzzyFdReport).
+///
+/// Counters accumulate with [`merge`](Self::merge) (saturating, so
+/// pathological workloads degrade to pegged counters instead of wrapping).
+///
+/// ```
+/// use fuzzy_fd_core::BlockingStats;
+///
+/// let mut total = BlockingStats::default();
+/// total.merge(&BlockingStats { folds: 1, candidate_pairs: 25, pruned_pairs: 75, ..Default::default() });
+/// assert_eq!(total.pruned_fraction(), 0.75);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BlockingStats {
     /// Bipartite matching steps (column folds) that went through planning.
     pub folds: usize,
+    /// Folds that escalated from the exact sweep to the ANN tier.
+    pub escalated_folds: usize,
     /// Blocks actually solved (a cartesian fallback counts as one block).
     pub blocks: usize,
     /// Candidate pairs that entered cost matrices.
     pub candidate_pairs: usize,
+    /// Pairs whose exact distance is (or will be) computed: the full
+    /// cartesian space for the dense and exact-sweep tiers, only the probed
+    /// union for the escalated ANN tier.  This is the number the escalation
+    /// tier exists to shrink.
+    pub scored_pairs: usize,
     /// Pairs pruned away relative to the exhaustive cartesian space.
     pub pruned_pairs: usize,
+    /// Oversized connected components that were split before solving.
+    pub split_components: usize,
+    /// Candidate edges severed while splitting oversized components.
+    pub severed_pairs: usize,
     /// Participants (groups + values) of the largest block seen.
     pub max_block_size: usize,
 }
 
 impl BlockingStats {
-    /// Folds another round's statistics into this accumulator.
+    /// Folds another round's statistics into this accumulator (saturating).
     pub fn merge(&mut self, other: &BlockingStats) {
-        self.folds += other.folds;
-        self.blocks += other.blocks;
-        self.candidate_pairs += other.candidate_pairs;
-        self.pruned_pairs += other.pruned_pairs;
+        self.folds = self.folds.saturating_add(other.folds);
+        self.escalated_folds = self.escalated_folds.saturating_add(other.escalated_folds);
+        self.blocks = self.blocks.saturating_add(other.blocks);
+        self.candidate_pairs = self.candidate_pairs.saturating_add(other.candidate_pairs);
+        self.scored_pairs = self.scored_pairs.saturating_add(other.scored_pairs);
+        self.pruned_pairs = self.pruned_pairs.saturating_add(other.pruned_pairs);
+        self.split_components = self.split_components.saturating_add(other.split_components);
+        self.severed_pairs = self.severed_pairs.saturating_add(other.severed_pairs);
         self.max_block_size = self.max_block_size.max(other.max_block_size);
     }
 
     /// Fraction of the exhaustive candidate space that was pruned, in
     /// `[0, 1]` (`0` when nothing was pruned or nothing was planned).
     pub fn pruned_fraction(&self) -> f64 {
-        let total = self.candidate_pairs + self.pruned_pairs;
+        let total = self.candidate_pairs.saturating_add(self.pruned_pairs);
         if total == 0 {
             0.0
         } else {
@@ -181,12 +235,30 @@ impl BlockingStats {
     }
 }
 
+/// A candidate edge severed while splitting an oversized component.  Every
+/// cut is recorded so post-solve thresholding (and the equivalence harness)
+/// can re-verify it: a cut at `distance >= θ` could never have produced a
+/// match, so severing it is provably harmless; a cut below θ can only make
+/// the matching *miss* a pair, never fabricate one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutEdge {
+    /// Row-side (group) index of the severed candidate pair.
+    pub row: usize,
+    /// Column-side (value) index of the severed candidate pair.
+    pub col: usize,
+    /// The pair's exact cosine distance, as measured by the planner.
+    pub distance: f32,
+}
+
 /// The result of planning one bipartite matching step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockPlan {
     /// Independent sub-problems; every row and every column appears in at
     /// most one block.  Rows/columns in no block have no candidate partner.
     pub blocks: Vec<Block>,
+    /// Candidate edges severed by oversized-component splitting (empty when
+    /// nothing was split).
+    pub cut_edges: Vec<CutEdge>,
     /// What the plan pruned.
     pub stats: BlockingStats,
 }
@@ -347,7 +419,26 @@ pub fn hashed_value_block_keys(value: &str) -> Vec<u64> {
 /// on its [`SemanticBlocking`] channel: `Off`/`SimHash` run the key-bucket
 /// planner over `input`'s key slices (SimHash band keys are derived from the
 /// embeddings internally), `ExactBelow` runs the exact distance sweep over
-/// the embedding slices.
+/// the embedding slices — or, for folds at or above the policy's
+/// [`EscalationPolicy`](crate::config::EscalationPolicy) threshold, the
+/// sub-quadratic ANN tier.
+///
+/// ```
+/// use fuzzy_fd_core::{plan_blocks, BlockingPolicy, FoldInputs};
+/// use lake_embed::Vector;
+///
+/// // Two well-separated clusters: each row is near exactly one column.
+/// let (a, b) = (Vector::new(vec![1.0, 0.0]), Vector::new(vec![0.0, 1.0]));
+/// let input = FoldInputs {
+///     row_embeddings: &[&a, &b],
+///     col_embeddings: &[&a, &b],
+///     theta: 0.5,
+///     ..FoldInputs::default()
+/// };
+/// let plan = plan_blocks(&input, &BlockingPolicy::default().force_blocked());
+/// assert_eq!(plan.blocks.len(), 2); // one independent sub-problem per cluster
+/// assert_eq!(plan.stats.pruned_pairs, 2); // the cross-cluster pairs
+/// ```
 pub fn plan_blocks(input: &FoldInputs<'_>, policy: &BlockingPolicy) -> BlockPlan {
     let rows = input.rows();
     let cols = input.cols();
@@ -360,16 +451,26 @@ pub fn plan_blocks(input: &FoldInputs<'_>, policy: &BlockingPolicy) -> BlockPlan
         BlockingPolicy::Keyed(keyed) => keyed,
     };
     match keyed.semantic {
-        SemanticBlocking::ExactBelow { slack } => plan_exact(input, input.theta + slack),
+        SemanticBlocking::ExactBelow { slack } => {
+            let cutoff = input.theta + slack;
+            if keyed.escalation.applies_to(rows, cols) {
+                plan_escalated(input, cutoff, keyed)
+            } else {
+                plan_exact(input, cutoff, keyed.max_component_cells)
+            }
+        }
         SemanticBlocking::Off | SemanticBlocking::SimHash { .. } => plan_by_keys(input, keyed),
     }
 }
 
 /// The exact sub-threshold planner: one dot-product sweep computes every
 /// (row, col) cosine distance; pairs strictly below `cutoff` are candidates
-/// and carry their distance into the blocks.  Recall at the matching
-/// threshold is exact by construction.
-fn plan_exact(input: &FoldInputs<'_>, cutoff: f32) -> BlockPlan {
+/// and carry their distance into the blocks.  *Candidacy* at the matching
+/// threshold is exact by construction; when a component exceeds
+/// `max_component_cells` the splitter may still sever candidate edges
+/// (each one recorded as a [`CutEdge`]), so end-to-end recall is exact
+/// whenever no component is oversized.
+fn plan_exact(input: &FoldInputs<'_>, cutoff: f32, max_component_cells: usize) -> BlockPlan {
     let rows = input.row_embeddings.len();
     let cols = input.col_embeddings.len();
     let row_norms: Vec<f32> = input.row_embeddings.iter().map(|e| e.norm()).collect();
@@ -386,12 +487,140 @@ fn plan_exact(input: &FoldInputs<'_>, cutoff: f32) -> BlockPlan {
             }
         }
     }
-    assemble_components(rows, cols, pairs, Some(costs))
+    let mut plan = assemble_components_split(rows, cols, pairs, costs, max_component_cells);
+    plan.stats.scored_pairs = rows * cols;
+    plan
+}
+
+/// The escalated (ANN) planner: the fold's column embeddings are indexed
+/// once under SimHash multi-probe buckets, every row embedding retrieves its
+/// colliding columns, and the union of collisions and surface-key candidate
+/// pairs is re-scored exactly against `cutoff`.  Sub-quadratic — only the
+/// probed union is scored — but probabilistically incomplete: a sub-cutoff
+/// pair can be missed when its signature disagreements all carry large
+/// margins and it shares no usable surface key.
+///
+/// Two repairs bound the incompleteness:
+///
+/// * every candidate that survives *is* exact — distances come from real
+///   dot products, never from the sketch;
+/// * a row or column left without any *matchable* candidate (below θ — a
+///   candidate in the slack band `[θ, θ + slack)` can only influence the
+///   solver, never become a match) is swept exactly against the whole other
+///   side before being given up on.  A participant can therefore only
+///   deviate from the exact sweep's result if the index supplied at least
+///   one genuine alternative for it.
+fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConfig) -> BlockPlan {
+    let rows = input.row_embeddings.len();
+    let cols = input.col_embeddings.len();
+    let index = AnnIndex::build(keyed.escalation.ann, input.col_embeddings.iter().copied());
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    for (r, row) in input.row_embeddings.iter().enumerate() {
+        index.candidates_into(row, &mut scratch);
+        pairs.extend(scratch.iter().map(|&c| (r, c as usize)));
+    }
+    // The surface-key channel is sub-quadratic by construction and catches
+    // the shared-token/typo pairs the probabilistic index is most likely to
+    // drop, so its candidates ride along for free.
+    pairs.extend(keyed_pair_set(input, keyed));
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let row_norms: Vec<f32> = input.row_embeddings.iter().map(|e| e.norm()).collect();
+    let col_norms: Vec<f32> = input.col_embeddings.iter().map(|e| e.norm()).collect();
+    let mut scored = pairs.len();
+    let distance = |r: usize, c: usize| {
+        input.row_embeddings[r].cosine_distance_given_norms(
+            row_norms[r],
+            input.col_embeddings[c],
+            col_norms[c],
+        )
+    };
+    let theta = input.theta;
+    let mut kept: Vec<(usize, usize)> = Vec::new();
+    let mut costs: Vec<f32> = Vec::new();
+    let mut row_live = vec![false; rows];
+    let mut col_live = vec![false; cols];
+    for (r, c) in pairs {
+        let d = distance(r, c);
+        if d < cutoff {
+            kept.push((r, c));
+            costs.push(d);
+            row_live[r] |= d < theta;
+            col_live[c] |= d < theta;
+        }
+    }
+
+    // Fallback sweeps: a column value with no *matchable* candidate (below
+    // θ; slack-band candidates only steer the solver) is exactly swept
+    // against every group, and vice versa for rows, before the plan declares
+    // it unmatchable.  This is what keeps the tier faithful for participants
+    // the sketch is blind to; it degrades to the exact sweep's own cost only
+    // in the pathological fold where nothing is matchable at all.
+    let swept_cols: Vec<bool> = col_live.iter().map(|&live| !live).collect();
+    let unswept_cols = cols - swept_cols.iter().filter(|&&swept| swept).count();
+    for (c, &swept) in swept_cols.iter().enumerate() {
+        if !swept {
+            continue;
+        }
+        scored += rows;
+        for (r, live) in row_live.iter_mut().enumerate() {
+            let d = distance(r, c);
+            if d < cutoff {
+                kept.push((r, c));
+                costs.push(d);
+                *live |= d < theta;
+            }
+        }
+    }
+    for (r, &live) in row_live.iter().enumerate() {
+        if live {
+            continue;
+        }
+        // Columns swept above are already fully scored against every row,
+        // including this one — only the others need a look.
+        for (c, &already_swept) in swept_cols.iter().enumerate() {
+            if !already_swept {
+                let d = distance(r, c);
+                if d < cutoff {
+                    kept.push((r, c));
+                    costs.push(d);
+                }
+            }
+        }
+        scored += unswept_cols;
+    }
+    // A sweep can revisit a slack-band pair the probing already kept (slack
+    // candidates do not make their participants live), so sort by pair and
+    // drop the duplicates — both copies carry the same measured distance.
+    let mut order: Vec<usize> = (0..kept.len()).collect();
+    order.sort_unstable_by_key(|&i| kept[i]);
+    order.dedup_by_key(|i| kept[*i]);
+    let (kept, costs): (Vec<_>, Vec<_>) = order.into_iter().map(|i| (kept[i], costs[i])).unzip();
+
+    let mut plan = assemble_components_split(rows, cols, kept, costs, keyed.max_component_cells);
+    plan.stats.scored_pairs = scored;
+    plan.stats.escalated_folds = 1;
+    plan
 }
 
 /// The key-bucket planner: rows and columns sharing a usable key become
 /// candidate pairs.
 fn plan_by_keys(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> BlockPlan {
+    let rows = input.rows();
+    let cols = input.cols();
+    let pairs = keyed_pair_set(input, keyed);
+    let mut plan = assemble_components(rows, cols, pairs, None);
+    // Key-channel candidates carry no cost, so the solver scores each one.
+    plan.stats.scored_pairs = plan.stats.candidate_pairs;
+    plan
+}
+
+/// The sorted, duplicate-free candidate pairs of the surface-key channel
+/// (plus SimHash band keys when the semantic channel asks for them).
+fn keyed_pair_set(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> Vec<(usize, usize)> {
     let rows = input.rows();
     let cols = input.cols();
     let total_pairs = rows * cols;
@@ -485,7 +714,97 @@ fn plan_by_keys(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> BlockPla
         }
     }
     pairs.sort_unstable();
-    assemble_components(rows, cols, pairs, None)
+    pairs
+}
+
+/// As [`assemble_components`], but splitting oversized connected components
+/// first (cost-carrying channels only — splitting needs edge distances).
+///
+/// Components whose cost matrix would exceed `max_component_cells` cells are
+/// rebuilt Kruskal-style: edges re-join components in order of increasing
+/// distance, and an edge that would merge two clusters past the cap is
+/// severed instead (an edge *inside* a cluster is always kept — it only
+/// unmasks a cell that is already being paid for).  Severing keeps the
+/// strongest links and cuts the weakest ones, which on real folds are
+/// overwhelmingly slack-band edges (distance ≥ θ) that post-solve
+/// thresholding would reject anyway; every cut is recorded as a [`CutEdge`]
+/// so that claim is verifiable after the fact.
+fn assemble_components_split(
+    rows: usize,
+    cols: usize,
+    pairs: Vec<(usize, usize)>,
+    costs: Vec<f32>,
+    max_component_cells: usize,
+) -> BlockPlan {
+    // Cheap pre-pass: splitting is a no-op unless some component is actually
+    // oversized.
+    let mut parent: Vec<usize> = (0..rows + cols).collect();
+    for &(r, c) in &pairs {
+        union(&mut parent, r, rows + c);
+    }
+    let mut row_count = vec![0usize; rows + cols];
+    let mut col_count = vec![0usize; rows + cols];
+    for node in 0..rows + cols {
+        let root = find(&mut parent, node);
+        if node < rows {
+            row_count[root] += 1;
+        } else {
+            col_count[root] += 1;
+        }
+    }
+    let oversized = (0..rows + cols)
+        .filter(|&node| {
+            parent[node] == node && row_count[node] * col_count[node] > max_component_cells
+        })
+        .count();
+    if oversized == 0 {
+        return assemble_components(rows, cols, pairs, Some(costs));
+    }
+
+    // Kruskal rebuild: strongest (smallest-distance) edges first, capped
+    // cluster sizes.  Ties break on the pair itself for determinism.
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]).then_with(|| pairs[a].cmp(&pairs[b])));
+    let mut parent: Vec<usize> = (0..rows + cols).collect();
+    let mut row_count = vec![0usize; rows + cols];
+    let mut col_count = vec![0usize; rows + cols];
+    row_count[..rows].fill(1);
+    col_count[rows..].fill(1);
+    let mut kept = vec![false; pairs.len()];
+    let mut cut_edges: Vec<CutEdge> = Vec::new();
+    for idx in order {
+        let (r, c) = pairs[idx];
+        let (ra, rb) = (find(&mut parent, r), find(&mut parent, rows + c));
+        if ra == rb {
+            kept[idx] = true;
+            continue;
+        }
+        let merged_rows = row_count[ra] + row_count[rb];
+        let merged_cols = col_count[ra] + col_count[rb];
+        if merged_rows * merged_cols <= max_component_cells {
+            union(&mut parent, r, rows + c);
+            let root = find(&mut parent, r);
+            row_count[root] = merged_rows;
+            col_count[root] = merged_cols;
+            kept[idx] = true;
+        } else {
+            cut_edges.push(CutEdge { row: r, col: c, distance: costs[idx] });
+        }
+    }
+    cut_edges.sort_by_key(|edge| (edge.row, edge.col));
+
+    let (kept_pairs, kept_costs): (Vec<(usize, usize)>, Vec<f32>) = pairs
+        .iter()
+        .zip(&costs)
+        .enumerate()
+        .filter(|(idx, _)| kept[*idx])
+        .map(|(_, (&pair, &cost))| (pair, cost))
+        .unzip();
+    let mut plan = assemble_components(rows, cols, kept_pairs, Some(kept_costs));
+    plan.stats.split_components = oversized;
+    plan.stats.severed_pairs = cut_edges.len();
+    plan.cut_edges = cut_edges;
+    plan
 }
 
 /// Builds the block plan from a sorted candidate-pair list: connected
@@ -547,8 +866,9 @@ fn assemble_components(
         candidate_pairs,
         pruned_pairs: rows * cols - candidate_pairs,
         max_block_size: blocks.iter().map(Block::size).max().unwrap_or(0),
+        ..BlockingStats::default()
     };
-    BlockPlan { blocks, stats }
+    BlockPlan { blocks, cut_edges: Vec::new(), stats }
 }
 
 /// The plan of a cartesian (unblocked) step: one dense block covering every
@@ -556,6 +876,19 @@ fn assemble_components(
 /// [`BlockingPolicy::Exhaustive`] and the `min_blocked_pairs` floor resolve
 /// to; exposed so callers that already know a fold is cartesian can skip
 /// [`plan_blocks`]' input assembly entirely.
+///
+/// Degenerate shapes are legal: a `0 × n` (or `n × 0`, or `0 × 0`) step has
+/// an empty candidate space, so the plan holds no block at all and every
+/// counter is zero.
+///
+/// ```
+/// use fuzzy_fd_core::plan_cartesian;
+///
+/// let plan = plan_cartesian(2, 3);
+/// assert_eq!(plan.blocks.len(), 1);
+/// assert_eq!(plan.stats.candidate_pairs, 6);
+/// assert!(plan_cartesian(0, 3).blocks.is_empty());
+/// ```
 pub fn plan_cartesian(rows: usize, cols: usize) -> BlockPlan {
     let mut blocks = Vec::new();
     if rows > 0 && cols > 0 {
@@ -570,10 +903,12 @@ pub fn plan_cartesian(rows: usize, cols: usize) -> BlockPlan {
         folds: 1,
         blocks: blocks.len(),
         candidate_pairs: rows * cols,
+        scored_pairs: rows * cols,
         pruned_pairs: 0,
         max_block_size: blocks.first().map(Block::size).unwrap_or(0),
+        ..BlockingStats::default()
     };
-    BlockPlan { blocks, stats }
+    BlockPlan { blocks, cut_edges: Vec::new(), stats }
 }
 
 fn find(parent: &mut [usize], node: usize) -> usize {
@@ -615,6 +950,7 @@ mod tests {
             max_key_bucket,
             semantic: SemanticBlocking::Off,
             min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
         })
     }
 
@@ -843,6 +1179,7 @@ mod tests {
             candidate_pairs: 10,
             pruned_pairs: 90,
             max_block_size: 5,
+            ..BlockingStats::default()
         });
         acc.merge(&BlockingStats {
             folds: 1,
@@ -850,6 +1187,7 @@ mod tests {
             candidate_pairs: 20,
             pruned_pairs: 0,
             max_block_size: 9,
+            ..BlockingStats::default()
         });
         assert_eq!(acc.folds, 2);
         assert_eq!(acc.blocks, 3);
@@ -858,5 +1196,99 @@ mod tests {
         assert_eq!(acc.max_block_size, 9);
         assert!((acc.pruned_fraction() - 0.75).abs() < 1e-9);
         assert_eq!(BlockingStats::default().pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_saturates_instead_of_wrapping() {
+        let mut acc = BlockingStats {
+            folds: usize::MAX - 1,
+            candidate_pairs: usize::MAX,
+            scored_pairs: usize::MAX - 10,
+            pruned_pairs: usize::MAX,
+            ..BlockingStats::default()
+        };
+        acc.merge(&BlockingStats {
+            folds: 5,
+            candidate_pairs: 1,
+            scored_pairs: 100,
+            pruned_pairs: usize::MAX,
+            max_block_size: 3,
+            ..BlockingStats::default()
+        });
+        assert_eq!(acc.folds, usize::MAX);
+        assert_eq!(acc.candidate_pairs, usize::MAX);
+        assert_eq!(acc.scored_pairs, usize::MAX);
+        assert_eq!(acc.pruned_pairs, usize::MAX);
+        assert_eq!(acc.max_block_size, 3);
+        // Saturated totals still yield a sane fraction, not a panic.
+        let fraction = acc.pruned_fraction();
+        assert!((0.0..=1.0).contains(&fraction), "{fraction}");
+    }
+
+    #[test]
+    fn zero_pair_folds_merge_into_empty_stats() {
+        // A fold with no candidate space at all (0 × n) contributes nothing
+        // but its fold count.
+        let mut acc = BlockingStats::default();
+        acc.merge(&plan_cartesian(0, 7).stats);
+        acc.merge(&plan_cartesian(4, 0).stats);
+        assert_eq!(acc.folds, 2);
+        assert_eq!(acc.blocks, 0);
+        assert_eq!(acc.candidate_pairs, 0);
+        assert_eq!(acc.scored_pairs, 0);
+        assert_eq!(acc.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn plan_cartesian_handles_degenerate_shapes() {
+        for (rows, cols) in [(0usize, 0usize), (0, 5), (5, 0)] {
+            let plan = plan_cartesian(rows, cols);
+            assert!(plan.blocks.is_empty(), "{rows}×{cols}: {plan:?}");
+            assert!(plan.cut_edges.is_empty());
+            assert_eq!(plan.stats.candidate_pairs, 0);
+            assert_eq!(plan.stats.scored_pairs, 0);
+            assert_eq!(plan.stats.pruned_pairs, 0);
+            assert_eq!(plan.stats.max_block_size, 0);
+            assert_eq!(plan.stats.folds, 1);
+        }
+        // The 1 × 1 shape is the smallest real plan: one dense block.
+        let plan = plan_cartesian(1, 1);
+        assert_eq!(plan.blocks.len(), 1);
+        assert_eq!(plan.stats.candidate_pairs, 1);
+        assert_eq!(plan.stats.max_block_size, 2);
+    }
+
+    #[test]
+    fn escalated_plans_report_scored_pairs_and_fallback_sweeps() {
+        // Two tight clusters; the ANN tier must find both sub-threshold
+        // pairs (identical vectors share every band) and report an escalated
+        // fold with fewer-or-equal scored pairs than the cartesian space.
+        let a = Vector::new(vec![1.0, 0.0, 0.0, 0.0]);
+        let b = Vector::new(vec![0.0, 1.0, 0.0, 0.0]);
+        let rows = [&a, &b];
+        let cols = [&a, &b];
+        let input = FoldInputs {
+            row_embeddings: &rows,
+            col_embeddings: &cols,
+            theta: 0.5,
+            ..FoldInputs::default()
+        };
+        let policy = BlockingPolicy::Keyed(KeyedBlockingConfig {
+            min_blocked_pairs: 0,
+            escalation: crate::config::EscalationPolicy {
+                min_fold_pairs: 0,
+                ..crate::config::EscalationPolicy::default()
+            },
+            ..KeyedBlockingConfig::default()
+        });
+        let plan = plan_blocks(&input, &policy);
+        assert_eq!(plan.stats.escalated_folds, 1);
+        assert_eq!(plan.blocks.len(), 2, "{plan:?}");
+        assert_eq!(plan.stats.candidate_pairs, 2);
+        assert!(plan.stats.scored_pairs <= 4, "{:?}", plan.stats);
+        for block in &plan.blocks {
+            let costs = block.costs.as_ref().expect("escalated plans carry costs");
+            assert!(costs.iter().all(|&c| c < 0.5), "{costs:?}");
+        }
     }
 }

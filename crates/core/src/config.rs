@@ -1,7 +1,24 @@
 //! Configuration of the Fuzzy Full Disjunction pipeline.
+//!
+//! The central type is [`FuzzyFdConfig`], which bundles the paper-level
+//! parameters (threshold θ, embedding model, assignment algorithm) with the
+//! candidate-space machinery of `fuzzy_fd_core::blocking`:
+//!
+//! * [`BlockingPolicy`] — exhaustive dense matrices vs keyed/blocked
+//!   candidate generation;
+//! * [`SemanticBlocking`] — which embedding-based channel supplies candidate
+//!   pairs (exact sub-threshold sweep, SimHash bands, or none);
+//! * [`EscalationPolicy`] — when a fold abandons the quadratic exact sweep
+//!   for the sub-quadratic ANN index of [`lake_embed::AnnIndex`];
+//! * [`KeyedBlockingConfig::max_component_cells`] — when an oversized
+//!   connected component is split before solving.
+//!
+//! Every knob defaults to the configuration validated against the paper's
+//! reported behaviour; see `ARCHITECTURE.md` for the tier map and the
+//! equivalence guarantee each tier keeps.
 
 use lake_assign::AssignmentAlgorithm;
-use lake_embed::EmbeddingModel;
+use lake_embed::{AnnParams, EmbeddingModel};
 
 /// How the bipartite value-matching step is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +44,19 @@ impl Default for AssignmentStrategy {
 
 /// How the combined-column × next-column candidate space is partitioned
 /// before cost matrices are built (see `fuzzy_fd_core::blocking`).
+///
+/// ```
+/// use fuzzy_fd_core::{BlockingPolicy, EscalationPolicy, KeyedBlockingConfig};
+///
+/// // The default is keyed blocking with the exact semantic channel and
+/// // size-gated ANN escalation; every knob can be overridden piecemeal.
+/// let policy = BlockingPolicy::Keyed(KeyedBlockingConfig {
+///     escalation: EscalationPolicy { min_fold_pairs: 10_000, ..Default::default() },
+///     ..KeyedBlockingConfig::default()
+/// });
+/// assert_ne!(policy, BlockingPolicy::Exhaustive);
+/// assert_ne!(policy, BlockingPolicy::default());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BlockingPolicy {
     /// One dense cost matrix over every (group, value) pair — the paper's
@@ -43,6 +73,20 @@ pub enum BlockingPolicy {
 impl Default for BlockingPolicy {
     fn default() -> Self {
         BlockingPolicy::Keyed(KeyedBlockingConfig::default())
+    }
+}
+
+impl BlockingPolicy {
+    /// This policy with the cartesian fallback forced off
+    /// (`min_blocked_pairs = 0`): every matching step goes through key-based
+    /// blocking regardless of size.  Exhaustive stays exhaustive.
+    pub fn force_blocked(self) -> Self {
+        match self {
+            BlockingPolicy::Exhaustive => BlockingPolicy::Exhaustive,
+            BlockingPolicy::Keyed(keyed) => {
+                BlockingPolicy::Keyed(KeyedBlockingConfig { min_blocked_pairs: 0, ..keyed })
+            }
+        }
     }
 }
 
@@ -70,9 +114,12 @@ pub enum SemanticBlocking {
     },
     /// Exact sub-threshold candidates: one cheap dot-product sweep over the
     /// fold computes every (group, value) cosine distance, and pairs below
-    /// `θ + slack` become candidates.  *Guaranteed* recall at the matching
-    /// threshold — any pair the thresholding step could accept is a candidate
-    /// — so this is the fidelity-preserving default for moderate fold sizes.
+    /// `θ + slack` become candidates.  *Guaranteed* candidacy at the
+    /// matching threshold — any pair the thresholding step could accept is a
+    /// candidate — so this is the fidelity-preserving default for moderate
+    /// fold sizes.  (End-to-end recall additionally depends on
+    /// [`KeyedBlockingConfig::max_component_cells`]: an oversized component
+    /// may have recorded candidate edges severed before solving.)
     /// The sweep costs the same dot products the exhaustive cost matrix
     /// would, and the computed distances are reused as matrix entries, so
     /// solve-time work only shrinks.
@@ -100,6 +147,53 @@ impl SemanticBlocking {
     }
 }
 
+/// When a fold escalates from the exact sub-threshold sweep to the ANN
+/// candidate index ([`lake_embed::AnnIndex`]).
+///
+/// The exact channel's one-dot-product-per-pair sweep is the right default
+/// up to moderate fold sizes, but it is still quadratic.  Above
+/// `min_fold_pairs` the planner stops sweeping and instead indexes the
+/// fold's value embeddings once, probes the index with every group
+/// embedding, and exactly re-scores only the colliding pairs (unioned with
+/// the surface-key candidates, which are sub-quadratic by construction).
+/// The escalated tier is probabilistic — a near pair whose signature
+/// disagreements all carry large margins can be missed — which is why it is
+/// gated behind a size threshold instead of being the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Folds with at least this many (group × value) pairs escalate to the
+    /// ANN index.  `usize::MAX` never escalates; `0` always escalates.
+    pub min_fold_pairs: usize,
+    /// Banding/probing shape of the escalated tier's ANN index.
+    pub ann: AnnParams,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        // 1M pairs ≈ a 1000 × 1000 fold — the measured wall-clock
+        // break-even of the ANN tier on 64-dimensional embeddings (see the
+        // `value_matching_escalation` bench and `diag_escalation` example).
+        // Below this the exact sweep is both faster and recall-exact, so
+        // escalating earlier would pay twice for nothing; above it the
+        // sweep's quadratic cost dominates and the tier wins on wall clock
+        // as well as on scored pairs.
+        EscalationPolicy { min_fold_pairs: 1_000_000, ann: AnnParams::default() }
+    }
+}
+
+impl EscalationPolicy {
+    /// A policy that never leaves the exact sweep.
+    pub fn never() -> Self {
+        EscalationPolicy { min_fold_pairs: usize::MAX, ..EscalationPolicy::default() }
+    }
+
+    /// Whether a `rows × cols` fold escalates under this policy.
+    pub fn applies_to(&self, rows: usize, cols: usize) -> bool {
+        self.min_fold_pairs == 0
+            || rows.checked_mul(cols).map(|pairs| pairs >= self.min_fold_pairs).unwrap_or(true)
+    }
+}
+
 /// Tuning knobs of [`BlockingPolicy::Keyed`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KeyedBlockingConfig {
@@ -115,6 +209,19 @@ pub struct KeyedBlockingConfig {
     /// exhaustive one.  Set to `usize::MAX` to force the cartesian fallback
     /// (useful to A/B the paths), or to `0` to always block.
     pub min_blocked_pairs: usize,
+    /// When an [`SemanticBlocking::ExactBelow`] fold grows past the exact
+    /// sweep's comfort zone, this policy switches it to the ANN tier.
+    pub escalation: EscalationPolicy,
+    /// Connected components whose cost matrix would exceed this many cells
+    /// (component rows × component cols) are split before solving: candidate
+    /// edges are re-added strongest-first (smallest distance), and an edge
+    /// that would merge two clusters past the cap is severed instead.  Cut
+    /// edges are recorded on the plan so tests and post-solve thresholding
+    /// can re-verify that nothing below θ was lost.  Splitting needs edge
+    /// distances, so it applies to the cost-carrying channels
+    /// ([`SemanticBlocking::ExactBelow`] and the escalated ANN tier); set to
+    /// `usize::MAX` to disable.
+    pub max_component_cells: usize,
 }
 
 impl Default for KeyedBlockingConfig {
@@ -123,6 +230,11 @@ impl Default for KeyedBlockingConfig {
             max_key_bucket: 64,
             semantic: SemanticBlocking::ExactBelow { slack: 0.1 },
             min_blocked_pairs: 4_096,
+            escalation: EscalationPolicy::default(),
+            // 256 × 256 per component: far above every benchmark fold (the
+            // Auto-Join components stay untouched) while keeping the cubic
+            // solver off matrices that would dominate a lake-scale fold.
+            max_component_cells: 65_536,
         }
     }
 }
@@ -197,13 +309,7 @@ impl FuzzyFdConfig {
     /// through key-based blocking regardless of size.  Exhaustive stays
     /// exhaustive.
     pub fn force_blocking(self) -> Self {
-        let blocking = match self.blocking {
-            BlockingPolicy::Exhaustive => BlockingPolicy::Exhaustive,
-            BlockingPolicy::Keyed(keyed) => {
-                BlockingPolicy::Keyed(KeyedBlockingConfig { min_blocked_pairs: 0, ..keyed })
-            }
-        };
-        FuzzyFdConfig { blocking, ..self }
+        FuzzyFdConfig { blocking: self.blocking.force_blocked(), ..self }
     }
 }
 

@@ -50,11 +50,13 @@ pub mod value_match;
 pub use blocking::{
     band_bucket_key, embedding_bucket_keys, embedding_hasher, hash_key, hashed_keys,
     hashed_value_block_keys, plan_blocks, plan_cartesian, value_block_keys, Block, BlockPlan,
-    BlockingStats, FoldInputs,
+    BlockingStats, CutEdge, FoldInputs,
 };
 pub use config::{
-    AssignmentStrategy, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig, SemanticBlocking,
+    AssignmentStrategy, BlockingPolicy, EscalationPolicy, FuzzyFdConfig, KeyedBlockingConfig,
+    SemanticBlocking,
 };
+pub use lake_embed::{AnnIndex, AnnParams};
 pub use pipeline::{
     regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,
 };

@@ -251,8 +251,10 @@ impl<'a> ValueMatcher<'a> {
 
     /// Plans the blocks of one fuzzy pass.  Key extraction is skipped
     /// entirely when the policy resolves to a cartesian block anyway, and
-    /// also under [`SemanticBlocking::ExactBelow`], whose candidacy test is
-    /// purely distance-based.
+    /// also under [`SemanticBlocking::ExactBelow`] for folds below the
+    /// escalation threshold, whose candidacy test is purely distance-based;
+    /// an escalating fold rebuilds its group keys from the members on
+    /// demand so the surface-key channel can back the ANN index up.
     fn plan_fold(
         &self,
         candidate_groups: &[usize],
@@ -266,18 +268,33 @@ impl<'a> ValueMatcher<'a> {
             BlockingPolicy::Keyed(keyed) if rows * cols >= keyed.min_blocked_pairs => keyed,
             _ => return plan_cartesian(rows, cols),
         };
+        let escalates = matches!(keyed.semantic, SemanticBlocking::ExactBelow { .. })
+            && keyed.escalation.applies_to(rows, cols);
 
         let row_embeddings: Vec<&Vector> =
             candidate_groups.iter().map(|&g_idx| &groups[g_idx].embedding).collect();
         let col_embeddings: Vec<&Vector> = value_embeddings.iter().collect();
         // Group keys are maintained incrementally on the working groups, so
-        // key-based channels only hash this fold's new values here.
+        // key-based channels only hash this fold's new values here.  An
+        // escalating exact-channel fold has no maintained keys and rebuilds
+        // them from the members (duplicates are fine — the planner dedups).
         let row_keys: Vec<Vec<u64>> = if self.uses_surface_keys() {
             candidate_groups.iter().map(|&g_idx| groups[g_idx].surface_keys.clone()).collect()
+        } else if escalates {
+            candidate_groups
+                .iter()
+                .map(|&g_idx| {
+                    let mut keys = Vec::new();
+                    for (_, member) in &groups[g_idx].members {
+                        keys.extend(hashed_value_block_keys(&member.render()));
+                    }
+                    keys
+                })
+                .collect()
         } else {
             Vec::new()
         };
-        let col_keys: Vec<Vec<u64>> = if self.uses_surface_keys() {
+        let col_keys: Vec<Vec<u64>> = if self.uses_surface_keys() || escalates {
             fuzzy_values.iter().map(|value| hashed_value_block_keys(&value.render())).collect()
         } else {
             Vec::new()
@@ -440,8 +457,13 @@ impl<'a> ValueMatcher<'a> {
         }
     }
 
-    /// Whether the configured policy plans with surface blocking keys (the
-    /// exact semantic channel is purely distance-based and skips key work).
+    /// Whether the configured policy plans with surface blocking keys on
+    /// *every* fold (and therefore maintains group keys incrementally).  The
+    /// exact semantic channel is purely distance-based and skips all key
+    /// work; when one of its folds escalates to the ANN tier, the keys for
+    /// that fold are rebuilt from the group members on demand instead
+    /// (escalated folds are rare and large, so the rebuild is noise there,
+    /// while every non-escalating fold stays key-free).
     fn uses_surface_keys(&self) -> bool {
         match self.config.blocking {
             BlockingPolicy::Keyed(keyed) => {

@@ -1,0 +1,316 @@
+//! Approximate nearest-neighbour candidate index over embedding vectors.
+//!
+//! [`AnnIndex`] is the sub-quadratic candidate generator behind the fuzzy
+//! value matcher's *escalated* blocking tier: when a fold is too large for
+//! the exact O(n²) distance sweep, the column vectors are indexed once under
+//! their SimHash band buckets, and each query (group) vector retrieves only
+//! the vectors it collides with under query-directed multi-probing
+//! ([`SimHasher::probe_band_buckets`]).  Colliding pairs are then re-scored
+//! *exactly* by the caller, so the index decides only *which* pairs get a
+//! distance — never what that distance is.
+//!
+//! The index is probabilistic: a true near pair whose disagreeing signature
+//! bits all carry large margins can be missed.  More probes (or more bands ×
+//! fewer bits) raise recall at the cost of more colliding pairs to re-score;
+//! the defaults in [`AnnParams`] are calibrated so the escalated tier
+//! reproduces the exact tier's groups on the Auto-Join benchmark sets while
+//! scoring a small fraction of the cartesian space on diverse folds.
+//!
+//! ```
+//! use lake_embed::{AnnIndex, AnnParams, Embedder, HashingNgramEmbedder};
+//!
+//! let embedder = HashingNgramEmbedder::new();
+//! let values = ["Berlin", "Toronto", "Barcelona"];
+//! let vectors: Vec<_> = values.iter().map(|v| embedder.embed(v)).collect();
+//! let index = AnnIndex::build(AnnParams::default(), vectors.iter());
+//!
+//! // A typo of "Berlin" collides with the indexed original …
+//! let candidates = index.candidates(&embedder.embed("Berlinn"));
+//! assert!(candidates.contains(&0));
+//! // … and every candidate list is sorted and duplicate-free.
+//! let mut sorted = candidates.clone();
+//! sorted.dedup();
+//! assert_eq!(candidates, sorted);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::hashing::SimHasher;
+use crate::vector::Vector;
+
+/// Tuning knobs of an [`AnnIndex`]: the SimHash banding shape and how many
+/// buckets each query probes per band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnParams {
+    /// Number of SimHash bands.  Every vector is indexed once per band, and
+    /// two vectors collide when they meet in at least one band.
+    pub bands: usize,
+    /// Bits per band; `bands * band_bits` must fit a 64-bit signature.
+    /// Fewer bits per band collide more aggressively (higher recall, more
+    /// re-scoring); more bits prune harder.
+    pub band_bits: usize,
+    /// Buckets probed per band and query (the query's own bucket plus the
+    /// `probes - 1` cheapest margin perturbations).  `1` is exact banding.
+    pub probes: usize,
+    /// Minimum number of *distinct bands* a pair must collide in to become a
+    /// candidate.  `1` is plain OR-amplification over the bands; `2`+ adds
+    /// an AND layer that suppresses the ambient-similarity tail (random
+    /// far pairs overwhelmingly collide in exactly one band by chance, while
+    /// genuinely close pairs collide in several), multiplying the pruning
+    /// power at a small recall cost near the candidacy cutoff.
+    pub min_band_hits: usize,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        // Probe generously (16 buckets over 8-bit bands keeps near pairs),
+        // then demand two independent band collisions to kill the
+        // ambient-similarity tail.  Calibrated so the escalated blocking
+        // tier reproduces the exact tier's groups on the Auto-Join sets (see
+        // `tests/blocking_equivalence.rs`) while scoring ~5× fewer pairs
+        // than the exact sweep on the lake-scale escalation fold.
+        AnnParams { bands: 8, band_bits: 8, probes: 16, min_band_hits: 2 }
+    }
+}
+
+impl AnnParams {
+    /// Total signature width this configuration uses.
+    pub fn signature_bits(&self) -> usize {
+        self.bands * self.band_bits
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics when a field is zero or the signature exceeds 64 bits.
+    pub fn validate(&self) {
+        assert!(
+            self.bands > 0 && self.band_bits > 0,
+            "ANN banding needs at least one band and one bit per band \
+             (got {} × {})",
+            self.bands,
+            self.band_bits
+        );
+        assert!(
+            self.signature_bits() <= 64,
+            "ANN signature must fit in a u64: {} bands × {} bits > 64",
+            self.bands,
+            self.band_bits
+        );
+        assert!(self.probes > 0, "each band must probe at least its own bucket");
+        assert!(
+            (1..=self.bands).contains(&self.min_band_hits),
+            "min_band_hits must be in 1..=bands (got {} with {} bands)",
+            self.min_band_hits,
+            self.bands
+        );
+    }
+}
+
+/// A SimHash multi-probe candidate index over a fixed set of vectors.
+///
+/// Build once per fold over the column vectors, query once per group vector;
+/// see the [module docs](self) for the contract and an example.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    params: AnnParams,
+    hasher: Option<SimHasher>,
+    /// `(band, bucket) → indexed vector ids`, in insertion (id) order.
+    buckets: HashMap<(u32, u64), Vec<u32>>,
+    indexed: usize,
+}
+
+impl AnnIndex {
+    /// Indexes `vectors` (ids are their enumeration order) under every band
+    /// bucket of their SimHash signature.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`AnnParams`] (see [`AnnParams::validate`]) and
+    /// when more than `u32::MAX` vectors are supplied.
+    pub fn build<'a>(params: AnnParams, vectors: impl IntoIterator<Item = &'a Vector>) -> Self {
+        params.validate();
+        let mut hasher: Option<SimHasher> = None;
+        let mut buckets: HashMap<(u32, u64), Vec<u32>> = HashMap::new();
+        let mut indexed = 0usize;
+        for (id, vector) in vectors.into_iter().enumerate() {
+            assert!(id <= u32::MAX as usize, "ANN index capacity exceeded");
+            indexed = id + 1;
+            if vector.dim() == 0 {
+                continue;
+            }
+            let hasher =
+                hasher.get_or_insert_with(|| SimHasher::new(params.signature_bits(), vector.dim()));
+            for (band, bucket) in
+                hasher.band_buckets(vector, params.band_bits).into_iter().enumerate()
+            {
+                buckets.entry((band as u32, bucket)).or_default().push(id as u32);
+            }
+        }
+        AnnIndex { params, hasher, buckets, indexed }
+    }
+
+    /// The configuration the index was built with.
+    pub fn params(&self) -> AnnParams {
+        self.params
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.indexed
+    }
+
+    /// `true` when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.indexed == 0
+    }
+
+    /// The ids of indexed vectors colliding with `query` in at least one
+    /// probed band bucket — sorted, duplicate-free.  Convenience wrapper over
+    /// [`candidates_into`](Self::candidates_into).
+    pub fn candidates(&self, query: &Vector) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.candidates_into(query, &mut out);
+        out
+    }
+
+    /// As [`candidates`](Self::candidates), reusing `out` (cleared first) so
+    /// per-query allocation amortises away in fold loops.
+    pub fn candidates_into(&self, query: &Vector, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(hasher) = &self.hasher else { return };
+        if query.dim() == 0 {
+            return;
+        }
+        for (band, probe_buckets) in hasher
+            .probe_band_buckets(query, self.params.band_bits, self.params.probes)
+            .into_iter()
+            .enumerate()
+        {
+            for bucket in probe_buckets {
+                if let Some(ids) = self.buckets.get(&(band as u32, bucket)) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out.sort_unstable();
+        // An id occurs at most once per band (each vector is indexed under
+        // exactly one bucket per band), so its multiplicity in `out` is its
+        // distinct-band hit count — run-length filter against the AND floor.
+        let min_hits = self.params.min_band_hits;
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < out.len() {
+            let id = out[read];
+            let mut run = read + 1;
+            while run < out.len() && out[run] == id {
+                run += 1;
+            }
+            if run - read >= min_hits {
+                out[write] = id;
+                write += 1;
+            }
+            read = run;
+        }
+        out.truncate(write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedder::Embedder;
+    use crate::hashing::HashingNgramEmbedder;
+
+    fn embeddings(values: &[&str]) -> Vec<Vector> {
+        let embedder = HashingNgramEmbedder::new();
+        values.iter().map(|v| embedder.embed(v)).collect()
+    }
+
+    #[test]
+    fn near_duplicates_collide_unrelated_mostly_do_not() {
+        let indexed = embeddings(&["Berlin", "Toronto", "Barcelona", "New Delhi"]);
+        let index = AnnIndex::build(AnnParams::default(), indexed.iter());
+        assert_eq!(index.len(), 4);
+        let embedder = HashingNgramEmbedder::new();
+        for (typo, expected) in [("Berlinn", 0u32), ("Torontoo", 1), ("Barcelonna", 2)] {
+            let candidates = index.candidates(&embedder.embed(typo));
+            assert!(candidates.contains(&expected), "{typo}: {candidates:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_unique() {
+        let indexed = embeddings(&["alpha", "alpha beta", "beta", "gamma", "alpha gamma"]);
+        let index = AnnIndex::build(AnnParams::default(), indexed.iter());
+        let candidates = index.candidates(&embeddings(&["alpha beta gamma"])[0]);
+        let mut expected = candidates.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(candidates, expected);
+    }
+
+    #[test]
+    fn more_probes_never_lose_candidates() {
+        let indexed = embeddings(&[
+            "Berlin",
+            "Toronto",
+            "Barcelona",
+            "Quito",
+            "Lima",
+            "Lagos",
+            "Dallas",
+            "Austin",
+        ]);
+        let query = &embeddings(&["Berlinn"])[0];
+        let mut previous: Vec<u32> = Vec::new();
+        for probes in [1usize, 2, 4, 8] {
+            let params = AnnParams { probes, ..AnnParams::default() };
+            let candidates = AnnIndex::build(params, indexed.iter()).candidates(query);
+            assert!(
+                previous.iter().all(|id| candidates.contains(id)),
+                "probes={probes} lost candidates: {previous:?} → {candidates:?}"
+            );
+            previous = candidates;
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_dim_inputs_are_harmless() {
+        let index = AnnIndex::build(AnnParams::default(), std::iter::empty());
+        assert!(index.is_empty());
+        assert!(index.candidates(&Vector::new(vec![1.0, 0.0])).is_empty());
+
+        // Zero-dimensional vectors are indexed as inert ids.
+        let zero = [Vector::new(Vec::new())];
+        let index = AnnIndex::build(AnnParams::default(), zero.iter());
+        assert_eq!(index.len(), 1);
+        assert!(index.candidates(&Vector::new(Vec::new())).is_empty());
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let indexed = embeddings(&["Berlin", "Toronto"]);
+        for probes in [1usize, 4] {
+            let params = AnnParams { probes, ..AnnParams::default() };
+            let index = AnnIndex::build(params, indexed.iter());
+            // A vector always lands in its own bucket in every band.
+            assert!(index.candidates(&indexed[0]).contains(&0));
+            assert!(index.candidates(&indexed[1]).contains(&1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in a u64")]
+    fn oversized_signature_is_rejected() {
+        AnnIndex::build(
+            AnnParams { bands: 16, band_bits: 8, probes: 1, min_band_hits: 1 },
+            std::iter::empty(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least its own bucket")]
+    fn zero_probes_are_rejected() {
+        AnnIndex::build(AnnParams { probes: 0, ..AnnParams::default() }, std::iter::empty());
+    }
+}

@@ -1,12 +1,22 @@
-//! FastText-style hashing n-gram embedder.
+//! FastText-style hashing n-gram embedder and SimHash signatures.
 //!
-//! Each padded character n-gram and each word token of the (normalised) input
-//! is hashed to a deterministic pseudo-random direction; the value embedding
-//! is the normalised sum.  Two strings that share many character n-grams
-//! (typos, case changes, plural/singular, small edits) get high cosine
-//! similarity; strings with disjoint surfaces (e.g. `"Germany"` vs `"DE"`)
-//! do not — exactly the strength and the weakness the paper reports for
-//! FastText in Table 1.
+//! Two related pieces live here:
+//!
+//! * [`HashingNgramEmbedder`] — each padded character n-gram and each word
+//!   token of the (normalised) input is hashed to a deterministic
+//!   pseudo-random direction; the value embedding is the normalised sum.
+//!   Two strings that share many character n-grams (typos, case changes,
+//!   plural/singular, small edits) get high cosine similarity; strings with
+//!   disjoint surfaces (e.g. `"Germany"` vs `"DE"`) do not — exactly the
+//!   strength and the weakness the paper reports for FastText in Table 1.
+//! * [`SimHasher`] — random-hyperplane LSH over any embedding vector:
+//!   compact bit signatures ([`signature`](SimHasher::signature)), banded
+//!   collision keys ([`band_keys`](SimHasher::band_keys) /
+//!   [`band_buckets`](SimHasher::band_buckets)), and query-directed
+//!   multi-probe bucket sequences
+//!   ([`probe_band_buckets`](SimHasher::probe_band_buckets)) that power the
+//!   [`AnnIndex`](crate::AnnIndex) behind the fuzzy value matcher's
+//!   escalated blocking tier.
 
 use lake_text::{padded_char_ngrams, words};
 
@@ -143,10 +153,34 @@ impl SimHasher {
         signature
     }
 
+    /// The raw hyperplane projections behind [`signature`](Self::signature):
+    /// bit *i* of the signature is set iff `projections(v)[i] >= 0`.  The
+    /// magnitude `|projections(v)[i]|` is the *margin* of bit *i* — how far
+    /// the vector sits from hyperplane *i*.  Low-margin bits are the ones a
+    /// near-duplicate is most likely to flip, which is what query-directed
+    /// multi-probing ([`probe_band_buckets`](Self::probe_band_buckets))
+    /// exploits.
+    pub fn projections(&self, vector: &Vector) -> Vec<f32> {
+        self.directions.iter().map(|direction| vector.dot(direction)).collect()
+    }
+
     /// Banded LSH keys of a vector: the signature split into
     /// `bits() / band_bits` contiguous bands, each rendered as
     /// `sh<band>:<value>`.  Two vectors share a key iff they agree on every
     /// bit of at least one band.
+    ///
+    /// ```
+    /// use lake_embed::{Embedder, HashingNgramEmbedder, SimHasher};
+    ///
+    /// let embedder = HashingNgramEmbedder::new();
+    /// let hasher = SimHasher::new(32, embedder.dim());
+    /// let keys = hasher.band_keys(&embedder.embed("Barcelona"), 4);
+    /// assert_eq!(keys.len(), 8); // 32 bits / 4 bits per band
+    /// assert!(keys[0].starts_with("sh0:"));
+    /// // A near-duplicate agrees on at least one full band.
+    /// let close = hasher.band_keys(&embedder.embed("Barcelonna"), 4);
+    /// assert!(keys.iter().any(|k| close.contains(k)));
+    /// ```
     ///
     /// # Panics
     /// Panics if `band_bits == 0` or does not divide [`bits`](Self::bits).
@@ -174,6 +208,122 @@ impl SimHasher {
         let mask = if band_bits == 64 { u64::MAX } else { (1u64 << band_bits) - 1 };
         (0..self.bits() / band_bits).map(|band| (signature >> (band * band_bits)) & mask).collect()
     }
+
+    /// Query-directed multi-probe buckets (Lv et al., *Multi-Probe LSH*,
+    /// VLDB 2007): for every band, the `probes` most promising buckets — the
+    /// vector's own bucket first, then perturbed buckets obtained by flipping
+    /// subsets of the band's bits in order of increasing total flipped
+    /// margin (the sum of `|projection|` over the flipped bits).  A
+    /// near-duplicate indexed under its exact bucket is found as soon as the
+    /// bits it disagrees on are a low-margin subset of the query's band, so
+    /// probing multiplies recall without widening the index.
+    ///
+    /// Entry `[band][0]` always equals [`band_buckets`](Self::band_buckets)
+    /// entry `band`; each inner vector holds `min(probes, 2^band_bits)`
+    /// distinct buckets.  `probes == 1` degenerates to exact banding.
+    ///
+    /// # Panics
+    /// Panics if `probes == 0`, or if `band_bits` is `0` or does not divide
+    /// [`bits`](Self::bits).
+    pub fn probe_band_buckets(
+        &self,
+        vector: &Vector,
+        band_bits: usize,
+        probes: usize,
+    ) -> Vec<Vec<u64>> {
+        assert!(probes > 0, "at least one probe per band is required");
+        assert!(
+            band_bits > 0 && self.bits().is_multiple_of(band_bits),
+            "band width must divide the signature width"
+        );
+        let projections = self.projections(vector);
+        let mask = if band_bits == 64 { u64::MAX } else { (1u64 << band_bits) - 1 };
+        let mut signature = 0u64;
+        for (bit, &projection) in projections.iter().enumerate() {
+            if projection >= 0.0 {
+                signature |= 1 << bit;
+            }
+        }
+        (0..self.bits() / band_bits)
+            .map(|band| {
+                let base = (signature >> (band * band_bits)) & mask;
+                let margins = &projections[band * band_bits..(band + 1) * band_bits];
+                let mut buckets = Vec::with_capacity(probes.min(1 << band_bits.min(20)));
+                buckets.push(base);
+                for flips in perturbation_sequence(margins, probes - 1) {
+                    buckets.push(base ^ flips);
+                }
+                buckets
+            })
+            .collect()
+    }
+}
+
+/// One candidate perturbation during best-first enumeration: `xor` is the
+/// flip mask over the band's bits (in margin-sorted index space mapped back
+/// to real bit positions), `score` the total flipped margin, `last` the
+/// largest margin-sorted index in the set (the expansion frontier).
+struct Perturbation {
+    score: f32,
+    last: usize,
+    xor: u64,
+}
+
+/// The first `count` non-empty bit-flip subsets of a band, ordered by
+/// increasing total flipped margin (ties broken by flip mask for
+/// determinism).  This is the classic best-first probe-sequence generator:
+/// starting from the single lowest-margin flip, each popped subset spawns an
+/// *expand* step (add the next-ranked bit) and a *shift* step (replace its
+/// frontier bit with the next-ranked one), which enumerates subsets in
+/// exactly nondecreasing score order.
+fn perturbation_sequence(margins: &[f32], count: usize) -> Vec<u64> {
+    let bits = margins.len();
+    let count = count.min((1usize << bits.min(20)) - 1);
+    if count == 0 || bits == 0 {
+        return Vec::new();
+    }
+    // Rank the band's bits by |margin|, cheapest flip first.
+    let mut order: Vec<usize> = (0..bits).collect();
+    order.sort_by(|&a, &b| margins[a].abs().total_cmp(&margins[b].abs()).then_with(|| a.cmp(&b)));
+    let cost = |rank: usize| margins[order[rank]].abs();
+
+    let mut heap: Vec<Perturbation> =
+        vec![Perturbation { score: cost(0), last: 0, xor: 1u64 << order[0] }];
+    let pop_min = |heap: &mut Vec<Perturbation>| -> Perturbation {
+        let mut best = 0;
+        for (i, p) in heap.iter().enumerate().skip(1) {
+            if p.score.total_cmp(&heap[best].score).then_with(|| p.xor.cmp(&heap[best].xor))
+                == std::cmp::Ordering::Less
+            {
+                best = i;
+            }
+        }
+        heap.swap_remove(best)
+    };
+
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        if heap.is_empty() {
+            break;
+        }
+        let next = pop_min(&mut heap);
+        out.push(next.xor);
+        if next.last + 1 < bits {
+            // Expand: add the next-ranked bit to the set.
+            heap.push(Perturbation {
+                score: next.score + cost(next.last + 1),
+                last: next.last + 1,
+                xor: next.xor | (1u64 << order[next.last + 1]),
+            });
+            // Shift: replace the frontier bit with the next-ranked one.
+            heap.push(Perturbation {
+                score: next.score - cost(next.last) + cost(next.last + 1),
+                last: next.last + 1,
+                xor: (next.xor & !(1u64 << order[next.last])) | (1u64 << order[next.last + 1]),
+            });
+        }
+    }
+    out
 }
 
 impl Default for HashingNgramEmbedder {

@@ -25,6 +25,7 @@
 //! All embedders are deterministic: the same input string always produces the
 //! same vector, so every experiment in this repository is reproducible.
 
+pub mod ann;
 pub mod cache;
 pub mod embedder;
 pub mod hashing;
@@ -33,6 +34,7 @@ pub mod models;
 pub mod simlm;
 pub mod vector;
 
+pub use ann::{AnnIndex, AnnParams};
 pub use cache::EmbeddingCache;
 pub use embedder::{cosine_distance_between, Embedder};
 pub use hashing::{HashingNgramEmbedder, SimHasher};

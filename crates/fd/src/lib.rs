@@ -13,7 +13,7 @@
 //!   the mapping from each source column to an integrated column;
 //! * [`tuple::IntegratedTuple`] — tuples over the integrated schema with
 //!   labeled nulls and provenance;
-//! * [`outer_union`] — padding every base tuple into the integrated schema;
+//! * [`mod@outer_union`] — padding every base tuple into the integrated schema;
 //! * [`components`] — union–find partitioning of tuples into join-connected
 //!   components (tuples in different components can never join), the trick
 //!   that makes FD scale to the IMDB-style benchmark;

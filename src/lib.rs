@@ -5,17 +5,17 @@
 //! Shraga, Miller).  It re-exports every workspace crate under one roof so
 //! applications can depend on a single crate:
 //!
-//! * [`core`](fuzzy_fd_core) — the Fuzzy Full Disjunction operator itself;
-//! * [`table`](lake_table) — the in-memory table model and CSV I/O;
-//! * [`text`](lake_text) — string normalisation and similarity;
-//! * [`embed`](lake_embed) — cell-value embedders (hashing n-gram + simulated
+//! * [`core`] — the Fuzzy Full Disjunction operator itself;
+//! * [`table`] — the in-memory table model and CSV I/O;
+//! * [`text`] — string normalisation and similarity;
+//! * [`embed`] — cell-value embedders (hashing n-gram + simulated
 //!   pre-trained-LM tiers);
-//! * [`assign`](lake_assign) — linear sum assignment solvers;
-//! * [`schema_match`](lake_schema_match) — holistic column alignment;
-//! * [`fd`](lake_fd) — Full Disjunction algorithms;
-//! * [`em`](lake_em) — downstream entity matching;
-//! * [`benchdata`](lake_benchdata) — benchmark generators;
-//! * [`metrics`](lake_metrics) — evaluation metrics and reports.
+//! * [`assign`] — linear sum assignment solvers;
+//! * [`schema_match`] — holistic column alignment;
+//! * [`fd`] — Full Disjunction algorithms;
+//! * [`em`] — downstream entity matching;
+//! * [`benchdata`] — benchmark generators;
+//! * [`metrics`] — evaluation metrics and reports.
 //!
 //! ## Quickstart
 //!

@@ -11,8 +11,8 @@ use std::collections::BTreeSet;
 
 use datalake_fuzzy_fd::core::{
     embedding_bucket_keys, hash_key, match_column_values, match_column_values_with_stats,
-    value_block_keys, BlockingPolicy, FuzzyFdConfig, KeyedBlockingConfig, SemanticBlocking,
-    ValueGroup,
+    plan_blocks, value_block_keys, BlockingPolicy, EscalationPolicy, FoldInputs, FuzzyFdConfig,
+    KeyedBlockingConfig, SemanticBlocking, ValueGroup,
 };
 use datalake_fuzzy_fd::embed::{Embedder, EmbeddingModel};
 use datalake_fuzzy_fd::table::Value;
@@ -320,5 +320,281 @@ fn separable_clusters_split_into_parallel_blocks() {
                 .force_blocking(),
         );
         assert_eq!(parallel, exhaustive, "threads = {threads}");
+    }
+}
+
+/// A keyed config whose exact channel escalates to the ANN tier for every
+/// fold of at least `min_fold_pairs` pairs (blocking floor removed).
+fn escalated_config(min_fold_pairs: usize) -> FuzzyFdConfig {
+    FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+        min_blocked_pairs: 0,
+        escalation: EscalationPolicy { min_fold_pairs, ..EscalationPolicy::default() },
+        ..KeyedBlockingConfig::default()
+    }))
+}
+
+/// The exact channel with escalation disabled entirely.
+fn exact_config() -> FuzzyFdConfig {
+    FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+        min_blocked_pairs: 0,
+        escalation: EscalationPolicy::never(),
+        ..KeyedBlockingConfig::default()
+    }))
+}
+
+/// Acceptance: on the Auto-Join 150-value set the escalated (ANN) channel
+/// produces groups identical to the exact sub-threshold sweep while scoring
+/// fewer pairs.  The equivalence here is *empirical*, not structural — the
+/// ANN tier is probabilistic and repairs itself through the surface-key
+/// union and the no-matchable-candidate fallback sweeps (see
+/// `fuzzy_fd_core::blocking`) — which is exactly why this canary exercises
+/// it on a workload small enough to verify against the exact channel.
+#[test]
+fn escalated_channel_equals_exact_on_autojoin_150() {
+    use datalake_fuzzy_fd::benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
+
+    let config =
+        AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
+    let set = generate_autojoin_benchmark(config).remove(0);
+    let columns = to_value_columns(&set.columns);
+    let embedder = EmbeddingModel::Mistral.build();
+
+    let (exact, exact_stats) =
+        match_column_values_with_stats(&columns, embedder.as_ref(), exact_config());
+    assert_eq!(exact_stats.escalated_folds, 0);
+
+    let (escalated, stats) =
+        match_column_values_with_stats(&columns, embedder.as_ref(), escalated_config(0));
+    assert_eq!(escalated, exact, "the escalated channel changed the produced groups");
+    assert!(stats.escalated_folds > 0, "escalation never engaged: {stats:?}");
+    assert!(
+        stats.scored_pairs < exact_stats.scored_pairs,
+        "escalation scored as much as the sweep: {stats:?} vs {exact_stats:?}"
+    );
+}
+
+/// Acceptance: on the lake-scale escalation fold (1k+ values per column) the
+/// default configuration escalates on its own, scores at least 3× fewer
+/// pairs than the exact sweep, and still recovers almost all of the gold
+/// matches the exact channel finds.
+#[test]
+fn escalation_fold_scores_three_times_fewer_pairs() {
+    use datalake_fuzzy_fd::benchdata::{generate_escalation_fold, EscalationFoldConfig};
+
+    let fold = generate_escalation_fold(EscalationFoldConfig::default());
+    let columns = to_value_columns(&fold.columns);
+    let embedder = EmbeddingModel::Mistral.build();
+
+    // The default config escalates by itself: the fold sits far above the
+    // 1M-pair threshold (and above the cartesian floor).
+    let (escalated, stats) =
+        match_column_values_with_stats(&columns, embedder.as_ref(), FuzzyFdConfig::default());
+    assert!(stats.escalated_folds > 0, "default config failed to escalate: {stats:?}");
+
+    let (exact, exact_stats) =
+        match_column_values_with_stats(&columns, embedder.as_ref(), exact_config());
+    assert_eq!(exact_stats.escalated_folds, 0);
+    assert!(
+        stats.scored_pairs * 3 <= exact_stats.scored_pairs,
+        "escalation must score ≥3× fewer pairs: {} vs {}",
+        stats.scored_pairs,
+        exact_stats.scored_pairs
+    );
+
+    // Oversized-component splitting engages on both paths (the fold's
+    // ambient-similarity tail glues one giant component) and is reported.
+    assert!(stats.split_components > 0 && stats.severed_pairs > 0, "{stats:?}");
+
+    // Recall parity: the probabilistic tier may drop a small share of the
+    // gold matches, but must stay within a few percent of the exact sweep.
+    let recovered = |groups: &[ValueGroup]| {
+        fold.gold
+            .iter()
+            .filter(|(base, variant)| {
+                groups.iter().any(|g| {
+                    g.members.iter().any(|(_, v)| v.render() == *base)
+                        && g.members.iter().any(|(_, v)| v.render() == *variant)
+                })
+            })
+            .count()
+    };
+    let (exact_gold, escalated_gold) = (recovered(&exact), recovered(&escalated));
+    assert!(
+        escalated_gold * 100 >= exact_gold * 95,
+        "escalated gold recall {escalated_gold}/{} fell too far below exact {exact_gold}/{}",
+        fold.gold.len(),
+        fold.gold.len()
+    );
+}
+
+/// Acceptance: oversized-component splitting keeps groups equivalence-safe.
+/// With an aggressively small cell cap the splitter must engage on the
+/// Auto-Join set, record its cuts, and still only ever produce groups whose
+/// members are witnessed by a sub-cutoff distance — no fabricated matches.
+#[test]
+fn split_components_preserve_group_equivalence() {
+    use datalake_fuzzy_fd::benchdata::{generate_autojoin_benchmark, AutoJoinConfig};
+
+    let config =
+        AutoJoinConfig { num_sets: 1, values_per_column: 150, ..AutoJoinConfig::default() };
+    let set = generate_autojoin_benchmark(config).remove(0);
+    let columns = to_value_columns(&set.columns);
+    let embedder = EmbeddingModel::Mistral.build();
+
+    let split_config = FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+        min_blocked_pairs: 0,
+        escalation: EscalationPolicy::never(),
+        max_component_cells: 256, // 16 × 16 — far below the fold's one big component
+        ..KeyedBlockingConfig::default()
+    }));
+    let BlockingPolicy::Keyed(keyed) = split_config.blocking else { unreachable!() };
+    let SemanticBlocking::ExactBelow { slack } = keyed.semantic else { unreachable!() };
+    let cutoff = split_config.theta + slack;
+
+    let (groups, stats) = match_column_values_with_stats(&columns, embedder.as_ref(), split_config);
+    assert!(stats.split_components > 0, "the tiny cap must trigger splitting: {stats:?}");
+    assert!(stats.severed_pairs > 0, "{stats:?}");
+    // The cap bounds cells (rows × cols), not participants: a 256-cell
+    // component can be as skinny as 1 × 256, i.e. up to 257 participants.
+    assert!(stats.max_block_size <= 257, "cap violated: {stats:?}");
+
+    // Equivalence safety: every matched member still has a sub-cutoff
+    // witness among its group mates, and the bipartite constraint holds.
+    for group in groups.iter().filter(|g| g.len() >= 2) {
+        let mut columns_seen = BTreeSet::new();
+        for (column, _) in &group.members {
+            assert!(columns_seen.insert(*column), "two members from one column: {group:#?}");
+        }
+        for (i, (_, value)) in group.members.iter().enumerate() {
+            let rendered = value.render();
+            if group
+                .members
+                .iter()
+                .enumerate()
+                .any(|(j, (_, other))| i != j && other.render() == rendered)
+            {
+                continue;
+            }
+            let own = embedder.embed(&rendered);
+            let close = group.members.iter().enumerate().any(|(j, (_, other))| {
+                i != j && own.cosine_distance(&embedder.embed(&other.render())) < cutoff
+            });
+            assert!(close, "{rendered:?} grouped without a sub-cutoff witness: {group:#?}");
+        }
+    }
+}
+
+/// Acceptance: cut edges recorded by the splitter are re-verifiable — on a
+/// plan built directly over fold inputs, every severed edge carries its
+/// exact measured distance, kept blocks respect the cell cap, and the kept
+/// pairs plus the cut edges together are exactly the pairs of the unsplit
+/// plan (the splitter drops no edge silently).
+#[test]
+fn splitter_cuts_are_recorded_and_exact() {
+    use datalake_fuzzy_fd::embed::Vector;
+
+    // A blurry 12 × 12 fold: three loose clusters of four values whose
+    // cross-cluster distances straddle θ, so the candidate graph is one
+    // component far above the 4-cell cap.
+    let embed = |cluster: usize, jitter: f32| {
+        let mut components = vec![0.1f32; 8];
+        components[cluster] = 1.0;
+        components[(cluster + 1) % 8] = 0.4 + jitter;
+        Vector::new(components)
+    };
+    let vectors: Vec<Vector> = (0..12).map(|i| embed(i % 3, 0.05 * (i / 3) as f32)).collect();
+    let refs: Vec<&Vector> = vectors.iter().collect();
+    let input = FoldInputs {
+        row_embeddings: &refs,
+        col_embeddings: &refs,
+        theta: 0.7,
+        ..FoldInputs::default()
+    };
+    let keyed = |max_component_cells| {
+        BlockingPolicy::Keyed(KeyedBlockingConfig {
+            min_blocked_pairs: 0,
+            escalation: EscalationPolicy::never(),
+            max_component_cells,
+            ..KeyedBlockingConfig::default()
+        })
+    };
+
+    let unsplit = plan_blocks(&input, &keyed(usize::MAX));
+    assert!(unsplit.cut_edges.is_empty());
+    let split = plan_blocks(&input, &keyed(16));
+    assert!(split.stats.split_components > 0, "{:?}", split.stats);
+    assert_eq!(split.stats.severed_pairs, split.cut_edges.len());
+    for block in &split.blocks {
+        assert!(block.rows.len() * block.cols.len() <= 16, "block exceeds the cell cap: {block:?}");
+    }
+
+    // Kept pairs ∪ cut edges == the unsplit candidate set, with distances
+    // preserved bit for bit.
+    let mut recovered: Vec<(usize, usize, f32)> = Vec::new();
+    for block in &split.blocks {
+        let pairs = block.pairs.as_ref().expect("cost-carrying plans enumerate pairs");
+        let costs = block.costs.as_ref().expect("cost-carrying plans carry costs");
+        recovered.extend(pairs.iter().zip(costs).map(|(&(r, c), &d)| (r, c, d)));
+    }
+    recovered.extend(split.cut_edges.iter().map(|e| (e.row, e.col, e.distance)));
+    recovered.sort_by_key(|e| (e.0, e.1));
+    let mut expected: Vec<(usize, usize, f32)> = Vec::new();
+    for block in &unsplit.blocks {
+        let pairs = block.pairs.as_ref().unwrap();
+        let costs = block.costs.as_ref().unwrap();
+        expected.extend(pairs.iter().zip(costs).map(|(&(r, c), &d)| (r, c, d)));
+    }
+    expected.sort_by_key(|e| (e.0, e.1));
+    assert_eq!(recovered, expected, "the splitter lost or altered candidate edges");
+}
+
+/// Acceptance: tier selection is a pure threshold function of the fold size,
+/// and on separable data the tiers agree wherever they overlap.  For a fold
+/// of exactly `T` pairs, `min_fold_pairs = T` escalates and `T + 1` stays on
+/// the exact sweep; both produce the same groups.
+#[test]
+fn threshold_boundary_tier_selection_is_invariant() {
+    // Same separable-cluster construction as the parallel-blocks test:
+    // distinctive surfaces, far-apart embeddings.
+    let bases = [
+        "qavlumper",
+        "zorbekkin",
+        "wyxtrovan",
+        "fenglodar",
+        "mubrizzok",
+        "tislenkor",
+        "hardwexil",
+        "covantrup",
+        "jesprilon",
+        "nuxbalter",
+        "ryzomenta",
+        "gwalfiddo",
+    ];
+    let columns: Vec<Vec<String>> = vec![
+        bases.iter().map(|b| b.to_string()).collect(),
+        bases.iter().map(|b| format!("{b}{}", b.chars().last().unwrap())).collect(),
+    ];
+    let value_columns = to_value_columns(&columns);
+    let embedder = EmbeddingModel::Mistral.build();
+    // One fold: 12 groups × 12 fuzzy values.
+    let fold_pairs = bases.len() * bases.len();
+
+    let (at_threshold, at_stats) = match_column_values_with_stats(
+        &value_columns,
+        embedder.as_ref(),
+        escalated_config(fold_pairs),
+    );
+    assert_eq!(at_stats.escalated_folds, 1, "T-pair fold must escalate at T: {at_stats:?}");
+
+    let (above_threshold, above_stats) = match_column_values_with_stats(
+        &value_columns,
+        embedder.as_ref(),
+        escalated_config(fold_pairs + 1),
+    );
+    assert_eq!(above_stats.escalated_folds, 0, "{above_stats:?}");
+
+    assert_eq!(at_threshold, above_threshold, "tier choice changed the groups");
+    for group in &at_threshold {
+        assert_eq!(group.len(), 2, "cluster failed to pair: {group:#?}");
     }
 }
