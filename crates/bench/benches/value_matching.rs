@@ -1,7 +1,8 @@
 //! Criterion bench backing Table 1: value-matching cost per embedding model
 //! on one Auto-Join-style integration set, a blocked-vs-exhaustive
-//! comparison of the candidate-space policies, and the escalation tier on a
-//! lake-scale fold.
+//! comparison of the candidate-space policies, the escalation tier on a
+//! lake-scale fold, and a `scheduling` group comparing the retired
+//! round-robin strategy against the shared work-stealing executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuzzy_fd_core::{
@@ -9,7 +10,8 @@ use fuzzy_fd_core::{
     SemanticBlocking,
 };
 use lake_benchdata::{
-    generate_autojoin_benchmark, generate_escalation_fold, AutoJoinConfig, EscalationFoldConfig,
+    generate_autojoin_benchmark, generate_escalation_fold, generate_skewed_components,
+    AutoJoinConfig, EscalationFoldConfig, SkewedComponentsConfig,
 };
 use lake_embed::ALL_MODELS;
 use lake_table::Value;
@@ -107,5 +109,75 @@ fn bench_escalation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_value_matching, bench_blocking_policies, bench_escalation);
+/// Round-robin vs work-stealing scheduling, on the two workloads the shared
+/// executor was built for:
+///
+/// * the **skewed-components FD fold** (`lake_benchdata::skew`): component
+///   closure costs span ~1000×, and the mediums sit on round-robin stride
+///   positions, so static bucketing at 4 workers stacks them all behind the
+///   giant — the `components-*` pair measures exactly the strategy swap on
+///   identical work items;
+/// * the **4200-entity escalation fold**: the value matcher's block solves
+///   at `matching_threads = 4` on the work-stealing executor
+///   (`escalation-stealing-4t`); the round-robin figure for this workload is
+///   the pre-migration `value_matching_escalation/escalated` baseline, so
+///   the comparison is recorded pre/post in `BENCH_BASELINE.json`.
+fn bench_scheduling(c: &mut Criterion) {
+    use lake_fd::complement::component_closure;
+    use lake_fd::components::join_components;
+    use lake_fd::tuple::IntegratedTuple;
+    use lake_fd::{outer_union, IntegrationSchema};
+    use lake_runtime::{run_round_robin, run_scope, ParallelPolicy};
+
+    const WORKERS: usize = 4;
+
+    let fold = generate_skewed_components(SkewedComponentsConfig::default());
+    let schema = IntegrationSchema::from_matching_headers(&fold.tables);
+    let base = outer_union(&schema, &fold.tables);
+    let components = join_components(&base);
+    let work: Vec<Vec<IntegratedTuple>> = components
+        .iter()
+        .map(|component| component.iter().map(|&i| base[i].clone()).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    group.bench_function("components-round-robin", |b| {
+        b.iter(|| run_round_robin(WORKERS, work.clone(), component_closure))
+    });
+    group.bench_function("components-stealing", |b| {
+        b.iter(|| {
+            run_scope(
+                &ParallelPolicy::explicit(WORKERS),
+                work.clone(),
+                |component| (component.len() * component.len()) as u64,
+                component_closure,
+            )
+        })
+    });
+
+    let escalation =
+        generate_escalation_fold(EscalationFoldConfig { entities: 4_200, ..Default::default() });
+    let columns: Vec<Vec<Value>> = escalation
+        .columns
+        .iter()
+        .map(|col| col.iter().map(|s| Value::text(s.clone())).collect())
+        .collect();
+    let embedder = lake_embed::EmbeddingCache::new(FuzzyFdConfig::default().model.build());
+    let config = FuzzyFdConfig { matching_threads: WORKERS, ..FuzzyFdConfig::default() };
+    group.bench_with_input(
+        BenchmarkId::from_parameter("escalation-stealing-4t"),
+        &columns,
+        |b, cols| b.iter(|| match_column_values(cols, &embedder, config)),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_value_matching,
+    bench_blocking_policies,
+    bench_escalation,
+    bench_scheduling
+);
 criterion_main!(benches);

@@ -15,6 +15,9 @@
 //!   Figure 3 runtime experiment.
 //! * [`escalation`] — a lake-scale fold (1k+ distinctive values plus surface
 //!   variants) driving the blocking escalation benchmark.
+//! * [`skew`] — a skewed-components FD fold (one giant join neighbourhood,
+//!   a stride of mediums, a tail of smalls) driving the `scheduling`
+//!   benchmark group's round-robin vs work-stealing comparison.
 //! * [`lexicon`] — topic vocabularies (cities, songs, movies, people, …) and
 //!   alias groups shared by the generators.
 //! * [`noise`] — the deterministic fuzzy transformations (typos, case
@@ -29,6 +32,7 @@ pub mod escalation;
 pub mod imdb;
 pub mod lexicon;
 pub mod noise;
+pub mod skew;
 
 pub use alite_em::{generate_em_benchmark, EmBenchmark, EmBenchmarkConfig};
 pub use autojoin::{generate_autojoin_benchmark, AutoJoinConfig, ValueMatchingSet};
@@ -36,3 +40,4 @@ pub use escalation::{generate_escalation_fold, EscalationFold, EscalationFoldCon
 pub use imdb::{generate_imdb_benchmark, ImdbConfig};
 pub use lexicon::{topic_values, Topic, ALL_TOPICS};
 pub use noise::{apply_transformation, Transformation};
+pub use skew::{generate_skewed_components, SkewedComponents, SkewedComponentsConfig};

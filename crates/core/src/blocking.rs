@@ -184,7 +184,7 @@ impl Block {
 /// total.merge(&BlockingStats { folds: 1, candidate_pairs: 25, pruned_pairs: 75, ..Default::default() });
 /// assert_eq!(total.pruned_fraction(), 0.75);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BlockingStats {
     /// Bipartite matching steps (column folds) that went through planning.
     pub folds: usize,
@@ -207,6 +207,10 @@ pub struct BlockingStats {
     pub severed_pairs: usize,
     /// Participants (groups + values) of the largest block seen.
     pub max_block_size: usize,
+    /// How the block solves were scheduled on the shared executor
+    /// ([`lake_runtime::run_scope`]), accumulated over every fold: tasks,
+    /// steals, per-worker busy time.  Empty when every fold solved inline.
+    pub runtime: lake_runtime::RuntimeStats,
 }
 
 impl BlockingStats {
@@ -221,6 +225,7 @@ impl BlockingStats {
         self.split_components = self.split_components.saturating_add(other.split_components);
         self.severed_pairs = self.severed_pairs.saturating_add(other.severed_pairs);
         self.max_block_size = self.max_block_size.max(other.max_block_size);
+        self.runtime.merge(&other.runtime);
     }
 
     /// Fraction of the exhaustive candidate space that was pruned, in

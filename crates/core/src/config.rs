@@ -265,11 +265,12 @@ pub struct FuzzyFdConfig {
     pub min_fuzzy_length: usize,
     /// How the candidate space of each bipartite matching step is pruned.
     pub blocking: BlockingPolicy,
-    /// Worker threads for solving independent blocks concurrently.
-    /// `1` = sequential; an explicit count ≥ 2 parallelises whenever a
-    /// matching step produced at least two blocks; `0` = auto — use the
-    /// machine's available parallelism, but only when the blocks carry
-    /// enough work for the thread overhead to pay off.
+    /// Worker threads for the operator's parallel stages (block solving,
+    /// embedding warm-up, FD component closures), interpreted by
+    /// [`lake_runtime::ParallelPolicy`]: `1` = sequential; an explicit
+    /// count ≥ 2 is a command whenever a stage has at least two tasks;
+    /// `0` = auto — use the machine's available parallelism, but only when
+    /// the stage carries enough work for the thread overhead to pay off.
     pub matching_threads: usize,
 }
 

@@ -57,6 +57,7 @@ pub use config::{
     SemanticBlocking,
 };
 pub use lake_embed::{AnnIndex, AnnParams};
+pub use lake_runtime::{ParallelPolicy, RuntimeStats};
 pub use pipeline::{
     regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,
 };

@@ -4,6 +4,7 @@ use std::time::{Duration, Instant};
 
 use lake_embed::EmbeddingCache;
 use lake_fd::{full_disjunction, IntegratedTable, IntegrationSchema};
+use lake_runtime::{ParallelPolicy, RuntimeStats};
 use lake_schema_match::{align_by_headers, align_columns, Alignment, AlignmentOptions};
 use lake_table::{ColumnRef, Table, TableResult, Value};
 
@@ -24,14 +25,35 @@ pub struct FuzzyFdReport {
     /// Number of cells rewritten to a representative value.
     pub rewritten_cells: usize,
     /// How the value-matching candidate space was blocked and pruned,
-    /// accumulated over every aligned set and fold step.
+    /// accumulated over every aligned set and fold step (its `runtime`
+    /// field covers the block solves).
     pub blocking: BlockingStats,
+    /// How the embedding-cache warm-up batches were scheduled (empty under
+    /// `matching_threads == 1`, where no warm-up runs).
+    pub embed_runtime: RuntimeStats,
     /// Wall-clock time spent matching and rewriting values.
     pub matching_time: Duration,
     /// Wall-clock time spent computing the Full Disjunction.
     pub fd_time: Duration,
-    /// Statistics of the FD computation itself.
+    /// Statistics of the FD computation itself (its `runtime` field covers
+    /// the component closures).
     pub fd_stats: lake_fd::FdStats,
+}
+
+impl FuzzyFdReport {
+    /// All shared-executor activity of the run — embedding warm-up, block
+    /// solving and FD component closures — merged into one set of counters
+    /// (tasks, steals, injected, busy time).  The per-worker busy vector
+    /// adds positionally across the three independent stage pools, so the
+    /// merged [`RuntimeStats::imbalance`] is indicative only; inspect
+    /// `embed_runtime`, `blocking.runtime` and `fd_stats.runtime` for a
+    /// per-stage imbalance that reflects one actual schedule.
+    pub fn runtime(&self) -> RuntimeStats {
+        let mut total = self.embed_runtime.clone();
+        total.merge(&self.blocking.runtime);
+        total.merge(&self.fd_stats.runtime);
+        total
+    }
 }
 
 /// The result of an integration: the integrated table, the per-aligned-set
@@ -101,6 +123,7 @@ impl FuzzyFullDisjunction {
         let mut substitutions = std::collections::HashMap::new();
         let mut aligned_sets = 0usize;
         let mut blocking = BlockingStats::default();
+        let mut embed_runtime = RuntimeStats::default();
 
         for group in alignment.multi_table_groups() {
             aligned_sets += 1;
@@ -114,6 +137,7 @@ impl FuzzyFullDisjunction {
                         .map(|vs| vs.into_iter().cloned().collect())
                 })
                 .collect::<TableResult<_>>()?;
+            embed_runtime.merge(&self.warm_embedding_cache(&embedder, &column_values));
             let (groups, set_stats) = matcher.match_values_with_stats(&column_values);
             blocking.merge(&set_stats);
             for (column, mapping) in build_substitutions(&columns, &groups) {
@@ -129,10 +153,13 @@ impl FuzzyFullDisjunction {
 
         let fd_start = Instant::now();
         let schema = IntegrationSchema::from_aligned_sets(&rewritten_tables, alignment.groups());
-        let (table, fd_stats) = lake_fd::alite::full_disjunction_with(
+        // The FD stage shares the operator's thread semantics: component
+        // closures run on the same work-stealing executor as the block
+        // solves, and the result is identical across worker counts.
+        let (table, fd_stats) = lake_fd::parallel_full_disjunction_with(
             &schema,
             &rewritten_tables,
-            lake_fd::FdOptions::default(),
+            self.config.matching_threads,
         );
         let fd_time = fd_start.elapsed();
 
@@ -146,12 +173,53 @@ impl FuzzyFullDisjunction {
                 .count(),
             rewritten_cells,
             blocking,
+            embed_runtime,
             matching_time,
             fd_time,
             fd_stats,
         };
 
         Ok(IntegrationOutcome { table, value_groups: all_groups, report })
+    }
+
+    /// Warms the embedding cache for one aligned set's columns on the shared
+    /// executor, so the fold loop's embed calls all hit.
+    ///
+    /// Every distinct present value string is eventually embedded by the
+    /// matcher (as a singleton, fuzzy candidate or representative), so
+    /// warming embeds nothing extra — it only moves the work ahead of the
+    /// sequential fold loop, where it can spread across workers.  Under
+    /// `matching_threads == 1` there is nothing to spread and the warm-up is
+    /// skipped entirely; in auto mode it gates on the total rendered length.
+    fn warm_embedding_cache(
+        &self,
+        embedder: &EmbeddingCache<Box<dyn lake_embed::Embedder>>,
+        column_values: &[Vec<Value>],
+    ) -> RuntimeStats {
+        /// Auto-gate floor for the warm-up batch, in rendered characters
+        /// (the cost hint of one embedding task).
+        const MIN_AUTO_EMBED_CHARS: u64 = 16_384;
+        if self.config.matching_threads == 1 {
+            return RuntimeStats::default();
+        }
+        let policy = ParallelPolicy {
+            threads: self.config.matching_threads,
+            min_auto_cost: MIN_AUTO_EMBED_CHARS,
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut rendered: Vec<String> = Vec::new();
+        for column in column_values {
+            for value in column {
+                if value.is_present() {
+                    let text = value.render().into_owned();
+                    if seen.insert(text.clone()) {
+                        rendered.push(text);
+                    }
+                }
+            }
+        }
+        let values: Vec<&str> = rendered.iter().map(String::as_str).collect();
+        embedder.embed_batch_with_stats(&values, &policy).1
     }
 }
 

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use lake_assign::{solve, Assignment, AssignmentAlgorithm, CostMatrix};
 use lake_embed::{Embedder, Vector};
+use lake_runtime::{ParallelPolicy, RuntimeStats};
 use lake_table::Value;
 
 use crate::blocking::{
@@ -212,9 +213,10 @@ impl<'a> ValueMatcher<'a> {
             let value_embeddings: Vec<Vector> =
                 fuzzy_values.iter().map(|v| self.embedder.embed(&v.render())).collect();
             let plan = self.plan_fold(&candidate_groups, groups, &fuzzy_values, &value_embeddings);
-            stats = plan.stats;
-            let accepted =
+            let (accepted, scheduling) =
                 self.solve_blocks(&plan.blocks, &candidate_groups, groups, &value_embeddings);
+            stats = plan.stats;
+            stats.runtime.merge(&scheduling);
             for (row, col) in accepted {
                 let g_idx = candidate_groups[row];
                 let keys = self.value_surface_keys(&fuzzy_values[col]);
@@ -310,9 +312,14 @@ impl<'a> ValueMatcher<'a> {
     }
 
     /// Solves every block and returns the accepted `(row, col)` pairs, where
-    /// `row` indexes `candidate_groups` and `col` indexes the fuzzy values.
-    /// Blocks share no row and no column, so they are solved independently —
-    /// across scoped worker threads when configured and worthwhile.
+    /// `row` indexes `candidate_groups` and `col` indexes the fuzzy values,
+    /// together with the scheduling statistics of the solve.  Blocks share
+    /// no row and no column, so they are solved independently — on the
+    /// shared work-stealing executor ([`lake_runtime::run_scope`]) when the
+    /// [`ParallelPolicy`] derived from `matching_threads` says the batch is
+    /// worth it, seeded largest-cost-first by solver cells so one giant
+    /// block cannot serialise a bucket the way static round-robin
+    /// assignment used to.
     ///
     /// Combinations that are not candidate pairs of their block (they share
     /// no blocking key) are masked with [`PRUNED_COST`]: their distance is
@@ -324,7 +331,7 @@ impl<'a> ValueMatcher<'a> {
         candidate_groups: &[usize],
         groups: &[WorkingGroup],
         value_embeddings: &[Vector],
-    ) -> Vec<(usize, usize)> {
+    ) -> (Vec<(usize, usize)>, RuntimeStats) {
         // Norms are reused across every matrix entry a vector appears in.
         let group_norms: Vec<f32> =
             candidate_groups.iter().map(|&g| groups[g].embedding.norm()).collect();
@@ -377,60 +384,33 @@ impl<'a> ValueMatcher<'a> {
             accepted.pairs.iter().map(|&(r, c)| (block.rows[r], block.cols[c])).collect()
         };
 
-        let threads = self.worker_threads(blocks);
-        let mut accepted: Vec<(usize, usize)> = if threads > 1 {
-            // Round-robin block assignment over a fixed scoped pool, like
-            // `lake_fd::parallel`.
-            let mut buckets: Vec<Vec<&Block>> = (0..threads).map(|_| Vec::new()).collect();
-            for (i, block) in blocks.iter().enumerate() {
-                buckets[i % threads].push(block);
-            }
-            let mut results: Vec<Vec<(usize, usize)>> = Vec::with_capacity(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = buckets
-                    .into_iter()
-                    .map(|bucket| {
-                        scope.spawn(move || {
-                            bucket.into_iter().flat_map(solve_one).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    results.push(handle.join().expect("block solver thread panicked"));
-                }
-            });
-            results.into_iter().flatten().collect()
-        } else {
-            blocks.iter().flat_map(solve_one).collect()
-        };
+        // The thread-count semantics ("explicit ≥ 2 is a command, 0
+        // auto-gates on solver cells") live in `lake_runtime::ParallelPolicy`
+        // and are shared with `lake_fd::parallel`; the cost hint is the
+        // block's dense cell count, the same unit the auto floor is
+        // calibrated in.
+        let policy = self.parallel_policy();
+        let (solved, runtime) = lake_runtime::run_scope(
+            &policy,
+            blocks.iter().collect::<Vec<&Block>>(),
+            |block| (block.rows.len() * block.cols.len()) as u64,
+            solve_one,
+        );
+        let mut accepted: Vec<(usize, usize)> = solved.into_iter().flatten().collect();
         // Blocks are disjoint, so ordering only affects the order in which
         // members are appended — sort for run-to-run and thread-count
         // determinism.
         accepted.sort_unstable();
-        accepted
+        (accepted, runtime)
     }
 
-    /// How many worker threads to use for a set of blocks.  Fewer than two
-    /// blocks can never parallelise; beyond that an explicit thread count is
-    /// a command, while auto mode (`0`) additionally requires the blocks to
-    /// carry enough solver work (cost-matrix cells) for the scoped-thread
-    /// overhead to pay off.
-    fn worker_threads(&self, blocks: &[Block]) -> usize {
-        const MIN_AUTO_PARALLEL_CELLS: usize = 2_048;
-        if blocks.len() < 2 {
-            return 1;
+    /// The executor policy of this matcher: `matching_threads` with the
+    /// default cells-based auto floor.
+    fn parallel_policy(&self) -> ParallelPolicy {
+        ParallelPolicy {
+            threads: self.config.matching_threads,
+            min_auto_cost: ParallelPolicy::DEFAULT_MIN_AUTO_COST,
         }
-        let configured = match self.config.matching_threads {
-            0 => {
-                let cells: usize = blocks.iter().map(|b| b.rows.len() * b.cols.len()).sum();
-                if cells < MIN_AUTO_PARALLEL_CELLS {
-                    return 1;
-                }
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            }
-            n => n,
-        };
-        configured.min(blocks.len())
     }
 
     fn solve_assignment(&self, matrix: &CostMatrix) -> Assignment {

@@ -5,8 +5,10 @@
 //! cache guarantees each distinct string is embedded exactly once per run,
 //! which is also how the paper's implementation amortises LLM inference cost.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
+
+use lake_runtime::{run_scope, ParallelPolicy, RuntimeStats};
 
 use crate::embedder::Embedder;
 use crate::vector::Vector;
@@ -55,6 +57,70 @@ impl<E: Embedder> EmbeddingCache<E> {
         self.cache.lock().expect("cache poisoned").clear();
         *self.hits.lock().expect("cache poisoned") = 0;
         *self.misses.lock().expect("cache poisoned") = 0;
+    }
+
+    /// Embeds a batch of values, computing the distinct uncached ones on the
+    /// shared scoped executor and returning the vectors in input order.
+    ///
+    /// The per-value workload is the wrapped embedder's cost, so the
+    /// executor's cost hint is the value length.  Counter semantics match a
+    /// sequence of [`embed`](Embedder::embed) calls: each distinct value not
+    /// yet cached is one miss, every other lookup is a hit.
+    pub fn embed_batch(&self, values: &[&str], policy: &ParallelPolicy) -> Vec<Vector> {
+        self.embed_batch_with_stats(values, policy).0
+    }
+
+    /// As [`embed_batch`](Self::embed_batch), also returning the executor's
+    /// [`RuntimeStats`] for the uncached remainder of the batch.
+    pub fn embed_batch_with_stats(
+        &self,
+        values: &[&str],
+        policy: &ParallelPolicy,
+    ) -> (Vec<Vector>, RuntimeStats) {
+        // One pass under the lock: capture already-cached vectors and the
+        // distinct uncached values (first-occurrence order).  Outputs are
+        // assembled from this local state, so a concurrent `clear()` after
+        // the locks drop can empty the cache but never break the batch.
+        let mut known: HashMap<&str, Vector> = HashMap::new();
+        let mut pending: Vec<&str> = Vec::new();
+        let mut seen = HashSet::new();
+        {
+            let cache = self.cache.lock().expect("cache poisoned");
+            for &value in values {
+                if !seen.insert(value) {
+                    continue;
+                }
+                match cache.get(value) {
+                    Some(vector) => {
+                        known.insert(value, vector.clone());
+                    }
+                    None => pending.push(value),
+                }
+            }
+        }
+
+        let inner = &self.inner;
+        let (embedded, stats) = run_scope(
+            policy,
+            pending.clone(),
+            |value| value.len() as u64,
+            |value| inner.embed(value),
+        );
+
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (&value, vector) in pending.iter().zip(&embedded) {
+                cache.insert(value.to_string(), vector.clone());
+            }
+        }
+        *self.misses.lock().expect("cache poisoned") += pending.len() as u64;
+        *self.hits.lock().expect("cache poisoned") += (values.len() - pending.len()) as u64;
+
+        for (value, vector) in pending.into_iter().zip(embedded) {
+            known.insert(value, vector);
+        }
+        let outputs = values.iter().map(|value| known[value].clone()).collect();
+        (outputs, stats)
     }
 }
 
@@ -143,43 +209,78 @@ mod tests {
 
     #[test]
     fn stats_account_for_every_threaded_call() {
-        // 4 threads × 8 calls over 2 distinct values: every call is either a
-        // hit or a miss, and only distinct values count as misses.
-        let cache = std::sync::Arc::new(EmbeddingCache::new(HashingNgramEmbedder::new()));
-        let mut handles = Vec::new();
-        for t in 0..4 {
-            let c = cache.clone();
-            handles.push(std::thread::spawn(move || {
+        // 4 workers × 8 calls over 2 distinct values: every call is either a
+        // hit or a miss, and only distinct values count as misses.  The
+        // scoped executor borrows the cache directly — no `Arc` plumbing.
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        let _ = run_scope(
+            &ParallelPolicy::explicit(4),
+            (0..4usize).collect(),
+            |_| 1,
+            |t| {
                 for i in 0..8 {
-                    c.embed(&format!("value-{}", (t + i) % 2));
+                    cache.embed(&format!("value-{}", (t + i) % 2));
                 }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+            },
+        );
         let (hits, misses) = cache.stats();
         assert_eq!(hits + misses, 32);
         assert_eq!(cache.len(), 2);
         // Concurrent first lookups may race past the read-then-insert gap,
         // so a distinct value can miss more than once — but never more than
-        // once per thread.
+        // once per worker.
         assert!((2..=8).contains(&misses), "misses = {misses}");
     }
 
     #[test]
     fn usable_across_threads() {
-        let cache = std::sync::Arc::new(EmbeddingCache::new(HashingNgramEmbedder::new()));
-        let mut handles = Vec::new();
-        for i in 0..4 {
-            let c = cache.clone();
-            handles.push(std::thread::spawn(move || {
-                c.embed(&format!("value-{}", i % 2));
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        let _ = run_scope(
+            &ParallelPolicy::explicit(4),
+            (0..4usize).collect(),
+            |_| 1,
+            |i| {
+                cache.embed(&format!("value-{}", i % 2));
+            },
+        );
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batch_embedding_matches_sequential_and_counts_once() {
+        let reference = HashingNgramEmbedder::new();
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        let values = ["Toronto", "Berlin", "Toronto", "Boston", "Berlin", "Toronto"];
+        for threads in [1, 2, 4] {
+            cache.clear();
+            let (vectors, stats) =
+                cache.embed_batch_with_stats(&values, &ParallelPolicy::explicit(threads));
+            assert_eq!(vectors.len(), values.len());
+            for (value, vector) in values.iter().zip(&vectors) {
+                assert_eq!(vector, &reference.embed(value), "threads = {threads}");
+            }
+            // Sequential-call semantics: one miss per distinct value, a hit
+            // for every repeat; only the 3 distinct values hit the embedder.
+            assert_eq!(cache.stats(), (3, 3), "threads = {threads}");
+            assert_eq!(stats.tasks, 3, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_embedding_reuses_prior_cache_entries() {
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        cache.embed("Berlin");
+        let (vectors, stats) =
+            cache.embed_batch_with_stats(&["Berlin", "Lagos"], &ParallelPolicy::explicit(2));
+        assert_eq!(vectors.len(), 2);
+        assert_eq!(stats.tasks, 1, "only the uncached value reaches the executor");
+        // Berlin: prior miss + batch hit; Lagos: batch miss.
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.len(), 2);
+        // An all-cached batch schedules nothing at all.
+        let (_, warm) =
+            cache.embed_batch_with_stats(&["Berlin", "Lagos"], &ParallelPolicy::explicit(2));
+        assert_eq!(warm.tasks, 0);
+        assert_eq!(cache.stats(), (3, 2));
     }
 }

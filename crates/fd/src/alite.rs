@@ -70,6 +70,7 @@ pub fn full_disjunction_with(
         output_tuples: tuples.len(),
         components: num_components,
         largest_component,
+        ..FdStats::default()
     };
 
     let result = IntegratedTable::new(schema.column_names().to_vec(), tuples);

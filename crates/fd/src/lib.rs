@@ -20,8 +20,8 @@
 //! * [`complement`] — the complementation closure + subsumption removal that
 //!   computes the exact FD inside one component;
 //! * [`alite`] — the end-to-end scalable FD operator ([`alite::full_disjunction`]);
-//! * [`parallel`] — the same operator with components processed on a
-//!   crossbeam thread pool;
+//! * [`parallel`] — the same operator with component closures scheduled on
+//!   the shared work-stealing executor (`lake-runtime`);
 //! * [`spec`] — a brute-force specification oracle used by property tests;
 //! * [`outer_join`] — binary/sequential full outer joins, the non-associative
 //!   baseline the paper contrasts FD with;
@@ -40,8 +40,9 @@ pub mod subsume;
 pub mod tuple;
 
 pub use alite::{full_disjunction, FdOptions};
+pub use lake_runtime::RuntimeStats;
 pub use outer_union::outer_union;
-pub use parallel::parallel_full_disjunction;
+pub use parallel::{parallel_full_disjunction, parallel_full_disjunction_with};
 pub use schema::IntegrationSchema;
 pub use spec::specification_full_disjunction;
 pub use stats::FdStats;

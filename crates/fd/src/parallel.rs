@@ -2,10 +2,15 @@
 //!
 //! Join-connected components are independent, so their closures can run on
 //! separate threads (Paganelli et al. 2019 parallelise FD along the same
-//! lines).  Components are distributed over a fixed pool of `std::thread`
-//! scoped threads in round-robin chunks; results are concatenated and sorted
-//! for determinism.
+//! lines).  Components are scheduled on the workspace's shared work-stealing
+//! executor ([`lake_runtime::run_scope`]): seeded largest-first by a
+//! quadratic cost hint, with stealing correcting any skew the hint missed —
+//! one giant component can no longer serialise a whole bucket the way the
+//! old static round-robin assignment allowed.  Outputs come back in
+//! component order and are concatenated and sorted, so the result is
+//! byte-identical across worker counts.
 
+use lake_runtime::{ParallelPolicy, RuntimeStats};
 use lake_table::Table;
 
 use crate::alite::FdOptions;
@@ -16,8 +21,23 @@ use crate::schema::IntegrationSchema;
 use crate::stats::FdStats;
 use crate::tuple::{IntegratedTable, IntegratedTuple};
 
-/// Computes the Full Disjunction using `threads` worker threads
-/// (`threads == 0` or `1` falls back to the sequential path).
+/// Auto-gate floor for `threads == 0`, in cost-hint units (squared component
+/// tuple counts): below the equivalent of one 64-tuple component the scoped
+/// workers cost more than the closures they would run.
+const MIN_AUTO_CLOSURE_COST: u64 = 4_096;
+
+/// Cost hint for one component: closure work (join attempts + subsumption)
+/// grows quadratically with the component's tuple count, and a quadratic
+/// hint also ranks the giants first for LPT seeding.
+fn component_cost(component: &[IntegratedTuple]) -> u64 {
+    let len = component.len() as u64;
+    len.saturating_mul(len)
+}
+
+/// Computes the Full Disjunction using `threads` worker threads: `1` runs
+/// the sequential operator, an explicit count ≥ 2 is a command, and `0`
+/// auto-gates on the components' total closure cost (the semantics of
+/// [`ParallelPolicy`]).
 pub fn parallel_full_disjunction(
     schema: &IntegrationSchema,
     tables: &[Table],
@@ -26,13 +46,14 @@ pub fn parallel_full_disjunction(
     parallel_full_disjunction_with(schema, tables, threads).0
 }
 
-/// As [`parallel_full_disjunction`], also returning execution statistics.
+/// As [`parallel_full_disjunction`], also returning execution statistics
+/// (including [`RuntimeStats`] describing how the closures were scheduled).
 pub fn parallel_full_disjunction_with(
     schema: &IntegrationSchema,
     tables: &[Table],
     threads: usize,
 ) -> (IntegratedTable, FdStats) {
-    if threads <= 1 {
+    if threads == 1 {
         return crate::alite::full_disjunction_with(schema, tables, FdOptions::default());
     }
 
@@ -51,38 +72,17 @@ pub fn parallel_full_disjunction_with(
         })
         .collect();
 
-    // Round-robin assignment keeps the load roughly balanced even when
-    // component sizes are skewed.
-    let mut buckets: Vec<Vec<Vec<IntegratedTuple>>> = (0..threads).map(|_| Vec::new()).collect();
-    for (i, item) in work.into_iter().enumerate() {
-        buckets[i % threads].push(item);
-    }
+    let policy = ParallelPolicy { threads, min_auto_cost: MIN_AUTO_CLOSURE_COST };
+    let (closures, runtime): (Vec<Vec<IntegratedTuple>>, RuntimeStats) =
+        lake_runtime::run_scope(&policy, work, |c| component_cost(c), component_closure);
 
-    let mut results: Vec<Vec<IntegratedTuple>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for component in bucket {
-                        out.extend(component_closure(component));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("FD worker thread panicked"));
-        }
-    });
-
-    let tuples: Vec<IntegratedTuple> = results.into_iter().flatten().collect();
+    let tuples: Vec<IntegratedTuple> = closures.into_iter().flatten().collect();
     let stats = FdStats {
         input_tuples,
         output_tuples: tuples.len(),
         components: num_components,
         largest_component,
+        runtime,
     };
     let result = IntegratedTable::new(schema.column_names().to_vec(), tuples).sorted();
     (result, stats)
@@ -111,7 +111,7 @@ mod tests {
         let tables = tables();
         let schema = IntegrationSchema::from_matching_headers(&tables);
         let sequential = full_disjunction(&schema, &tables);
-        for threads in [2, 3, 4] {
+        for threads in [0, 2, 3, 4] {
             let parallel = parallel_full_disjunction(&schema, &tables, threads);
             assert_eq!(parallel, sequential, "threads = {threads}");
         }
@@ -124,6 +124,7 @@ mod tests {
         let (result, stats) = parallel_full_disjunction_with(&schema, &tables, 1);
         assert_eq!(result, full_disjunction(&schema, &tables));
         assert_eq!(stats.input_tuples, 60);
+        assert_eq!(stats.runtime.tasks, 0, "the sequential operator never schedules");
     }
 
     #[test]
@@ -135,5 +136,20 @@ mod tests {
         assert_eq!(stats.components, 40);
         assert_eq!(stats.output_tuples, 40);
         assert_eq!(stats.largest_component, 2);
+        // Every component closure went through the executor on two workers.
+        assert_eq!(stats.runtime.tasks, 40);
+        assert_eq!(stats.runtime.workers(), 2);
+    }
+
+    #[test]
+    fn auto_mode_gates_tiny_inputs_to_one_worker() {
+        let tables = tables();
+        let schema = IntegrationSchema::from_matching_headers(&tables);
+        // 40 components of ≤ 2 tuples: total closure cost ≈ 140 units, far
+        // below the floor, so auto mode stays inline (but still schedules).
+        let (result, stats) = parallel_full_disjunction_with(&schema, &tables, 0);
+        assert_eq!(result, full_disjunction(&schema, &tables));
+        assert_eq!(stats.runtime.tasks, 40);
+        assert_eq!(stats.runtime.workers(), 1, "tiny batches must not spawn workers");
     }
 }

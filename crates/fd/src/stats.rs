@@ -1,7 +1,9 @@
 //! Execution statistics reported by the FD operators.
 
+use lake_runtime::RuntimeStats;
+
 /// Counters describing one Full Disjunction execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FdStats {
     /// Number of base tuples across all input tables.
     pub input_tuples: usize,
@@ -11,6 +13,9 @@ pub struct FdStats {
     pub components: usize,
     /// Size of the largest component (in base tuples).
     pub largest_component: usize,
+    /// How the component closures were scheduled (empty for the sequential
+    /// operator, which never enters the executor).
+    pub runtime: RuntimeStats,
 }
 
 impl FdStats {
@@ -30,8 +35,13 @@ mod tests {
 
     #[test]
     fn compression_ratio() {
-        let stats =
-            FdStats { input_tuples: 10, output_tuples: 6, components: 4, largest_component: 3 };
+        let stats = FdStats {
+            input_tuples: 10,
+            output_tuples: 6,
+            components: 4,
+            largest_component: 3,
+            ..FdStats::default()
+        };
         assert!((stats.compression() - 0.6).abs() < 1e-12);
         let empty = FdStats::default();
         assert_eq!(empty.compression(), 1.0);

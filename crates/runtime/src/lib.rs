@@ -1,0 +1,38 @@
+//! # lake-runtime
+//!
+//! The workspace's shared parallel executor.  The pipeline parallelises along
+//! independent units — join-connected FD components, disjoint matching
+//! blocks, embedding batches — whose costs are wildly skewed (cost-matrix
+//! cells vary ~10,000× across blocks on lake-scale folds), so static
+//! round-robin bucketing lets one unlucky bucket serialise a whole solve.
+//! This crate replaces the per-site ad-hoc pools with one deterministic
+//! work-stealing scoped executor:
+//!
+//! * [`run_scope`] — runs a batch of independent tasks over scoped worker
+//!   threads.  Tasks are seeded **largest-cost-first** (LPT) onto per-worker
+//!   deques using a caller-supplied cost hint, with the long tail parked on a
+//!   shared injector; idle workers drain the injector and then steal from the
+//!   busiest end of other workers' deques — stealing is the correction, not
+//!   the plan.  Outputs are returned in **input order**, so every determinism
+//!   guarantee downstream holds by construction, independent of scheduling.
+//! * [`ParallelPolicy`] — the one place the workspace's thread-count
+//!   semantics are defined: an explicit count ≥ 2 is a command, `1` is
+//!   sequential, and `0` auto-gates on the batch's total cost.
+//! * [`RuntimeStats`] — scheduling diagnostics (tasks, steals, per-worker
+//!   busy nanos, imbalance ratio) threaded through `FdStats`,
+//!   `BlockingStats` and `FuzzyFdReport` so benchmarks can see scheduling
+//!   quality.
+//! * [`run_round_robin`] — the retired static round-robin strategy, kept as
+//!   a baseline for the `scheduling` benchmark group and scheduler tests.
+//!
+//! The crate is dependency-free (std only, `std::sync` primitives — the
+//! build environment has no registry access) and sits below every other
+//! workspace crate.
+
+pub mod executor;
+pub mod policy;
+pub mod stats;
+
+pub use executor::{run_round_robin, run_scope};
+pub use policy::ParallelPolicy;
+pub use stats::RuntimeStats;

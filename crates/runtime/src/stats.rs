@@ -1,0 +1,145 @@
+//! Scheduling diagnostics reported by the executor.
+
+/// Counters describing how one (or several, after [`merge`](Self::merge))
+/// [`run_scope`](crate::run_scope) batches were scheduled.
+///
+/// ```
+/// use lake_runtime::RuntimeStats;
+///
+/// let mut total = RuntimeStats::default();
+/// total.merge(&RuntimeStats {
+///     tasks: 8,
+///     seeded: 8,
+///     injected: 0,
+///     steals: 2,
+///     per_worker_busy_nanos: vec![300, 100],
+/// });
+/// assert_eq!(total.workers(), 2);
+/// assert_eq!(total.busy_nanos(), 400);
+/// assert!((total.imbalance() - 1.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks executed (sequential batches count too).
+    pub tasks: u64,
+    /// Tasks LPT-placed onto per-worker deques ahead of execution.
+    pub seeded: u64,
+    /// Tasks drained from the shared injector (the unseeded tail).
+    pub injected: u64,
+    /// Tasks a worker took from another worker's deque — how often the
+    /// cost-hint plan needed correcting.  `0` on sequential batches and on
+    /// batches whose hints matched reality.
+    pub steals: u64,
+    /// Nanoseconds each worker spent inside task closures (scheduling
+    /// overhead excluded).  One entry per worker; merging element-wise adds
+    /// batches, extending to the wider worker count.
+    pub per_worker_busy_nanos: Vec<u64>,
+}
+
+impl RuntimeStats {
+    /// Worker threads that participated (1 for sequential batches, 0 when
+    /// nothing ran).
+    pub fn workers(&self) -> usize {
+        self.per_worker_busy_nanos.len()
+    }
+
+    /// Total busy nanoseconds across all workers.
+    pub fn busy_nanos(&self) -> u64 {
+        self.per_worker_busy_nanos.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Imbalance ratio: busiest worker over mean busy time, in
+    /// `[1, workers]`.  `1.0` is a perfectly balanced schedule (also
+    /// returned for empty/sequential batches, which cannot be imbalanced).
+    pub fn imbalance(&self) -> f64 {
+        let workers = self.workers();
+        let busy = self.busy_nanos();
+        if workers <= 1 || busy == 0 {
+            return 1.0;
+        }
+        let max = self.per_worker_busy_nanos.iter().copied().max().unwrap_or(0);
+        max as f64 * workers as f64 / busy as f64
+    }
+
+    /// Folds another batch's counters into this accumulator (saturating).
+    /// Per-worker busy times add element-wise, extending to the wider of the
+    /// two worker counts.
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        self.tasks = self.tasks.saturating_add(other.tasks);
+        self.seeded = self.seeded.saturating_add(other.seeded);
+        self.injected = self.injected.saturating_add(other.injected);
+        self.steals = self.steals.saturating_add(other.steals);
+        if self.per_worker_busy_nanos.len() < other.per_worker_busy_nanos.len() {
+            self.per_worker_busy_nanos.resize(other.per_worker_busy_nanos.len(), 0);
+        }
+        for (mine, theirs) in
+            self.per_worker_busy_nanos.iter_mut().zip(&other.per_worker_busy_nanos)
+        {
+            *mine = mine.saturating_add(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_degenerate_batches_is_one() {
+        assert_eq!(RuntimeStats::default().imbalance(), 1.0);
+        let sequential =
+            RuntimeStats { tasks: 5, per_worker_busy_nanos: vec![1_000], ..Default::default() };
+        assert_eq!(sequential.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let stats = RuntimeStats {
+            tasks: 4,
+            per_worker_busy_nanos: vec![400, 100, 100, 200],
+            ..Default::default()
+        };
+        // mean = 200, max = 400.
+        assert!((stats.imbalance() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_extends_and_adds_element_wise() {
+        let mut total = RuntimeStats {
+            tasks: 2,
+            seeded: 2,
+            injected: 0,
+            steals: 1,
+            per_worker_busy_nanos: vec![10, 20],
+        };
+        total.merge(&RuntimeStats {
+            tasks: 3,
+            seeded: 1,
+            injected: 2,
+            steals: 0,
+            per_worker_busy_nanos: vec![5, 5, 5],
+        });
+        assert_eq!(total.tasks, 5);
+        assert_eq!(total.seeded, 3);
+        assert_eq!(total.injected, 2);
+        assert_eq!(total.steals, 1);
+        assert_eq!(total.per_worker_busy_nanos, vec![15, 25, 5]);
+        assert_eq!(total.workers(), 3);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut total = RuntimeStats {
+            tasks: u64::MAX,
+            per_worker_busy_nanos: vec![u64::MAX],
+            ..Default::default()
+        };
+        total.merge(&RuntimeStats {
+            tasks: 1,
+            per_worker_busy_nanos: vec![1],
+            ..Default::default()
+        });
+        assert_eq!(total.tasks, u64::MAX);
+        assert_eq!(total.per_worker_busy_nanos, vec![u64::MAX]);
+    }
+}

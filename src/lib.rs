@@ -15,7 +15,9 @@
 //! * [`fd`] — Full Disjunction algorithms;
 //! * [`em`] — downstream entity matching;
 //! * [`benchdata`] — benchmark generators;
-//! * [`metrics`] — evaluation metrics and reports.
+//! * [`metrics`] — evaluation metrics and reports;
+//! * [`runtime`] — the shared work-stealing scoped executor every parallel
+//!   site routes through.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use lake_em as em;
 pub use lake_embed as embed;
 pub use lake_fd as fd;
 pub use lake_metrics as metrics;
+pub use lake_runtime as runtime;
 pub use lake_schema_match as schema_match;
 pub use lake_table as table;
 pub use lake_text as text;

@@ -1,6 +1,6 @@
 //! Workspace smoke test: the umbrella crate's re-exports resolve, and the
 //! `src/lib.rs` quickstart runs end to end.  This is the cheapest signal that
-//! the workspace wiring (all eleven crates plus the facade) is intact, so it
+//! the workspace wiring (all twelve crates plus the facade) is intact, so it
 //! is deliberately free of any fixtures or generators.
 
 use datalake_fuzzy_fd::core::{FuzzyFdConfig, FuzzyFullDisjunction};
@@ -24,6 +24,7 @@ fn facade_reexports_resolve() {
     let _em = datalake_fuzzy_fd::em::EmOptions::default();
     let _benchdata = datalake_fuzzy_fd::benchdata::AutoJoinConfig::default();
     let _metrics = datalake_fuzzy_fd::metrics::PairSet::<u32>::default();
+    let _runtime = datalake_fuzzy_fd::runtime::ParallelPolicy::default();
 }
 
 /// The quickstart from the crate-level docs, as a plain test: two noisy city
