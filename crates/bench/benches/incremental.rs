@@ -1,0 +1,68 @@
+//! Criterion bench for incremental integration sessions: the lake-append
+//! serving pattern (tables arriving against an integrated lake) under the
+//! two available strategies.
+//!
+//! Both series pay for the initial integration of the starting lake and then
+//! handle every arriving table; they differ only in *how* an arrival is
+//! absorbed:
+//!
+//! * `batch-reintegrate` — the pre-session strategy: every arrival triggers
+//!   a full [`FuzzyFullDisjunction::integrate_by_headers`] over all tables
+//!   so far (embeddings, folds and FD recomputed from scratch);
+//! * `session-append` — an [`IntegrationSession`] absorbs each arrival via
+//!   `add_table`, reusing the warmed embedding cache, the per-set matcher
+//!   state (one planned fold per arrival) and the FD component cache.
+//!
+//! The workload is `lake_benchdata::append` (Auto-Join-sized aligned columns
+//! plus schema-widening private attribute columns — the FD cache must remap,
+//! not reset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_fd_core::{FuzzyFdConfig, FuzzyFullDisjunction, IntegrationSession};
+use lake_benchdata::{generate_append_workload, AppendWorkload, AppendWorkloadConfig};
+
+fn workload() -> AppendWorkload {
+    generate_append_workload(AppendWorkloadConfig::default())
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let workload = workload();
+    let config = FuzzyFdConfig::default();
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("batch-reintegrate"),
+        &workload,
+        |b, workload| {
+            b.iter(|| {
+                let operator = FuzzyFullDisjunction::new(config);
+                let mut tables = workload.initial.clone();
+                let mut outcome = operator.integrate_by_headers(&tables).expect("initial");
+                for table in &workload.appends {
+                    tables.push(table.clone());
+                    outcome = operator.integrate_by_headers(&tables).expect("re-integrate");
+                }
+                outcome
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("session-append"),
+        &workload,
+        |b, workload| {
+            b.iter(|| {
+                let mut session =
+                    IntegrationSession::begin(config, &workload.initial).expect("open");
+                for table in &workload.appends {
+                    session.add_table(table).expect("append");
+                }
+                session.current().table.len()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

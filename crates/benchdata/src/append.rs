@@ -1,0 +1,207 @@
+//! Lake-append workload generator.
+//!
+//! The incremental benchmarks and the `IntegrationSession` equivalence
+//! harness need the lake-append scenario: an initial set of tables is
+//! integrated once, then further tables arrive one by one against the warm
+//! session.  This generator materialises that shape from the same topic
+//! lexicon and noise model as the Auto-Join generator: every table carries
+//! one *aligned* entity column (shared header, fuzzy surface variants of a
+//! common entity pool) plus one table-private attribute column, so appends
+//! exercise all three reuse layers — the embedding cache (repeated entity
+//! strings), the per-set matcher state (one new fold per append) and the FD
+//! component cache (the private attribute columns widen the integration
+//! schema on every append, the worst case for naive caching).
+//!
+//! All output is seeded and fully deterministic.
+
+use lake_embed::KnowledgeBase;
+use lake_table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::autojoin::sample_transformation;
+use crate::lexicon::{topic_values, Topic};
+use crate::noise::Transformation;
+
+/// Configuration of the append workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendWorkloadConfig {
+    /// Topic the shared entity pool is drawn from.
+    pub topic: Topic,
+    /// Distinct entities in the shared pool (≈ values per aligned column).
+    pub entities: usize,
+    /// Tables integrated up front (the initial lake).
+    pub initial_tables: usize,
+    /// Tables arriving afterwards, one `add_table` call each.
+    pub appended_tables: usize,
+    /// Random seed; the workload is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for AppendWorkloadConfig {
+    fn default() -> Self {
+        AppendWorkloadConfig {
+            topic: Topic::Cities,
+            // The Auto-Join column size, so the incremental bench is
+            // comparable with the value_matching groups.
+            entities: 150,
+            initial_tables: 2,
+            appended_tables: 2,
+            seed: 0x00A9_9E4D,
+        }
+    }
+}
+
+/// A generated lake-append workload: the initial lake and the tables that
+/// arrive afterwards.
+#[derive(Debug, Clone)]
+pub struct AppendWorkload {
+    /// Tables the session starts from.
+    pub initial: Vec<Table>,
+    /// Tables appended afterwards, in arrival order.
+    pub appends: Vec<Table>,
+}
+
+impl AppendWorkload {
+    /// Every table of the workload in arrival order — what a batch
+    /// re-integration at the end of the append sequence would consume.
+    pub fn all_tables(&self) -> Vec<Table> {
+        self.initial.iter().chain(&self.appends).cloned().collect()
+    }
+}
+
+/// Generates the workload: `initial_tables + appended_tables` tables named
+/// `S0`, `S1`, … — each with the topic-named aligned entity column (table 0
+/// canonical, later tables fuzzy variants) and one private `attr<i>` column.
+pub fn generate_append_workload(config: AppendWorkloadConfig) -> AppendWorkload {
+    let kb = KnowledgeBase::builtin();
+    let pool = topic_values(config.topic, config.entities);
+    let total = config.initial_tables + config.appended_tables;
+    let mut tables = Vec::with_capacity(total);
+    for table_idx in 0..total {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(table_idx as u64 * 6_151));
+        let mut builder = TableBuilder::new(
+            format!("S{table_idx}"),
+            [config.topic.name().to_string(), format!("attr{table_idx}")],
+        );
+        let mut seen = std::collections::HashSet::new();
+        for (entity_idx, base) in pool.iter().enumerate() {
+            let value = if table_idx == 0 {
+                base.clone()
+            } else {
+                let profile = column_profile(table_idx);
+                let transformation = sample_transformation(&profile, &mut rng);
+                crate::noise::apply_transformation(base, transformation, &kb, &mut rng)
+            };
+            // Clean-clean: fall back to the (distinct) base on a collision,
+            // mirroring the Auto-Join generator.
+            let value = if seen.contains(&value) { base.clone() } else { value };
+            if !seen.insert(value.clone()) {
+                continue;
+            }
+            builder = builder.row([value, format!("a{table_idx}-{entity_idx}")]);
+        }
+        tables.push(builder.build().expect("append workload construction cannot fail"));
+    }
+    let appends = tables.split_off(config.initial_tables);
+    AppendWorkload { initial: tables, appends }
+}
+
+/// The transformation mix of one non-canonical table: identity (exact
+/// overlap with the canonical pool — what the caches amortise), seeded typos
+/// (surface-fuzzy work) and one table-specific deterministic transform.
+///
+/// The deterministic transform *rotates* across tables on purpose: two
+/// tables applying the same deterministic transform to the same entity
+/// produce the identical string, whose recurring count would re-elect group
+/// representatives and push the session's drift guard toward full
+/// re-matching — real lakes de-duplicate sources, so the workload keeps
+/// cross-table collisions to the (rare) coinciding typos.
+fn column_profile(table_idx: usize) -> Vec<(Transformation, f64)> {
+    const ROTATION: [Transformation; 6] = [
+        Transformation::CaseFold,
+        Transformation::UpperCase,
+        Transformation::StripPunctuation,
+        Transformation::SuffixDecoration,
+        Transformation::Alias,
+        Transformation::TokenReorder,
+    ];
+    vec![
+        (Transformation::Identity, 0.30),
+        (Transformation::Typo, 0.40),
+        (ROTATION[(table_idx - 1) % ROTATION.len()], 0.30),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AppendWorkloadConfig {
+        AppendWorkloadConfig {
+            entities: 30,
+            initial_tables: 2,
+            appended_tables: 3,
+            ..AppendWorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let workload = generate_append_workload(small());
+        assert_eq!(workload.initial.len(), 2);
+        assert_eq!(workload.appends.len(), 3);
+        for (idx, table) in workload.all_tables().iter().enumerate() {
+            assert_eq!(table.name(), format!("S{idx}"));
+            assert_eq!(table.num_columns(), 2);
+            assert!(table.num_rows() >= 25, "{}: {} rows", table.name(), table.num_rows());
+            // The aligned column is the first one and shares its header
+            // across tables; the attribute column is table-private.
+            assert_eq!(table.schema().columns()[0].name, "cities");
+            assert_eq!(table.schema().columns()[1].name, format!("attr{idx}"));
+        }
+    }
+
+    #[test]
+    fn aligned_columns_are_clean_clean() {
+        for table in generate_append_workload(small()).all_tables() {
+            let values = table.column_values(0).unwrap();
+            let unique: std::collections::HashSet<_> =
+                values.iter().map(|v| v.render().into_owned()).collect();
+            assert_eq!(unique.len(), values.len(), "duplicates in {}", table.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = generate_append_workload(small());
+        let b = generate_append_workload(small());
+        assert_eq!(a.all_tables(), b.all_tables());
+    }
+
+    #[test]
+    fn appended_tables_share_entities_with_the_initial_lake() {
+        // Most appended values must be variants of pool entities the initial
+        // lake already contains (that overlap is what the session's caches
+        // exploit), and a decent share must be non-identical variants so the
+        // appended folds do real fuzzy work.
+        let workload = generate_append_workload(small());
+        let canonical: std::collections::HashSet<String> = workload.initial[0]
+            .column_values(0)
+            .unwrap()
+            .iter()
+            .map(|v| v.render().into_owned())
+            .collect();
+        for table in &workload.appends {
+            let values: Vec<String> =
+                table.column_values(0).unwrap().iter().map(|v| v.render().into_owned()).collect();
+            let identical = values.iter().filter(|v| canonical.contains(*v)).count();
+            assert!(identical > 0, "{} shares nothing verbatim", table.name());
+            assert!(
+                identical < values.len(),
+                "{} is a verbatim copy — no fuzzy work to do",
+                table.name()
+            );
+        }
+    }
+}

@@ -139,7 +139,10 @@ fn column_profile(topic: Topic, column_idx: usize) -> Vec<(Transformation, f64)>
     }
 }
 
-fn sample_transformation(profile: &[(Transformation, f64)], rng: &mut StdRng) -> Transformation {
+pub(crate) fn sample_transformation(
+    profile: &[(Transformation, f64)],
+    rng: &mut StdRng,
+) -> Transformation {
     let total: f64 = profile.iter().map(|(_, w)| w).sum();
     let mut draw = rng.gen_range(0.0..total);
     for (t, w) in profile {

@@ -13,6 +13,9 @@
 //! * [`imdb`] — an IMDB-schema-shaped efficiency benchmark: six key-joinable
 //!   tables sampled to a requested total tuple count (5K–30K).  Drives the
 //!   Figure 3 runtime experiment.
+//! * [`append`] — a lake-append workload (initial lake + later-arriving
+//!   tables over a shared entity pool) driving the `incremental` benchmark
+//!   group and the `IntegrationSession` equivalence harness.
 //! * [`escalation`] — a lake-scale fold (1k+ distinctive values plus surface
 //!   variants) driving the blocking escalation benchmark.
 //! * [`skew`] — a skewed-components FD fold (one giant join neighbourhood,
@@ -27,6 +30,7 @@
 //! All generators are seeded and fully deterministic.
 
 pub mod alite_em;
+pub mod append;
 pub mod autojoin;
 pub mod escalation;
 pub mod imdb;
@@ -35,6 +39,7 @@ pub mod noise;
 pub mod skew;
 
 pub use alite_em::{generate_em_benchmark, EmBenchmark, EmBenchmarkConfig};
+pub use append::{generate_append_workload, AppendWorkload, AppendWorkloadConfig};
 pub use autojoin::{generate_autojoin_benchmark, AutoJoinConfig, ValueMatchingSet};
 pub use escalation::{generate_escalation_fold, EscalationFold, EscalationFoldConfig};
 pub use imdb::{generate_imdb_benchmark, ImdbConfig};

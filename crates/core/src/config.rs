@@ -239,6 +239,62 @@ impl Default for KeyedBlockingConfig {
     }
 }
 
+/// Reuse knobs of an [`IntegrationSession`](crate::IntegrationSession) —
+/// which artifacts of the prior integration an `add_table` call may keep.
+///
+/// Every knob defaults to maximal reuse; turning one off is an A/B switch
+/// that forces the corresponding stage back to the batch behaviour (the
+/// equivalence harness runs both sides of each switch against batch
+/// re-integration).  The session's warmed
+/// [`EmbeddingCache`](lake_embed::EmbeddingCache) is always kept — embedding
+/// a value is pure, so a cache hit can never change a result, only skip
+/// recomputing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalPolicy {
+    /// Keep the matcher state (groups, representatives, occurrence counts)
+    /// of aligned sets the appended tables do not touch, instead of
+    /// re-matching them from their columns.  Touched sets always re-plan
+    /// only the appended columns' folds on top of the retained state.
+    pub reuse_untouched_sets: bool,
+    /// Reuse cached Full Disjunction component closures
+    /// ([`lake_fd::ComponentCache`]) for join-connected components whose
+    /// member tuples are unchanged by the append.  The closure of a
+    /// component is a pure function of its member tuples, so a verified hit
+    /// is exact, never approximate.
+    pub reuse_fd_components: bool,
+    /// Upper bound on cached component closures kept across `add_table`
+    /// calls.  When an append would grow the cache past this bound, the
+    /// oldest generation is dropped first; `0` disables FD caching outright
+    /// (equivalent to `reuse_fd_components: false` for reuse, but still
+    /// records stats).
+    pub max_cached_components: usize,
+}
+
+impl Default for IncrementalPolicy {
+    fn default() -> Self {
+        IncrementalPolicy {
+            reuse_untouched_sets: true,
+            reuse_fd_components: true,
+            // The shared bound documented on `ComponentCache`: far above any
+            // benchmark lake while bounding worst-case memory.
+            max_cached_components: lake_fd::ComponentCache::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+impl IncrementalPolicy {
+    /// A policy that reuses nothing but the embedding cache: every append
+    /// re-matches every aligned set and re-closes every FD component.  The
+    /// baseline side of the incremental A/B.
+    pub fn full_recompute() -> Self {
+        IncrementalPolicy {
+            reuse_untouched_sets: false,
+            reuse_fd_components: false,
+            max_cached_components: 0,
+        }
+    }
+}
+
 /// Parameters of Fuzzy Full Disjunction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FuzzyFdConfig {
@@ -290,6 +346,48 @@ impl Default for FuzzyFdConfig {
 }
 
 impl FuzzyFdConfig {
+    /// Checks the configuration's floating-point parameters.
+    ///
+    /// `PartialEq` is derived over the `f32` fields, so a `NaN` threshold or
+    /// slack would silently disable every equality check on the config (and
+    /// on [`BlockingPolicy`]) and poison the `total_cmp`-sorted candidate
+    /// edge ordering of `fuzzy_fd_core::blocking` — every distance involving
+    /// a `NaN`-driven comparison would sort last instead of failing loudly.
+    /// Rejected here instead:
+    ///
+    /// * `theta` must be finite and within `[0, 2]` (the cosine-distance
+    ///   range; anything above 2 can never reject a pair);
+    /// * an [`SemanticBlocking::ExactBelow`] `slack` must be finite and
+    ///   non-negative (a negative slack would mask candidates the matching
+    ///   threshold could still accept, breaking the channel's guarantee).
+    ///
+    /// ```
+    /// use fuzzy_fd_core::FuzzyFdConfig;
+    ///
+    /// assert!(FuzzyFdConfig::default().validate().is_ok());
+    /// assert!(FuzzyFdConfig::with_theta(f32::NAN).validate().is_err());
+    /// assert!(FuzzyFdConfig::with_theta(-0.5).validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.theta.is_finite() || !(0.0..=2.0).contains(&self.theta) {
+            return Err(format!(
+                "matching threshold theta must be a finite cosine distance in [0, 2], got {}",
+                self.theta
+            ));
+        }
+        if let BlockingPolicy::Keyed(keyed) = &self.blocking {
+            if let SemanticBlocking::ExactBelow { slack } = keyed.semantic {
+                if !slack.is_finite() || slack < 0.0 {
+                    return Err(format!(
+                        "ExactBelow slack must be finite and non-negative \
+                         (candidacy cutoff is theta + slack), got {slack}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Convenience constructor overriding only the threshold.
     pub fn with_theta(theta: f32) -> Self {
         FuzzyFdConfig { theta, ..FuzzyFdConfig::default() }
@@ -369,6 +467,44 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn nan_and_out_of_range_floats_are_rejected() {
+        for theta in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.01, 2.01] {
+            let err = FuzzyFdConfig::with_theta(theta).validate().unwrap_err();
+            assert!(err.contains("theta"), "{err}");
+        }
+        for slack in [f32::NAN, f32::INFINITY, -0.1] {
+            let config = FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+                semantic: SemanticBlocking::ExactBelow { slack },
+                ..KeyedBlockingConfig::default()
+            }));
+            let err = config.validate().unwrap_err();
+            assert!(err.contains("slack"), "{err}");
+        }
+        // The range boundaries themselves are legal, as are non-ExactBelow
+        // channels regardless of the slack story.
+        assert!(FuzzyFdConfig::with_theta(0.0).validate().is_ok());
+        assert!(FuzzyFdConfig::with_theta(2.0).validate().is_ok());
+        assert!(FuzzyFdConfig::with_blocking(BlockingPolicy::Exhaustive).validate().is_ok());
+        let zero_slack = FuzzyFdConfig::with_blocking(BlockingPolicy::Keyed(KeyedBlockingConfig {
+            semantic: SemanticBlocking::ExactBelow { slack: 0.0 },
+            ..KeyedBlockingConfig::default()
+        }));
+        assert!(zero_slack.validate().is_ok());
+    }
+
+    #[test]
+    fn incremental_policy_defaults_to_maximal_reuse() {
+        let policy = IncrementalPolicy::default();
+        assert!(policy.reuse_untouched_sets);
+        assert!(policy.reuse_fd_components);
+        assert!(policy.max_cached_components > 0);
+        let baseline = IncrementalPolicy::full_recompute();
+        assert!(!baseline.reuse_untouched_sets);
+        assert!(!baseline.reuse_fd_components);
+        assert_eq!(baseline.max_cached_components, 0);
     }
 
     #[test]

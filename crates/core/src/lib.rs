@@ -45,6 +45,7 @@ pub mod blocking;
 pub mod config;
 pub mod pipeline;
 pub mod rewrite;
+pub mod session;
 pub mod value_match;
 
 pub use blocking::{
@@ -53,8 +54,8 @@ pub use blocking::{
     BlockingStats, CutEdge, FoldInputs,
 };
 pub use config::{
-    AssignmentStrategy, BlockingPolicy, EscalationPolicy, FuzzyFdConfig, KeyedBlockingConfig,
-    SemanticBlocking,
+    AssignmentStrategy, BlockingPolicy, EscalationPolicy, FuzzyFdConfig, IncrementalPolicy,
+    KeyedBlockingConfig, SemanticBlocking,
 };
 pub use lake_embed::{AnnIndex, AnnParams};
 pub use lake_runtime::{ParallelPolicy, RuntimeStats};
@@ -62,6 +63,8 @@ pub use pipeline::{
     regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,
 };
 pub use rewrite::build_substitutions;
+pub use session::{IncrementalOutcome, IncrementalStats, IntegrationSession};
 pub use value_match::{
-    match_column_values, match_column_values_with_stats, ColumnPosition, ValueGroup, ValueMatcher,
+    match_column_values, match_column_values_with_stats, ColumnPosition, MatcherState, ValueGroup,
+    ValueMatcher,
 };

@@ -45,9 +45,11 @@ impl FuzzyFdReport {
     /// solving and FD component closures — merged into one set of counters
     /// (tasks, steals, injected, busy time).  The per-worker busy vector
     /// adds positionally across the three independent stage pools, so the
-    /// merged [`RuntimeStats::imbalance`] is indicative only; inspect
-    /// `embed_runtime`, `blocking.runtime` and `fd_stats.runtime` for a
-    /// per-stage imbalance that reflects one actual schedule.
+    /// merged [`RuntimeStats::imbalance`] is indicative only (and reports
+    /// `1.0` outright once any merged stage ran sequentially — see
+    /// [`RuntimeStats::sequential_batches`]); inspect `embed_runtime`,
+    /// `blocking.runtime` and `fd_stats.runtime` for a per-stage imbalance
+    /// that reflects one actual schedule.
     pub fn runtime(&self) -> RuntimeStats {
         let mut total = self.embed_runtime.clone();
         total.merge(&self.blocking.runtime);
@@ -83,8 +85,24 @@ impl Default for FuzzyFullDisjunction {
 
 impl FuzzyFullDisjunction {
     /// Creates the operator with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration's floating-point parameters are invalid
+    /// (see [`FuzzyFdConfig::validate`]) — a `NaN` threshold or slack would
+    /// otherwise poison distance ordering silently.  Use
+    /// [`try_new`](Self::try_new) to handle the error instead.
     pub fn new(config: FuzzyFdConfig) -> Self {
-        FuzzyFullDisjunction { config }
+        match FuzzyFullDisjunction::try_new(config) {
+            Ok(operator) => operator,
+            Err(error) => panic!("invalid FuzzyFdConfig: {error}"),
+        }
+    }
+
+    /// As [`new`](Self::new), returning the validation error instead of
+    /// panicking.
+    pub fn try_new(config: FuzzyFdConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(FuzzyFullDisjunction { config })
     }
 
     /// The operator's configuration.
@@ -137,7 +155,7 @@ impl FuzzyFullDisjunction {
                         .map(|vs| vs.into_iter().cloned().collect())
                 })
                 .collect::<TableResult<_>>()?;
-            embed_runtime.merge(&self.warm_embedding_cache(&embedder, &column_values));
+            embed_runtime.merge(&warm_embedding_cache(&self.config, &embedder, &column_values));
             let (groups, set_stats) = matcher.match_values_with_stats(&column_values);
             blocking.merge(&set_stats);
             for (column, mapping) in build_substitutions(&columns, &groups) {
@@ -181,46 +199,46 @@ impl FuzzyFullDisjunction {
 
         Ok(IntegrationOutcome { table, value_groups: all_groups, report })
     }
+}
 
-    /// Warms the embedding cache for one aligned set's columns on the shared
-    /// executor, so the fold loop's embed calls all hit.
-    ///
-    /// Every distinct present value string is eventually embedded by the
-    /// matcher (as a singleton, fuzzy candidate or representative), so
-    /// warming embeds nothing extra — it only moves the work ahead of the
-    /// sequential fold loop, where it can spread across workers.  Under
-    /// `matching_threads == 1` there is nothing to spread and the warm-up is
-    /// skipped entirely; in auto mode it gates on the total rendered length.
-    fn warm_embedding_cache(
-        &self,
-        embedder: &EmbeddingCache<Box<dyn lake_embed::Embedder>>,
-        column_values: &[Vec<Value>],
-    ) -> RuntimeStats {
-        /// Auto-gate floor for the warm-up batch, in rendered characters
-        /// (the cost hint of one embedding task).
-        const MIN_AUTO_EMBED_CHARS: u64 = 16_384;
-        if self.config.matching_threads == 1 {
-            return RuntimeStats::default();
-        }
-        let policy = ParallelPolicy {
-            threads: self.config.matching_threads,
-            min_auto_cost: MIN_AUTO_EMBED_CHARS,
-        };
-        let mut seen = std::collections::HashSet::new();
-        let mut rendered: Vec<String> = Vec::new();
-        for column in column_values {
-            for value in column {
-                if value.is_present() {
-                    let text = value.render().into_owned();
-                    if seen.insert(text.clone()) {
-                        rendered.push(text);
-                    }
+/// Warms the embedding cache for one aligned set's columns on the shared
+/// executor, so the fold loop's embed calls all hit.
+///
+/// Every distinct present value string is eventually embedded by the
+/// matcher (as a singleton, fuzzy candidate or representative), so
+/// warming embeds nothing extra — it only moves the work ahead of the
+/// sequential fold loop, where it can spread across workers.  Under
+/// `matching_threads == 1` there is nothing to spread and the warm-up is
+/// skipped entirely; in auto mode it gates on the total rendered length.
+/// Shared by the batch operator and [`crate::IntegrationSession`] (where
+/// already-cached values make the warm-up a cheap no-op).
+pub(crate) fn warm_embedding_cache(
+    config: &FuzzyFdConfig,
+    embedder: &EmbeddingCache<Box<dyn lake_embed::Embedder>>,
+    column_values: &[Vec<Value>],
+) -> RuntimeStats {
+    /// Auto-gate floor for the warm-up batch, in rendered characters
+    /// (the cost hint of one embedding task).
+    const MIN_AUTO_EMBED_CHARS: u64 = 16_384;
+    if config.matching_threads == 1 {
+        return RuntimeStats::default();
+    }
+    let policy =
+        ParallelPolicy { threads: config.matching_threads, min_auto_cost: MIN_AUTO_EMBED_CHARS };
+    let mut seen = std::collections::HashSet::new();
+    let mut rendered: Vec<String> = Vec::new();
+    for column in column_values {
+        for value in column {
+            if value.is_present() {
+                let text = value.render().into_owned();
+                if seen.insert(text.clone()) {
+                    rendered.push(text);
                 }
             }
         }
-        let values: Vec<&str> = rendered.iter().map(String::as_str).collect();
-        embedder.embed_batch_with_stats(&values, &policy).1
     }
+    let values: Vec<&str> = rendered.iter().map(String::as_str).collect();
+    embedder.embed_batch_with_stats(&values, &policy).1
 }
 
 /// The equi-join baseline: ALITE-style Full Disjunction without any value
@@ -238,7 +256,7 @@ pub fn regular_full_disjunction_by_headers(tables: &[Table]) -> IntegratedTable 
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use lake_table::TableBuilder;
 

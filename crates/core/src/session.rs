@@ -1,0 +1,599 @@
+//! Incremental integration sessions for lake-append workloads.
+//!
+//! [`FuzzyFullDisjunction::integrate`] is a batch operator: every call
+//! re-embeds every value, re-plans every fold and re-closes every FD
+//! component from scratch.  Data lakes do not arrive like that — new tables
+//! land against an already-integrated lake.  An [`IntegrationSession`] is
+//! the stateful counterpart: created from an initial integration, it keeps
+//!
+//! * the **warmed embedding cache** — values seen in any earlier call are
+//!   never re-embedded (embedding is the simulated-LLM cost the paper
+//!   amortises, so this is the dominant saving);
+//! * the **column alignment** — header-keyed, so appended columns join
+//!   their aligned sets without re-clustering anything;
+//! * the **matcher state of every aligned set** — groups, representatives
+//!   and occurrence counts survive, and an appended column folds *into*
+//!   them ([`ValueMatcher::extend`]) instead of re-running the whole fold
+//!   chain: only folds touching the appended tables' columns are
+//!   re-planned and re-solved on the shared `lake-runtime` executor;
+//! * the **FD component cache** ([`lake_fd::ComponentCache`]) — join
+//!   components whose member tuples are unchanged reuse their closure
+//!   verbatim.
+//!
+//! The reuse guarantees are layered: cache reuse and FD-component reuse are
+//! *exact by construction* (pure functions of their inputs, verified before
+//! a hit is served), and matcher-state reuse is *guarded*: occurrence
+//! counts influence matching only through representative elections, so
+//! before extending a set the session re-verifies every election the
+//! retained folds consumed under the appended counts
+//! ([`ValueMatcher::representatives_stable`]) and re-matches the whole set
+//! from scratch on any difference — extension happens only when the
+//! retained folds would have made identical decisions under the final
+//! counts.  The equivalence harness (`tests/incremental_session.rs`)
+//! additionally asserts byte-identical output against
+//! [`FuzzyFullDisjunction::integrate`] on the Auto-Join benchmark sets and
+//! on representative-flip counterexamples, for every [`IncrementalPolicy`]
+//! switch and across worker-thread counts.
+//!
+//! ```
+//! use fuzzy_fd_core::{FuzzyFdConfig, IntegrationSession};
+//! use lake_table::TableBuilder;
+//!
+//! let cases = TableBuilder::new("cases", ["City", "Total Cases"])
+//!     .row(["Berlin", "1.4M"])
+//!     .row(["Boston", "263K"])
+//!     .build()
+//!     .unwrap();
+//! let rates = TableBuilder::new("rates", ["City", "Vaccination Rate"])
+//!     .row(["Berlinn", "63%"])
+//!     .row(["Boston", "62%"])
+//!     .build()
+//!     .unwrap();
+//! let mut session = IntegrationSession::begin(FuzzyFdConfig::default(), &[cases, rates]).unwrap();
+//! assert_eq!(session.current().table.len(), 2);
+//!
+//! // A new portal arrives later: only its folds are planned, everything
+//! // already embedded stays cached.
+//! let deaths = TableBuilder::new("deaths", ["City", "Death Rate"])
+//!     .row(["berlin", "147"])
+//!     .build()
+//!     .unwrap();
+//! let outcome = session.add_table(&deaths).unwrap();
+//! assert_eq!(outcome.table.len(), 2); // berlin merges into the Berlin tuple
+//! assert_eq!(outcome.incremental.appended_tables, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use lake_embed::EmbeddingCache;
+use lake_fd::{ComponentCache, IntegrationSchema};
+use lake_runtime::RuntimeStats;
+use lake_schema_match::align_by_headers;
+use lake_table::{ColumnRef, Table, TableResult, Value};
+
+use crate::blocking::BlockingStats;
+use crate::config::{FuzzyFdConfig, IncrementalPolicy};
+use crate::pipeline::{warm_embedding_cache, FuzzyFdReport, FuzzyFullDisjunction};
+use crate::rewrite::{apply_substitutions, build_substitutions};
+use crate::value_match::{MatcherState, ValueGroup, ValueMatcher};
+
+/// What one [`IntegrationSession::add_tables`] call reused and what it had
+/// to recompute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Tables appended by this call.
+    pub appended_tables: usize,
+    /// Aligned sets whose retained matcher state absorbed at least one
+    /// appended column (only the appended folds were planned).
+    pub refolded_sets: usize,
+    /// Aligned sets matched from scratch — newly multi-table sets, and every
+    /// set when [`IncrementalPolicy::reuse_untouched_sets`] is off.
+    pub rebuilt_sets: usize,
+    /// Aligned sets untouched by the appended tables, reused without
+    /// planning a single fold.
+    pub reused_sets: usize,
+    /// Embedding-cache hits during this call (appended values already seen
+    /// in an earlier call, plus representative re-checks).
+    pub embed_hits: u64,
+    /// Embedding-cache misses during this call (genuinely new values).
+    pub embed_misses: u64,
+}
+
+/// The result of one incremental step: the full current integration plus
+/// what this step actually cost.
+///
+/// `table` and `value_groups` describe the whole session lake — kept equal
+/// to what batch re-integration of all session tables would return, via the
+/// session's drift guard (see the [module docs](self) for the exact
+/// guarantee layering); `report` and `incremental` describe only this
+/// call's work — in particular `report.blocking.folds` counts the folds
+/// this call re-planned, which for an append is strictly fewer than a batch
+/// run would plan.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The integrated (Full Disjunction) table over every session table.
+    pub table: lake_fd::IntegratedTable,
+    /// For every multi-table aligned set: the source columns (in matching
+    /// order) and the current value groups.
+    pub value_groups: Vec<(Vec<ColumnRef>, Vec<ValueGroup>)>,
+    /// Execution statistics of this call (blocking/fold counters cover only
+    /// the folds this call planned).
+    pub report: FuzzyFdReport,
+    /// Reuse accounting of this call.
+    pub incremental: IncrementalStats,
+}
+
+/// Retained per-aligned-set state: the columns folded so far (sorted, the
+/// fold order) and the live matcher state (group snapshots are derived from
+/// it on demand — see [`MatcherState::groups`]).
+#[derive(Debug, Clone)]
+struct SetState {
+    columns: Vec<ColumnRef>,
+    state: MatcherState,
+}
+
+/// A stateful integration handle over a growing set of tables.
+///
+/// Columns are aligned by matching headers (the alignment that is
+/// incremental by construction: an appended column joins the set its header
+/// names, or starts a new one).  See the [module docs](self) for the reuse
+/// architecture and the equivalence guarantees, and
+/// [`IncrementalPolicy`] for the A/B switches.
+pub struct IntegrationSession {
+    config: FuzzyFdConfig,
+    policy: IncrementalPolicy,
+    tables: Vec<Table>,
+    embedder: EmbeddingCache<Box<dyn lake_embed::Embedder>>,
+    /// Live matcher state keyed by `(header key, ordinal)` — the ordinal
+    /// disambiguates the rare case of several aligned sets sharing one
+    /// header (duplicate headers within a table).
+    sets: HashMap<(String, usize), SetState>,
+    fd_cache: ComponentCache,
+    /// The integration schema of the previous call, kept so the FD cache can
+    /// be remapped when an append widens the schema.
+    last_schema: Option<IntegrationSchema>,
+    latest: IncrementalOutcome,
+}
+
+impl std::fmt::Debug for IntegrationSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntegrationSession")
+            .field("tables", &self.tables.len())
+            .field("sets", &self.sets.len())
+            .field("cached_embeddings", &self.embedder.len())
+            .field("cached_components", &self.fd_cache.len())
+            .finish()
+    }
+}
+
+impl IntegrationSession {
+    /// Opens a session by integrating `tables` (the initial lake; may be
+    /// empty), under the default [`IncrementalPolicy`].
+    ///
+    /// # Errors
+    /// Returns an error when the configuration is invalid
+    /// ([`FuzzyFdConfig::validate`]) or a table lookup fails.
+    pub fn begin(config: FuzzyFdConfig, tables: &[Table]) -> TableResult<Self> {
+        IntegrationSession::begin_with_policy(config, IncrementalPolicy::default(), tables)
+    }
+
+    /// As [`begin`](Self::begin) with an explicit reuse policy.
+    pub fn begin_with_policy(
+        config: FuzzyFdConfig,
+        policy: IncrementalPolicy,
+        tables: &[Table],
+    ) -> TableResult<Self> {
+        if let Err(error) = config.validate() {
+            return Err(lake_table::TableError::InvalidConfig(error));
+        }
+        let mut session = IntegrationSession {
+            config,
+            policy,
+            tables: Vec::new(),
+            embedder: EmbeddingCache::new(config.model.build()),
+            sets: HashMap::new(),
+            fd_cache: ComponentCache::with_capacity(policy.max_cached_components),
+            last_schema: None,
+            latest: IncrementalOutcome {
+                table: lake_fd::IntegratedTable::new(Vec::new(), Vec::new()),
+                value_groups: Vec::new(),
+                report: FuzzyFdReport::default(),
+                incremental: IncrementalStats::default(),
+            },
+        };
+        session.add_tables(tables)?;
+        Ok(session)
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &FuzzyFdConfig {
+        &self.config
+    }
+
+    /// The session's reuse policy.
+    pub fn policy(&self) -> &IncrementalPolicy {
+        &self.policy
+    }
+
+    /// Every table integrated so far, in arrival order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The most recent integration outcome (initially the outcome of the
+    /// tables the session was opened with).
+    ///
+    /// Serving this accessor costs one retained copy of each outcome at
+    /// `add_tables` time — linear in the output table, the same order as
+    /// the append's own FD assembly work.
+    pub fn current(&self) -> &IncrementalOutcome {
+        &self.latest
+    }
+
+    /// `(hits, misses)` of the session's embedding cache, accumulated over
+    /// every call.
+    pub fn embedding_stats(&self) -> (u64, u64) {
+        self.embedder.stats()
+    }
+
+    /// `(hits, misses)` of the session's FD component cache, accumulated
+    /// over every call.
+    pub fn fd_cache_stats(&self) -> (u64, u64) {
+        self.fd_cache.stats()
+    }
+
+    /// Appends one table and re-integrates incrementally.
+    pub fn add_table(&mut self, table: &Table) -> TableResult<IncrementalOutcome> {
+        self.add_tables(std::slice::from_ref(table))
+    }
+
+    /// Appends a batch of tables and re-integrates incrementally: every
+    /// aligned set touched by the appended columns folds them in (one
+    /// planned fold per appended column), untouched sets are reused
+    /// outright, and the Full Disjunction recomputes only the join
+    /// components the rewrites actually changed.
+    pub fn add_tables(&mut self, new_tables: &[Table]) -> TableResult<IncrementalOutcome> {
+        let first_new = self.tables.len();
+        self.tables.extend(new_tables.iter().cloned());
+        let (embed_hits_before, embed_misses_before) = self.embedder.stats();
+
+        let alignment = align_by_headers(&self.tables);
+        let matcher = ValueMatcher::new(&self.embedder, self.config);
+
+        let matching_start = Instant::now();
+        let mut incremental =
+            IncrementalStats { appended_tables: new_tables.len(), ..IncrementalStats::default() };
+        let mut blocking = BlockingStats::default();
+        let mut embed_runtime = RuntimeStats::default();
+        let mut next_sets: HashMap<(String, usize), SetState> = HashMap::new();
+        let mut all_groups: Vec<(Vec<ColumnRef>, Vec<ValueGroup>)> = Vec::new();
+        let mut substitutions: HashMap<ColumnRef, HashMap<Value, Value>> = HashMap::new();
+        let mut ordinals: HashMap<String, usize> = HashMap::new();
+        let mut aligned_sets = 0usize;
+
+        for group in alignment.multi_table_groups() {
+            aligned_sets += 1;
+            let mut columns: Vec<ColumnRef> = group.clone();
+            columns.sort();
+            let key = {
+                let first = columns[0];
+                let name = &self.tables[first.table].schema().columns()[first.column].name;
+                let ordinal = ordinals.entry(name.trim().to_lowercase()).or_insert(0);
+                let key = (name.trim().to_lowercase(), *ordinal);
+                *ordinal += 1;
+                key
+            };
+            let split = columns.partition_point(|cref| cref.table < first_new);
+            let (old_columns, new_columns) = columns.split_at(split);
+
+            let prior = self
+                .policy
+                .reuse_untouched_sets
+                .then(|| self.sets.remove(&key))
+                .flatten()
+                // The retained state is only valid if it was folded over
+                // exactly the columns that precede the appended ones.
+                .filter(|entry| entry.columns == old_columns);
+
+            // Drift guard: retained folds ran under the occurrence counts of
+            // their time.  If the appended columns' counts would change any
+            // representative election a retained fold consumed, that fold
+            // would have matched differently under the final counts — so
+            // the set re-matches from scratch instead of extending (the
+            // equivalence the session promises beats the saved folds).
+            let (prior, new_values) = match prior {
+                Some(entry) if !new_columns.is_empty() => {
+                    let new_values = column_values(&self.tables, new_columns)?;
+                    if matcher.representatives_stable(&entry.state, &new_values) {
+                        (Some(entry), Some(new_values))
+                    } else {
+                        (None, None)
+                    }
+                }
+                prior => (prior, None),
+            };
+
+            let entry = match prior {
+                Some(mut entry) => {
+                    if new_columns.is_empty() {
+                        incremental.reused_sets += 1;
+                        entry
+                    } else {
+                        let new_values = new_values.expect("extend path extracted the columns");
+                        embed_runtime.merge(&warm_embedding_cache(
+                            &self.config,
+                            &self.embedder,
+                            &new_values,
+                        ));
+                        blocking.merge(&matcher.extend(&mut entry.state, &new_values));
+                        incremental.refolded_sets += 1;
+                        entry.columns = columns.clone();
+                        entry
+                    }
+                }
+                None => {
+                    let values = column_values(&self.tables, &columns)?;
+                    embed_runtime.merge(&warm_embedding_cache(
+                        &self.config,
+                        &self.embedder,
+                        &values,
+                    ));
+                    let (state, stats) = matcher.begin(&values);
+                    blocking.merge(&stats);
+                    incremental.rebuilt_sets += 1;
+                    SetState { columns: columns.clone(), state }
+                }
+            };
+
+            let groups = entry.state.groups();
+            for (column, mapping) in build_substitutions(&columns, &groups) {
+                substitutions.entry(column).or_default().extend(mapping);
+            }
+            all_groups.push((columns, groups));
+            next_sets.insert(key, entry);
+        }
+        self.sets = next_sets;
+
+        let (rewritten_tables, rewritten_cells) =
+            apply_substitutions(&self.tables, &substitutions)?;
+        let matching_time = matching_start.elapsed();
+
+        let fd_start = Instant::now();
+        let schema = IntegrationSchema::from_aligned_sets(&rewritten_tables, alignment.groups());
+        let (table, fd_stats) = if self.policy.reuse_fd_components {
+            // An append usually widens the integration schema (new attribute
+            // columns, newly aligned sets), which re-pads every outer-union
+            // tuple.  Re-padding moves columns without changing cells, so
+            // the memoised closures migrate instead of going stale: old
+            // integrated column `i` lands wherever any of its source columns
+            // maps in the new schema (header alignment never merges or drops
+            // existing integrated columns on append, so the mapping is total
+            // and injective — and the cache double-checks).
+            if let Some(old_schema) = self.last_schema.take() {
+                if old_schema != schema {
+                    let mapping: Vec<usize> = old_schema
+                        .aligned_sets()
+                        .iter()
+                        .map(|sources| {
+                            schema.integrated_column(sources[0].table, sources[0].column)
+                        })
+                        .collect();
+                    self.fd_cache.remap_columns(&mapping, schema.num_columns());
+                }
+            }
+            lake_fd::incremental_full_disjunction_with(
+                &schema,
+                &rewritten_tables,
+                self.config.matching_threads,
+                &mut self.fd_cache,
+            )
+        } else {
+            lake_fd::parallel_full_disjunction_with(
+                &schema,
+                &rewritten_tables,
+                self.config.matching_threads,
+            )
+        };
+        self.last_schema = Some(schema);
+        let fd_time = fd_start.elapsed();
+
+        let (embed_hits, embed_misses) = self.embedder.stats();
+        incremental.embed_hits = embed_hits - embed_hits_before;
+        incremental.embed_misses = embed_misses - embed_misses_before;
+
+        let report = FuzzyFdReport {
+            aligned_sets,
+            value_groups: all_groups.iter().map(|(_, g)| g.len()).sum(),
+            matched_groups: all_groups
+                .iter()
+                .flat_map(|(_, g)| g.iter())
+                .filter(|g| !g.is_singleton())
+                .count(),
+            rewritten_cells,
+            blocking,
+            embed_runtime,
+            matching_time,
+            fd_time,
+            fd_stats,
+        };
+        let outcome = IncrementalOutcome { table, value_groups: all_groups, report, incremental };
+        self.latest = outcome.clone();
+        Ok(outcome)
+    }
+}
+
+impl FuzzyFullDisjunction {
+    /// Opens an [`IntegrationSession`] from this operator's configuration,
+    /// integrating `tables` as the initial lake.
+    pub fn begin_session(&self, tables: &[Table]) -> TableResult<IntegrationSession> {
+        IntegrationSession::begin(*self.config(), tables)
+    }
+}
+
+/// Extracts the (cloned) value columns of an aligned set, in fold order.
+fn column_values(tables: &[Table], columns: &[ColumnRef]) -> TableResult<Vec<Vec<Value>>> {
+    columns
+        .iter()
+        .map(|cref| {
+            tables[cref.table]
+                .column_values(cref.column)
+                .map(|vs| vs.into_iter().cloned().collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tests::figure1_tables;
+    use lake_table::TableBuilder;
+
+    #[test]
+    fn session_over_figure1_matches_batch() {
+        let tables = figure1_tables();
+        let batch = FuzzyFullDisjunction::default().integrate_by_headers(&tables).unwrap();
+
+        // All three tables at once.
+        let session = IntegrationSession::begin(FuzzyFdConfig::default(), &tables).unwrap();
+        assert_eq!(session.current().table, batch.table);
+        assert_eq!(session.current().value_groups, batch.value_groups);
+        assert_eq!(session.current().incremental.rebuilt_sets, 2);
+
+        // Two tables, then the third appended.
+        let mut session =
+            IntegrationSession::begin(FuzzyFdConfig::default(), &tables[..2]).unwrap();
+        let outcome = session.add_table(&tables[2]).unwrap();
+        assert_eq!(outcome.table, batch.table);
+        assert_eq!(outcome.value_groups, batch.value_groups);
+        // T3 only brings a City column: the City set refolds (one fold —
+        // the retained folds consumed only single-member elections, which
+        // no count change can flip), the Country set is reused untouched.
+        assert_eq!(outcome.incremental.refolded_sets, 1);
+        assert_eq!(outcome.incremental.rebuilt_sets, 0);
+        assert_eq!(outcome.incremental.reused_sets, 1);
+        assert_eq!(outcome.report.blocking.folds, 1);
+        assert!(outcome.report.blocking.folds < batch.report.blocking.folds);
+    }
+
+    #[test]
+    fn representative_flips_trigger_a_rebuild_and_stay_batch_identical() {
+        // Adversarial count flip: "colou" appears once when "colouur" is
+        // matched, then a second "colou" arrives and re-elects the group
+        // representative.  Extending blindly would keep the group built
+        // around the stale representative; the drift guard must rebuild and
+        // land exactly on the batch result at every prefix.
+        let column_table =
+            |name: &str, value: &str| TableBuilder::new(name, ["c"]).row([value]).build().unwrap();
+        let tables = [
+            column_table("S0", "colour"),
+            column_table("S1", "colou"),
+            column_table("S2", "colouur"),
+            column_table("S3", "colou"),
+        ];
+
+        let mut session =
+            IntegrationSession::begin(FuzzyFdConfig::default(), &tables[..2]).unwrap();
+        for (idx, table) in tables.iter().enumerate().skip(2) {
+            let outcome = session.add_table(table).unwrap();
+            let reference =
+                FuzzyFullDisjunction::default().integrate_by_headers(&tables[..=idx]).unwrap();
+            assert_eq!(outcome.table, reference.table, "diverged at prefix {}", idx + 1);
+            assert_eq!(outcome.value_groups, reference.value_groups);
+        }
+        // The flip itself must have been detected at least once.
+        let final_outcome = session.current();
+        assert!(
+            final_outcome.incremental.rebuilt_sets > 0,
+            "the duplicate 'colou' must re-elect a representative and force a rebuild: {:?}",
+            final_outcome.incremental
+        );
+    }
+
+    #[test]
+    fn appended_values_hit_the_warm_embedding_cache() {
+        let tables = figure1_tables();
+        let mut session =
+            IntegrationSession::begin(FuzzyFdConfig::default(), &tables[..2]).unwrap();
+        let outcome = session.add_table(&tables[2]).unwrap();
+        // "Berlin", "Boston" and "barcelona"'s representative were all seen
+        // before; only genuinely new strings may miss.
+        assert!(outcome.incremental.embed_hits > 0, "{:?}", outcome.incremental);
+        let (hits, _) = session.embedding_stats();
+        assert!(hits >= outcome.incremental.embed_hits);
+    }
+
+    #[test]
+    fn fd_components_reuse_across_appends() {
+        // Disjoint keys: appending a table touching one key leaves the other
+        // components' closures reusable.
+        let mut a = TableBuilder::new("A", ["id", "x"]);
+        for i in 0..12 {
+            a = a.row([format!("key-entity-{i}"), format!("x{i}")]);
+        }
+        let b = TableBuilder::new("B", ["id", "y"])
+            .row(["key-entity-0", "y0"])
+            .row(["key-entity-1", "y1"])
+            .build()
+            .unwrap();
+        let mut session =
+            IntegrationSession::begin(FuzzyFdConfig::default(), &[a.build().unwrap(), b]).unwrap();
+        let c = TableBuilder::new("C", ["id", "z"]).row(["key-entity-2", "z2"]).build().unwrap();
+        let outcome = session.add_table(&c).unwrap();
+        assert!(
+            outcome.report.fd_stats.reused_components > 0,
+            "untouched components must be reused: {:?}",
+            outcome.report.fd_stats
+        );
+        let (fd_hits, _) = session.fd_cache_stats();
+        assert!(fd_hits > 0);
+    }
+
+    #[test]
+    fn full_recompute_policy_matches_reuse_policy() {
+        let tables = figure1_tables();
+        let mut reusing =
+            IntegrationSession::begin(FuzzyFdConfig::default(), &tables[..2]).unwrap();
+        let mut recomputing = IntegrationSession::begin_with_policy(
+            FuzzyFdConfig::default(),
+            IncrementalPolicy::full_recompute(),
+            &tables[..2],
+        )
+        .unwrap();
+        let fast = reusing.add_table(&tables[2]).unwrap();
+        let slow = recomputing.add_table(&tables[2]).unwrap();
+        assert_eq!(fast.table, slow.table);
+        assert_eq!(fast.value_groups, slow.value_groups);
+        assert_eq!(slow.incremental.reused_sets, 0);
+        assert_eq!(slow.incremental.refolded_sets, 0);
+        assert!(slow.report.blocking.folds > fast.report.blocking.folds);
+    }
+
+    #[test]
+    fn empty_session_grows_from_nothing() {
+        let mut session = IntegrationSession::begin(FuzzyFdConfig::default(), &[]).unwrap();
+        assert!(session.current().table.is_empty());
+        let tables = figure1_tables();
+        for table in &tables {
+            session.add_table(table).unwrap();
+        }
+        let batch = FuzzyFullDisjunction::default().integrate_by_headers(&tables).unwrap();
+        assert_eq!(session.current().table, batch.table);
+        assert_eq!(session.tables().len(), 3);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_session_start() {
+        let error = IntegrationSession::begin(FuzzyFdConfig::with_theta(f32::NAN), &[]);
+        assert!(error.is_err());
+    }
+
+    #[test]
+    fn operator_convenience_opens_a_session() {
+        let tables = figure1_tables();
+        let operator = FuzzyFullDisjunction::default();
+        let session = operator.begin_session(&tables).unwrap();
+        let batch = operator.integrate_by_headers(&tables).unwrap();
+        assert_eq!(session.current().table, batch.table);
+    }
+}

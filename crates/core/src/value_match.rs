@@ -88,6 +88,7 @@ pub struct ValueMatcher<'a> {
 }
 
 /// Internal working state of one group during the iterative matching.
+#[derive(Debug, Clone)]
 struct WorkingGroup {
     members: Vec<(ColumnPosition, Value)>,
     representative: Value,
@@ -97,6 +98,63 @@ struct WorkingGroup {
     /// folds.  Left empty when the policy's semantic channel does not use
     /// surface keys (duplicates are fine — the planner dedups).
     surface_keys: Vec<u64>,
+}
+
+/// Persistent matching state of one aligned column set: the working groups,
+/// the per-value occurrence counts that drive representative selection, and
+/// how many columns have been folded in so far.
+///
+/// Batch matching ([`ValueMatcher::match_values`]) builds one, folds every
+/// column and throws it away.  An
+/// [`IntegrationSession`](crate::IntegrationSession) instead retains the
+/// state between calls and folds *appended* columns into it via
+/// [`ValueMatcher::extend`] — the groups of the already-folded columns are
+/// never recomputed, only their representatives are re-checked against the
+/// updated occurrence counts.
+#[derive(Debug, Clone, Default)]
+pub struct MatcherState {
+    groups: Vec<WorkingGroup>,
+    counts: HashMap<Value, usize>,
+    columns_folded: usize,
+}
+
+impl MatcherState {
+    /// Number of value groups held so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` before any column carrying present values has been folded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of columns folded into this state (including the seeding
+    /// column and columns that turned out empty).
+    pub fn columns_folded(&self) -> usize {
+        self.columns_folded
+    }
+
+    /// The current value groups, cloned out of the working state (the state
+    /// itself stays usable for further [`ValueMatcher::extend`] calls).
+    pub fn groups(&self) -> Vec<ValueGroup> {
+        self.groups
+            .iter()
+            .map(|g| ValueGroup {
+                members: g.members.clone(),
+                representative: g.representative.clone(),
+            })
+            .collect()
+    }
+
+    /// Consumes the state into its value groups (the batch path, where no
+    /// further folds will happen).
+    pub fn into_groups(self) -> Vec<ValueGroup> {
+        self.groups
+            .into_iter()
+            .map(|g| ValueGroup { members: g.members, representative: g.representative })
+            .collect()
+    }
 }
 
 impl<'a> ValueMatcher<'a> {
@@ -121,34 +179,66 @@ impl<'a> ValueMatcher<'a> {
         &self,
         columns: &[Vec<Value>],
     ) -> (Vec<ValueGroup>, BlockingStats) {
-        // Global occurrence counts drive representative selection.
-        let mut counts: HashMap<Value, usize> = HashMap::new();
+        let (state, stats) = self.begin(columns);
+        (state.into_groups(), stats)
+    }
+
+    /// Builds a fresh [`MatcherState`] by folding every column, returning
+    /// the state (reusable by [`extend`](Self::extend)) alongside the
+    /// blocking statistics.  `begin(columns)` performs exactly the folds of
+    /// [`match_values`](Self::match_values).
+    pub fn begin(&self, columns: &[Vec<Value>]) -> (MatcherState, BlockingStats) {
+        let mut state = MatcherState::default();
+        let stats = self.extend(&mut state, columns);
+        (state, stats)
+    }
+
+    /// Folds additional columns into retained state, continuing the column
+    /// positions where the previous folds stopped.
+    ///
+    /// Occurrence counts are extended with the appended columns' values
+    /// first, and every existing group's representative is re-checked
+    /// against the updated counts before any fold runs.  The groups of
+    /// already-folded columns are otherwise untouched: only the appended
+    /// columns are planned, which is why an incremental append re-plans
+    /// strictly fewer folds than re-matching the whole set.
+    ///
+    /// The earlier folds themselves are *not* re-run, so a count change
+    /// that re-elects a representative can leave the retained groups
+    /// different from what a batch run under the final counts would have
+    /// built.  Callers needing batch equivalence must gate on
+    /// [`representatives_stable`](Self::representatives_stable) and fall
+    /// back to [`begin`](Self::begin) over all columns when it reports
+    /// drift — which is exactly what
+    /// [`IntegrationSession`](crate::IntegrationSession) does.
+    pub fn extend(&self, state: &mut MatcherState, columns: &[Vec<Value>]) -> BlockingStats {
         for column in columns {
             for value in column {
                 if value.is_present() {
-                    *counts.entry(value.clone()).or_insert(0) += 1;
+                    *state.counts.entry(value.clone()).or_insert(0) += 1;
                 }
+            }
+        }
+        if !state.groups.is_empty() && !columns.is_empty() {
+            for group in &mut state.groups {
+                self.refresh_representative(group, &state.counts);
             }
         }
 
         let mut stats = BlockingStats::default();
-        let mut groups: Vec<WorkingGroup> = Vec::new();
-        for (position, column) in columns.iter().enumerate() {
+        for column in columns {
+            let position = state.columns_folded;
+            state.columns_folded += 1;
             let distinct = distinct_present(column);
-            if position == 0 || groups.is_empty() {
+            if state.groups.is_empty() {
                 for value in distinct {
-                    groups.push(self.singleton(position, value));
+                    state.groups.push(self.singleton(position, value));
                 }
                 continue;
             }
-            stats.merge(&self.fold_column(&mut groups, position, distinct, &counts));
+            stats.merge(&self.fold_column(&mut state.groups, position, distinct, &state.counts));
         }
-
-        let groups = groups
-            .into_iter()
-            .map(|g| ValueGroup { members: g.members, representative: g.representative })
-            .collect();
-        (groups, stats)
+        stats
     }
 
     /// Folds one more column into the current combined column (the groups),
@@ -466,26 +556,124 @@ impl<'a> ValueMatcher<'a> {
     /// Recomputes the representative (most frequent member, ties to the
     /// earliest column) and its embedding.
     fn refresh_representative(&self, group: &mut WorkingGroup, counts: &HashMap<Value, usize>) {
-        let mut best: Option<(&(ColumnPosition, Value), usize)> = None;
-        for member in &group.members {
-            let count = counts.get(&member.1).copied().unwrap_or(1);
-            let better = match best {
-                None => true,
-                Some((current, current_count)) => {
-                    count > current_count || (count == current_count && member.0 < current.0)
-                }
-            };
-            if better {
-                best = Some((member, count));
-            }
-        }
-        if let Some(((_, value), _)) = best {
+        if let Some((_, value)) = elect_representative(&group.members, counts) {
             if *value != group.representative {
                 group.representative = value.clone();
                 group.embedding = self.embedder.embed(&group.representative.render());
             }
         }
     }
+
+    /// Whether folding `columns`' occurrence counts into `state` would leave
+    /// every representative election the retained folds *consumed*
+    /// unchanged.
+    ///
+    /// The retained groups were folded under the counts of the columns
+    /// present at the time; an appended duplicate can flip a
+    /// most-frequent-member election, and a fold that matched against the
+    /// old representative's embedding may then differ from what a batch run
+    /// under the final counts would have built.  Counts influence matching
+    /// *only* through these elections, and the election a fold consumes is
+    /// the one over each group's members **before that fold ran** — so this
+    /// checks, per group, the election over every members-prefix at a fold
+    /// boundary (members are stored in join order and tagged with their
+    /// column position).  The full-member-set election is included whenever
+    /// any retained fold ran after the group's last member joined (such
+    /// folds matched against it under the old counts); it is exempt only
+    /// when the group gained a member in the final retained fold, because
+    /// then its next consumer is the appended fold, which re-elects under
+    /// the updated counts before running ([`extend`](Self::extend)
+    /// refreshes first), exactly as batch would.
+    ///
+    /// A caller that needs batch equivalence (notably
+    /// [`IntegrationSession`](crate::IntegrationSession)) checks this before
+    /// [`extend`](Self::extend) and re-matches the whole set from scratch
+    /// when it returns `false`: stability here means every retained fold
+    /// would have made identical decisions under the appended counts.
+    pub fn representatives_stable(&self, state: &MatcherState, columns: &[Vec<Value>]) -> bool {
+        // Count only the appended occurrences; the retained totals stay in
+        // `state.counts` and are combined per member below (no clone of the
+        // full map on the per-append fast path).
+        let mut delta: HashMap<&Value, usize> = HashMap::new();
+        for column in columns {
+            for value in column {
+                if value.is_present() {
+                    *delta.entry(value).or_insert(0) += 1;
+                }
+            }
+        }
+        if delta.is_empty() {
+            return true;
+        }
+        state.groups.iter().all(|group| {
+            // Running elections over the join-ordered members, under the old
+            // and the appended counts side by side; at each fold boundary
+            // (position increase) the consumed election must agree.
+            let mut best_old: Option<(&(ColumnPosition, Value), usize)> = None;
+            let mut best_new: Option<(&(ColumnPosition, Value), usize)> = None;
+            let mut prev_position: Option<ColumnPosition> = None;
+            for member in &group.members {
+                if prev_position.is_some_and(|p| member.0 > p) {
+                    let old = best_old.map(|(m, _)| &m.1);
+                    let new = best_new.map(|(m, _)| &m.1);
+                    if old != new {
+                        return false;
+                    }
+                }
+                prev_position = Some(member.0);
+                let count_old = state.counts.get(&member.1).copied().unwrap_or(1);
+                let count_new =
+                    count_old.saturating_add(delta.get(&member.1).copied().unwrap_or(0));
+                let better =
+                    |best: &Option<(&(ColumnPosition, Value), usize)>, count: usize| match best {
+                        None => true,
+                        Some((current, current_count)) => {
+                            count > *current_count
+                                || (count == *current_count && member.0 < current.0)
+                        }
+                    };
+                if better(&best_old, count_old) {
+                    best_old = Some((member, count_old));
+                }
+                if better(&best_new, count_new) {
+                    best_new = Some((member, count_new));
+                }
+            }
+            // The full-member-set election was consumed by every retained
+            // fold that ran after the last member joined; only a group that
+            // gained a member in the final retained fold has no such
+            // consumer (its next one is the appended fold, which re-elects
+            // under the new counts first).
+            match group.members.last() {
+                Some(last) if last.0 + 1 < state.columns_folded => {
+                    best_old.map(|(m, _)| &m.1) == best_new.map(|(m, _)| &m.1)
+                }
+                _ => true,
+            }
+        })
+    }
+}
+
+/// The member a group elects as representative under `counts`: most
+/// frequent, ties to the earliest column (the paper's rule).
+fn elect_representative<'a>(
+    members: &'a [(ColumnPosition, Value)],
+    counts: &HashMap<Value, usize>,
+) -> Option<&'a (ColumnPosition, Value)> {
+    let mut best: Option<(&(ColumnPosition, Value), usize)> = None;
+    for member in members {
+        let count = counts.get(&member.1).copied().unwrap_or(1);
+        let better = match best {
+            None => true,
+            Some((current, current_count)) => {
+                count > current_count || (count == current_count && member.0 < current.0)
+            }
+        };
+        if better {
+            best = Some((member, count));
+        }
+    }
+    best.map(|(member, _)| member)
 }
 
 /// Convenience wrapper: match the values of aligned columns with a given
@@ -561,6 +749,65 @@ mod tests {
         // Boston appears in two columns and groups together.
         let boston = groups.iter().find(|g| g.representative == Value::text("Boston")).unwrap();
         assert_eq!(boston.len(), 2);
+    }
+
+    #[test]
+    fn extending_retained_state_matches_batch_matching() {
+        // Folding these columns through begin + extend lands on exactly the
+        // groups one batch call produces at every split point.  (Column 2
+        // does flip the Berlin representative, but benignly — the earlier
+        // folds' matching decisions are unaffected.  `IntegrationSession`
+        // does not rely on such luck: it gates on `representatives_stable`
+        // and rebuilds on any flip; the harmful-flip case is covered at
+        // session level in `tests/incremental_session.rs`.)
+        let columns = vec![
+            values(&["Berlinn", "Toronto", "Barcelona", "New Delhi"]),
+            values(&["Toronto", "Boston", "Berlin", "Barcelona"]),
+            values(&["Berlin", "barcelona", "Boston"]),
+        ];
+        let embedder = EmbeddingModel::Mistral.build();
+        let matcher = ValueMatcher::new(embedder.as_ref(), FuzzyFdConfig::default());
+        let (batch, batch_stats) = matcher.match_values_with_stats(&columns);
+
+        for split in 0..=columns.len() {
+            let (mut state, mut stats) = matcher.begin(&columns[..split]);
+            for column in &columns[split..] {
+                stats.merge(&matcher.extend(&mut state, std::slice::from_ref(column)));
+            }
+            assert_eq!(state.columns_folded(), columns.len());
+            assert_eq!(state.groups(), batch, "split at {split}");
+            assert_eq!(state.into_groups(), batch, "split at {split}");
+            // The fold count is the same work, just partitioned differently.
+            assert_eq!(stats.folds, batch_stats.folds, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn extend_refreshes_representatives_under_new_counts() {
+        // After folding ["Colour"], ["Color"], the tie goes to the earlier
+        // column.  A third column repeating "Color" flips the majority; the
+        // extended fold must re-elect the representative exactly like a
+        // batch run over all three columns would.
+        let columns = vec![values(&["Colour"]), values(&["Color"]), values(&["Color"])];
+        let embedder = EmbeddingModel::Mistral.build();
+        let matcher = ValueMatcher::new(embedder.as_ref(), FuzzyFdConfig::default());
+        let batch = matcher.match_values(&columns);
+
+        let (mut state, _) = matcher.begin(&columns[..2]);
+        matcher.extend(&mut state, &columns[2..]);
+        assert_eq!(state.groups(), batch);
+        if batch.len() == 1 {
+            assert_eq!(batch[0].representative, Value::text("Color"));
+        }
+    }
+
+    #[test]
+    fn empty_matcher_state_reports_itself() {
+        let state = MatcherState::default();
+        assert!(state.is_empty());
+        assert_eq!(state.len(), 0);
+        assert_eq!(state.columns_folded(), 0);
+        assert!(state.groups().is_empty());
     }
 
     #[test]

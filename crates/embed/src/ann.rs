@@ -51,6 +51,13 @@ pub struct AnnParams {
     pub band_bits: usize,
     /// Buckets probed per band and query (the query's own bucket plus the
     /// `probes - 1` cheapest margin perturbations).  `1` is exact banding.
+    ///
+    /// A band of `band_bits` bits only has `2^band_bits` distinct buckets, so
+    /// the reachable neighbourhood of any configuration is `bands ×
+    /// 2^band_bits` — probing past that re-enumerates buckets that were
+    /// already probed.  Queries clamp to the per-band bound, and
+    /// [`validate`](Self::validate) flags the misconfiguration in debug
+    /// builds.
     pub probes: usize,
     /// Minimum number of *distinct bands* a pair must collide in to become a
     /// candidate.  `1` is plain OR-amplification over the bands; `2`+ adds
@@ -98,12 +105,37 @@ impl AnnParams {
             self.band_bits
         );
         assert!(self.probes > 0, "each band must probe at least its own bucket");
+        // A band reaches at most 2^band_bits buckets (bands × 2^band_bits
+        // neighbourhoods in total), so more probes than that per band cannot
+        // retrieve anything new — queries clamp to the bound either way, but
+        // asking for more is a misconfiguration worth hearing about.
+        debug_assert!(
+            self.probes <= self.reachable_buckets_per_band(),
+            "probes ({}) exceeds the {} reachable buckets of a {}-bit band; \
+             the excess probes are clamped away",
+            self.probes,
+            self.reachable_buckets_per_band(),
+            self.band_bits
+        );
         assert!(
             (1..=self.bands).contains(&self.min_band_hits),
             "min_band_hits must be in 1..=bands (got {} with {} bands)",
             self.min_band_hits,
             self.bands
         );
+    }
+
+    /// Distinct buckets one band can address: `2^band_bits`, the per-band
+    /// share of the `bands × 2^band_bits` reachable neighbourhoods.  This is
+    /// the effective upper bound on [`probes`](Self::probes).
+    pub fn reachable_buckets_per_band(&self) -> usize {
+        1usize << self.band_bits.min(usize::BITS as usize - 1)
+    }
+
+    /// [`probes`](Self::probes) clamped to the reachable per-band bucket
+    /// count — what queries actually execute.
+    pub fn effective_probes(&self) -> usize {
+        self.probes.min(self.reachable_buckets_per_band())
     }
 }
 
@@ -182,7 +214,7 @@ impl AnnIndex {
             return;
         }
         for (band, probe_buckets) in hasher
-            .probe_band_buckets(query, self.params.band_bits, self.params.probes)
+            .probe_band_buckets(query, self.params.band_bits, self.params.effective_probes())
             .into_iter()
             .enumerate()
         {
@@ -312,5 +344,45 @@ mod tests {
     #[should_panic(expected = "at least its own bucket")]
     fn zero_probes_are_rejected() {
         AnnIndex::build(AnnParams { probes: 0, ..AnnParams::default() }, std::iter::empty());
+    }
+
+    #[test]
+    fn probes_clamp_to_the_reachable_bucket_count() {
+        // A 2-bit band reaches 4 buckets; asking for 1000 probes per band is
+        // equivalent to asking for all 4.
+        let bounded = AnnParams { bands: 4, band_bits: 2, probes: 4, min_band_hits: 1 };
+        let oversized = AnnParams { probes: 1_000, ..bounded };
+        assert_eq!(bounded.reachable_buckets_per_band(), 4);
+        assert_eq!(oversized.effective_probes(), 4);
+        assert_eq!(bounded.effective_probes(), 4);
+        // The bound is per band: the full reachable neighbourhood is
+        // bands × 2^band_bits, never what a single band can exhaust.
+        assert_eq!(AnnParams::default().reachable_buckets_per_band(), 256);
+        assert_eq!(AnnParams::default().effective_probes(), 16);
+    }
+
+    // In debug builds `AnnIndex::build` flags oversized probe counts (see
+    // below), so the clamp's retrieval equivalence is exercised where the
+    // misconfiguration survives to a query: release builds.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn oversized_probe_counts_retrieve_exactly_the_bounded_set() {
+        let bounded = AnnParams { bands: 4, band_bits: 2, probes: 4, min_band_hits: 1 };
+        let oversized = AnnParams { probes: 1_000, ..bounded };
+        let indexed = embeddings(&["Berlin", "Toronto", "Barcelona", "Quito", "Lima"]);
+        let query = &embeddings(&["Berlinn"])[0];
+        let full = AnnIndex::build(bounded, indexed.iter()).candidates(query);
+        let clamped = AnnIndex::build(oversized, indexed.iter()).candidates(query);
+        assert_eq!(clamped, full, "excess probes must not change retrieval");
+    }
+
+    // `validate` flags the oversized-probe misconfiguration with a debug
+    // assertion only (release builds clamp silently), so the should-panic
+    // expectation holds only where debug assertions are compiled in.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "reachable buckets")]
+    fn oversized_probe_count_is_flagged_in_debug_builds() {
+        AnnParams { bands: 4, band_bits: 2, probes: 5, min_band_hits: 1 }.validate();
     }
 }

@@ -266,6 +266,81 @@ mod tests {
         }
     }
 
+    /// An embedder that counts how often the expensive inner call actually
+    /// runs — the ground truth the hit/miss counters are supposed to track.
+    struct CountingEmbedder {
+        inner: HashingNgramEmbedder,
+        calls: Mutex<Vec<String>>,
+    }
+
+    impl CountingEmbedder {
+        fn new() -> Self {
+            CountingEmbedder { inner: HashingNgramEmbedder::new(), calls: Mutex::new(Vec::new()) }
+        }
+    }
+
+    impl Embedder for CountingEmbedder {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+
+        fn embed(&self, value: &str) -> Vector {
+            self.calls.lock().unwrap().push(value.to_string());
+            self.inner.embed(value)
+        }
+    }
+
+    #[test]
+    fn intra_batch_duplicates_reach_the_embedder_exactly_once() {
+        // Regression guard for the double-embed failure mode: a batch with
+        // heavy intra-batch duplication must invoke the wrapped embedder
+        // exactly once per *distinct* string, whatever the thread count, and
+        // the (hits, misses) counters must agree with that ground truth.
+        let values =
+            ["Toronto", "Berlin", "Toronto", "Toronto", "Boston", "Berlin", "Boston", "Toronto"];
+        for threads in [1usize, 2, 4] {
+            let cache = EmbeddingCache::new(CountingEmbedder::new());
+            let (vectors, _) =
+                cache.embed_batch_with_stats(&values, &ParallelPolicy::explicit(threads));
+            assert_eq!(vectors.len(), values.len());
+            let mut calls = cache.inner().calls.lock().unwrap().clone();
+            calls.sort();
+            assert_eq!(
+                calls,
+                vec!["Berlin".to_string(), "Boston".to_string(), "Toronto".to_string()],
+                "each distinct value must be embedded exactly once (threads = {threads})"
+            );
+            // Counter semantics: one miss per distinct value, one hit per
+            // duplicate occurrence.
+            assert_eq!(cache.stats(), (5, 3), "threads = {threads}");
+            // Duplicates all received the identical vector.
+            assert_eq!(vectors[0], vectors[2]);
+            assert_eq!(vectors[0], vectors[3]);
+            assert_eq!(vectors[1], vectors[5]);
+        }
+    }
+
+    #[test]
+    fn duplicates_of_cached_values_schedule_no_work_at_all() {
+        let cache = EmbeddingCache::new(CountingEmbedder::new());
+        cache.embed("Toronto");
+        assert_eq!(cache.inner().calls.lock().unwrap().len(), 1);
+        // Every batch entry is either cached or a duplicate of a cached
+        // value: the inner embedder must not run again.
+        let (vectors, stats) = cache.embed_batch_with_stats(
+            &["Toronto", "Toronto", "Toronto"],
+            &ParallelPolicy::explicit(2),
+        );
+        assert_eq!(vectors.len(), 3);
+        assert_eq!(stats.tasks, 0, "all-cached batches schedule nothing");
+        assert_eq!(cache.inner().calls.lock().unwrap().len(), 1, "no re-embedding");
+        assert_eq!(cache.stats(), (3, 1));
+    }
+
     #[test]
     fn batch_embedding_reuses_prior_cache_entries() {
         let cache = EmbeddingCache::new(HashingNgramEmbedder::new());

@@ -22,6 +22,9 @@
 //! * [`alite`] — the end-to-end scalable FD operator ([`alite::full_disjunction`]);
 //! * [`parallel`] — the same operator with component closures scheduled on
 //!   the shared work-stealing executor (`lake-runtime`);
+//! * [`incremental`] — the delta-aware operator for lake-append workloads:
+//!   component closures are memoised in a [`ComponentCache`] so an appended
+//!   table recomputes only the components it actually touches;
 //! * [`spec`] — a brute-force specification oracle used by property tests;
 //! * [`outer_join`] — binary/sequential full outer joins, the non-associative
 //!   baseline the paper contrasts FD with;
@@ -30,6 +33,7 @@
 pub mod alite;
 pub mod complement;
 pub mod components;
+pub mod incremental;
 pub mod outer_join;
 pub mod outer_union;
 pub mod parallel;
@@ -40,6 +44,7 @@ pub mod subsume;
 pub mod tuple;
 
 pub use alite::{full_disjunction, FdOptions};
+pub use incremental::{incremental_full_disjunction_with, ComponentCache};
 pub use lake_runtime::RuntimeStats;
 pub use outer_union::outer_union;
 pub use parallel::{parallel_full_disjunction, parallel_full_disjunction_with};

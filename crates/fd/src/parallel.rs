@@ -24,12 +24,12 @@ use crate::tuple::{IntegratedTable, IntegratedTuple};
 /// Auto-gate floor for `threads == 0`, in cost-hint units (squared component
 /// tuple counts): below the equivalent of one 64-tuple component the scoped
 /// workers cost more than the closures they would run.
-const MIN_AUTO_CLOSURE_COST: u64 = 4_096;
+pub(crate) const MIN_AUTO_CLOSURE_COST: u64 = 4_096;
 
 /// Cost hint for one component: closure work (join attempts + subsumption)
 /// grows quadratically with the component's tuple count, and a quadratic
 /// hint also ranks the giants first for LPT seeding.
-fn component_cost(component: &[IntegratedTuple]) -> u64 {
+pub(crate) fn component_cost(component: &[IntegratedTuple]) -> u64 {
     let len = component.len() as u64;
     len.saturating_mul(len)
 }
@@ -83,6 +83,7 @@ pub fn parallel_full_disjunction_with(
         components: num_components,
         largest_component,
         runtime,
+        ..FdStats::default()
     };
     let result = IntegratedTable::new(schema.column_names().to_vec(), tuples).sorted();
     (result, stats)

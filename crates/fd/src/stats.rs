@@ -13,8 +13,13 @@ pub struct FdStats {
     pub components: usize,
     /// Size of the largest component (in base tuples).
     pub largest_component: usize,
+    /// Components whose closure was reused from a
+    /// [`ComponentCache`](crate::ComponentCache) instead of recomputed
+    /// (always `0` for the batch operators, which never consult a cache).
+    pub reused_components: usize,
     /// How the component closures were scheduled (empty for the sequential
-    /// operator, which never enters the executor).
+    /// operator, which never enters the executor; cache-reused components
+    /// never reach the executor either).
     pub runtime: RuntimeStats,
 }
 

@@ -35,6 +35,15 @@ pub fn dedup_by_values(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
 /// first deduplicated by values; the surviving tuple absorbs the provenance
 /// of every tuple it subsumes (so the provenance column of Figure 1 lists all
 /// base tuples an output row represents).
+///
+/// When several tuples subsume the same victim, the absorber is chosen
+/// deterministically — most non-null values first, ties broken by the
+/// tuples' value ordering — so the provenance layout of the result is a
+/// function of the tuple *multiset*, never of the order the tuples arrived
+/// in.  (Values are unique after deduplication, so the value ordering is a
+/// total tie-break.)  A maximal subsumer is itself never subsumed: anything
+/// subsuming it would subsume the victim too, with strictly more non-nulls,
+/// and would have been chosen instead.
 pub fn remove_subsumed(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
     let mut tuples = dedup_by_values(tuples);
     if tuples.len() <= 1 {
@@ -51,7 +60,7 @@ pub fn remove_subsumed(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
     }
 
     let n = tuples.len();
-    let mut subsumed_by: Vec<Option<usize>> = vec![None; n];
+    let mut absorbed_by: Vec<Option<usize>> = vec![None; n];
     for i in 0..n {
         let probe_col = match tuples[i].non_null_columns().next() {
             Some(c) => c,
@@ -60,25 +69,33 @@ pub fn remove_subsumed(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
         let key = (probe_col, tuples[i].value(probe_col).clone());
         if let Some(candidates) = by_cell.get(&key) {
             for &j in candidates {
-                if j == i || subsumed_by[j].is_some() {
+                if j == i
+                    || tuples[j].non_null_count() <= tuples[i].non_null_count()
+                    || !tuples[j].subsumes(&tuples[i])
+                {
                     continue;
                 }
-                if tuples[j].non_null_count() > tuples[i].non_null_count()
-                    && tuples[j].subsumes(&tuples[i])
-                {
-                    subsumed_by[i] = Some(j);
-                    break;
+                let better = match absorbed_by[i] {
+                    None => true,
+                    Some(current) => {
+                        let (new, old) =
+                            (tuples[j].non_null_count(), tuples[current].non_null_count());
+                        new > old || (new == old && tuples[j].values() < tuples[current].values())
+                    }
+                };
+                if better {
+                    absorbed_by[i] = Some(j);
                 }
             }
         }
     }
 
-    // Absorb provenance along subsumption chains (i -> j -> ... -> root).
+    // Apply absorptions after every choice is fixed, so tie-breaks never see
+    // half-updated provenance.  Every absorber is a survivor (see above), so
+    // no chain-following is needed.
     for i in 0..n {
-        if let Some(mut j) = subsumed_by[i] {
-            while let Some(next) = subsumed_by[j] {
-                j = next;
-            }
+        if let Some(j) = absorbed_by[i] {
+            debug_assert!(absorbed_by[j].is_none(), "absorber {j} is itself subsumed");
             let prov = tuples[i].provenance().clone();
             tuples[j].absorb_provenance(&prov);
         }
@@ -87,7 +104,7 @@ pub fn remove_subsumed(tuples: Vec<IntegratedTuple>) -> Vec<IntegratedTuple> {
     tuples
         .into_iter()
         .enumerate()
-        .filter(|(i, _)| subsumed_by[*i].is_none())
+        .filter(|(i, _)| absorbed_by[*i].is_none())
         .map(|(_, t)| t)
         .collect()
 }
@@ -168,5 +185,57 @@ mod tests {
         assert!(remove_subsumed(Vec::new()).is_empty());
         let single = vec![tuple(vec![Value::text("only")], &[("T1", 0)])];
         assert_eq!(remove_subsumed(single).len(), 1);
+    }
+
+    #[test]
+    fn equal_count_subsumers_absorb_deterministically_by_content() {
+        // Both ("a", "b") and ("a", "c") subsume ("a", ⊥) with the same
+        // non-null count.  The victim's provenance must land on the
+        // content-smaller subsumer ("a", "b") for every input permutation —
+        // the survivor set and every survivor's provenance are a function of
+        // the tuple multiset alone.
+        let victim = || tuple(vec![Value::text("a"), Value::Null], &[("V", 0)]);
+        let small = || tuple(vec![Value::text("a"), Value::text("b")], &[("S", 0)]);
+        let large = || tuple(vec![Value::text("a"), Value::text("c")], &[("L", 0)]);
+
+        let permutations: [Vec<IntegratedTuple>; 6] = [
+            vec![victim(), small(), large()],
+            vec![victim(), large(), small()],
+            vec![small(), victim(), large()],
+            vec![large(), victim(), small()],
+            vec![small(), large(), victim()],
+            vec![large(), small(), victim()],
+        ];
+        for permutation in permutations {
+            let mut out = remove_subsumed(permutation);
+            out.sort_by(|a, b| a.values().cmp(b.values()));
+            assert_eq!(out.len(), 2);
+            let b_tuple = &out[0];
+            let c_tuple = &out[1];
+            assert_eq!(b_tuple.value(1), &Value::text("b"));
+            assert!(
+                b_tuple.provenance().contains(&TupleId::new("V", 0)),
+                "victim provenance must go to the content-smaller subsumer: {out:#?}"
+            );
+            assert_eq!(b_tuple.provenance().len(), 2);
+            assert_eq!(c_tuple.provenance().len(), 1);
+        }
+    }
+
+    #[test]
+    fn larger_subsumer_wins_over_content_order() {
+        // ("a", "b", ⊥) and ("a", "b", "c") both subsume ("a", ⊥, ⊥); the
+        // three-value tuple absorbs it even though it is content-larger,
+        // because non-null count dominates the tie-break.
+        let tuples = vec![
+            tuple(vec![Value::text("a"), Value::Null, Value::Null], &[("V", 0)]),
+            tuple(vec![Value::text("a"), Value::text("b"), Value::text("c")], &[("L", 0)]),
+            tuple(vec![Value::text("a"), Value::text("b"), Value::Null], &[("M", 0)]),
+        ];
+        let out = remove_subsumed(tuples);
+        // The middle tuple is itself subsumed by the maximal one, so the
+        // chain collapses entirely onto ("a", "b", "c").
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].provenance().len(), 3);
     }
 }

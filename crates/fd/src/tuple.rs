@@ -114,6 +114,33 @@ impl IntegratedTuple {
     pub fn absorb_provenance(&mut self, other: &ProvenanceSet) {
         self.provenance = self.provenance.union(other);
     }
+
+    /// Re-pads the tuple into another integrated schema: the value of column
+    /// `i` moves to column `mapping[i]`, every unmapped new column becomes
+    /// null.  Used by [`ComponentCache`](crate::ComponentCache) to carry
+    /// memoised closures across schema growth (an appended table adding new
+    /// integrated columns widens every tuple without changing any cell).
+    ///
+    /// # Panics
+    /// Panics if `mapping` is shorter than the tuple, maps outside
+    /// `new_columns`, or maps two *present* values onto one column (a
+    /// non-injective mapping would silently destroy a cell otherwise; null
+    /// collisions are harmless and tolerated).
+    pub fn remap_columns(&mut self, mapping: &[usize], new_columns: usize) {
+        assert_eq!(mapping.len(), self.values.len(), "mapping must cover every column");
+        let mut values = vec![Value::Null; new_columns];
+        for (old, value) in self.values.drain(..).enumerate() {
+            let target = mapping[old];
+            if value.is_present() {
+                assert!(
+                    values[target].is_null(),
+                    "column mapping sends two present values to column {target}"
+                );
+                values[target] = value;
+            }
+        }
+        self.values = values;
+    }
 }
 
 /// The result of integrating a set of tables: the integrated column names and

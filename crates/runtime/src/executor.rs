@@ -112,6 +112,9 @@ where
             } else {
                 vec![started.elapsed().as_nanos() as u64]
             },
+            // Mark the batch as sequential so an accumulator that later
+            // absorbs it stops reporting a positional imbalance.
+            sequential_batches: (n > 0) as u64,
         };
         return (outputs, stats);
     }
@@ -145,6 +148,7 @@ where
         injected: 0,
         steals: 0,
         per_worker_busy_nanos: vec![0; workers],
+        sequential_batches: 0,
     };
 
     std::thread::scope(|scope| {

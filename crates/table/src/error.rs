@@ -37,6 +37,10 @@ pub enum TableError {
     },
     /// An I/O failure while reading or writing CSV files.
     Io(String),
+    /// An operator was handed an invalid configuration (e.g. a `NaN`
+    /// matching threshold) — reported where the operator is constructed so
+    /// the mistake cannot poison comparisons deep inside a run.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for TableError {
@@ -56,6 +60,7 @@ impl fmt::Display for TableError {
             TableError::EmptySchema => write!(f, "schema must contain at least one column"),
             TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             TableError::Io(msg) => write!(f, "I/O error: {msg}"),
+            TableError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
