@@ -1,0 +1,104 @@
+//! Load-generator bench for the `lake-serve` sharded integration server.
+//!
+//! Drives the real wire protocol over a loopback socket with the
+//! `lake_benchdata::serving` multi-tenant arrival trace (tenants interleaved
+//! round-robin, each routed to its shard by the documented group hash):
+//!
+//! * `ingest-ack` — one server lifecycle around a single admission: boot,
+//!   `POST /ingest`, `202` ack, shutdown-with-drain.  The ack path is the
+//!   client-visible latency floor (parse + route + enqueue, never the
+//!   integration itself, which runs on the shard writer).
+//! * `trace-drain` — the sustained path: boot, ingest the full trace, poll
+//!   `/stats` until every shard has drained, shutdown.  This is the
+//!   end-to-end cost of making every acknowledged table queryable.
+//!
+//! Each iteration boots a fresh server so the lake never accumulates state
+//! across samples (a growing session would make later samples incomparable).
+//! A pre-pass against one long-lived server reports the numbers a fixed
+//! criterion sample cannot: per-ingest ack latency percentiles (p50/p99) and
+//! sustained tables/sec over the drain window, recorded in the
+//! BENCH_BASELINE.json `serving` group.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_benchdata::serving::{generate_serving_trace, ServingTrace, ServingTraceConfig};
+use lake_serve::{LakeServer, QueryTarget, ServeClient, ServePolicy};
+
+const IDLE_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn trace() -> ServingTrace {
+    generate_serving_trace(ServingTraceConfig::default())
+}
+
+fn policy() -> ServePolicy {
+    ServePolicy { shards: 2, ..ServePolicy::default() }
+}
+
+/// Boots a server, ingests every arrival (asserting admission), waits for
+/// the shards to drain, shuts down.  Returns per-ack latencies and the
+/// wall-clock drain window for the pre-pass.
+fn run_trace(trace: &ServingTrace) -> (Vec<Duration>, Duration) {
+    let server = LakeServer::start(policy()).expect("server starts");
+    let client = ServeClient::new(server.addr());
+    let started = Instant::now();
+    let mut acks = Vec::with_capacity(trace.arrivals.len());
+    for arrival in &trace.arrivals {
+        let sent = Instant::now();
+        let reply = client.ingest(&arrival.tenant, &arrival.table).expect("ingest");
+        acks.push(sent.elapsed());
+        assert_eq!(reply.status, 202, "queue_depth 64 must absorb the whole trace");
+    }
+    assert!(client.wait_idle(IDLE_TIMEOUT).expect("stats"), "shards did not drain");
+    let drained = started.elapsed();
+    let reply = client.query(QueryTarget::Group("tenant-0"), "table").expect("query");
+    assert_eq!(reply.status, 200);
+    server.shutdown();
+    (acks, drained)
+}
+
+/// The `q`-th percentile (nearest-rank) of unsorted latency samples.
+fn percentile(samples: &mut [Duration], q: f64) -> Duration {
+    samples.sort_unstable();
+    let rank = ((q / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.saturating_sub(1).min(samples.len() - 1)]
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let trace = trace();
+
+    // Pre-pass: latency percentiles and sustained throughput, printed so a
+    // bench run records them alongside the criterion means.
+    let (mut acks, drained) = run_trace(&trace);
+    let p50 = percentile(&mut acks, 50.0);
+    let p99 = percentile(&mut acks, 99.0);
+    let tables_per_sec = trace.arrivals.len() as f64 / drained.as_secs_f64();
+    eprintln!(
+        "serving pre-pass: {} arrivals, ack p50 {:.3} ms, ack p99 {:.3} ms, {:.2} tables/sec sustained (drain {:.1} ms)",
+        trace.arrivals.len(),
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        tables_per_sec,
+        drained.as_secs_f64() * 1e3,
+    );
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("ingest-ack"), &trace, |b, trace| {
+        b.iter(|| {
+            let server = LakeServer::start(policy()).expect("server starts");
+            let client = ServeClient::new(server.addr());
+            let arrival = &trace.arrivals[0];
+            let reply = client.ingest(&arrival.tenant, &arrival.table).expect("ingest");
+            assert_eq!(reply.status, 202);
+            server.shutdown();
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("trace-drain"), &trace, |b, trace| {
+        b.iter(|| run_trace(trace))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

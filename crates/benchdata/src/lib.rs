@@ -18,6 +18,9 @@
 //!   group and the `IntegrationSession` equivalence harness.
 //! * [`escalation`] — a lake-scale fold (1k+ distinctive values plus surface
 //!   variants) driving the blocking escalation benchmark.
+//! * [`serving`] — a multi-tenant arrival trace (interleaved per-tenant
+//!   append workloads) driving the `lake-serve` load-generator benchmark
+//!   and the server integration tests.
 //! * [`skew`] — a skewed-components FD fold (one giant join neighbourhood,
 //!   a stride of mediums, a tail of smalls) driving the `scheduling`
 //!   benchmark group's round-robin vs work-stealing comparison.
@@ -36,6 +39,7 @@ pub mod escalation;
 pub mod imdb;
 pub mod lexicon;
 pub mod noise;
+pub mod serving;
 pub mod skew;
 
 pub use alite_em::{generate_em_benchmark, EmBenchmark, EmBenchmarkConfig};
@@ -45,4 +49,5 @@ pub use escalation::{generate_escalation_fold, EscalationFold, EscalationFoldCon
 pub use imdb::{generate_imdb_benchmark, ImdbConfig};
 pub use lexicon::{topic_values, Topic, ALL_TOPICS};
 pub use noise::{apply_transformation, Transformation};
+pub use serving::{generate_serving_trace, Arrival, ServingTrace, ServingTraceConfig};
 pub use skew::{generate_skewed_components, SkewedComponents, SkewedComponentsConfig};

@@ -1,0 +1,169 @@
+//! Multi-tenant arrival trace for the serving benchmark.
+//!
+//! The `lake-serve` load generator needs what a single-session append
+//! workload cannot provide: *several* table groups (tenants) whose tables
+//! arrive interleaved, so ingests fan out across shards and each shard's
+//! session integrates only its own tenants' tables.  This generator builds
+//! one [`append`](crate::append) workload per tenant — each tenant gets its
+//! own topic (rotating through the lexicon) and seed, tables renamed
+//! `<tenant>-S<i>` so provenance ids stay unique across the lake — and
+//! interleaves them round-robin, the arrival order a set of concurrently
+//! active tenants produces.
+//!
+//! All output is seeded and fully deterministic.
+
+use lake_table::Table;
+
+use crate::append::{generate_append_workload, AppendWorkloadConfig};
+use crate::lexicon::ALL_TOPICS;
+
+/// Configuration of the serving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingTraceConfig {
+    /// Number of tenants (table groups).  Topics rotate across tenants.
+    pub tenants: usize,
+    /// Tables arriving per tenant.
+    pub tables_per_tenant: usize,
+    /// Distinct entities per tenant's shared pool.
+    pub entities: usize,
+    /// Random seed; the trace is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for ServingTraceConfig {
+    fn default() -> Self {
+        ServingTraceConfig { tenants: 3, tables_per_tenant: 4, entities: 60, seed: 0x5EE7_ED42 }
+    }
+}
+
+/// One arriving table: the tenant (the ingest routing key) and the table.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Tenant name, used as the wire protocol's `group` field.
+    pub tenant: String,
+    /// The arriving table, named `<tenant>-S<i>`.
+    pub table: Table,
+}
+
+/// A generated arrival trace.
+#[derive(Debug, Clone)]
+pub struct ServingTrace {
+    /// Arrivals in trace order (tenants interleaved round-robin).
+    pub arrivals: Vec<Arrival>,
+}
+
+impl ServingTrace {
+    /// The distinct tenant names, in first-arrival order.
+    pub fn tenants(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for arrival in &self.arrivals {
+            if !seen.contains(&arrival.tenant.as_str()) {
+                seen.push(arrival.tenant.as_str());
+            }
+        }
+        seen
+    }
+
+    /// The tables of one tenant, in arrival order.
+    pub fn tenant_tables(&self, tenant: &str) -> Vec<&Table> {
+        self.arrivals.iter().filter(|a| a.tenant == tenant).map(|a| &a.table).collect()
+    }
+}
+
+/// Generates the trace: `tenants × tables_per_tenant` arrivals, tenants
+/// interleaved round-robin (tenant 0 table 0, tenant 1 table 0, …, tenant 0
+/// table 1, …).
+pub fn generate_serving_trace(config: ServingTraceConfig) -> ServingTrace {
+    let per_tenant: Vec<Vec<Table>> = (0..config.tenants)
+        .map(|t| {
+            let tenant = tenant_name(t);
+            let workload = generate_append_workload(AppendWorkloadConfig {
+                topic: ALL_TOPICS[t % ALL_TOPICS.len()],
+                entities: config.entities,
+                initial_tables: 1,
+                appended_tables: config.tables_per_tenant.saturating_sub(1),
+                seed: config.seed.wrapping_add(t as u64 * 40_503),
+            });
+            workload
+                .all_tables()
+                .into_iter()
+                .enumerate()
+                .map(|(i, table)| table.with_name(format!("{tenant}-S{i}")))
+                .collect()
+        })
+        .collect();
+    let mut arrivals = Vec::with_capacity(config.tenants * config.tables_per_tenant);
+    for round in 0..config.tables_per_tenant {
+        for (t, tables) in per_tenant.iter().enumerate() {
+            if let Some(table) = tables.get(round) {
+                arrivals.push(Arrival { tenant: tenant_name(t), table: table.clone() });
+            }
+        }
+    }
+    ServingTrace { arrivals }
+}
+
+/// Tenant `t`'s name (`tenant-0`, `tenant-1`, …).
+pub fn tenant_name(t: usize) -> String {
+    format!("tenant-{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServingTraceConfig {
+        ServingTraceConfig { tenants: 3, tables_per_tenant: 2, entities: 20, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let trace = generate_serving_trace(small());
+        assert_eq!(trace.arrivals.len(), 6);
+        assert_eq!(trace.tenants(), vec!["tenant-0", "tenant-1", "tenant-2"]);
+        for tenant in trace.tenants() {
+            let tables = trace.tenant_tables(tenant);
+            assert_eq!(tables.len(), 2);
+            for (i, table) in tables.iter().enumerate() {
+                assert_eq!(table.name(), format!("{tenant}-S{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_interleave_tenants_round_robin() {
+        let trace = generate_serving_trace(small());
+        let order: Vec<&str> = trace.arrivals.iter().map(|a| a.tenant.as_str()).collect();
+        assert_eq!(
+            order,
+            vec!["tenant-0", "tenant-1", "tenant-2", "tenant-0", "tenant-1", "tenant-2"]
+        );
+    }
+
+    #[test]
+    fn table_names_are_unique_across_the_lake() {
+        let trace = generate_serving_trace(small());
+        let names: std::collections::HashSet<&str> =
+            trace.arrivals.iter().map(|a| a.table.name()).collect();
+        assert_eq!(names.len(), trace.arrivals.len());
+    }
+
+    #[test]
+    fn tenants_draw_distinct_topics() {
+        let trace = generate_serving_trace(small());
+        let headers: std::collections::HashSet<String> =
+            trace.arrivals.iter().map(|a| a.table.schema().columns()[0].name.clone()).collect();
+        assert_eq!(headers.len(), 3, "each tenant should use its own topic header");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = generate_serving_trace(small());
+        let b = generate_serving_trace(small());
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        for (x, y) in a.arrivals.iter().zip(&b.arrivals) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.table, y.table);
+        }
+    }
+}

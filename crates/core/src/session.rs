@@ -64,6 +64,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use lake_embed::EmbeddingCache;
@@ -153,7 +154,7 @@ pub struct IntegrationSession {
     /// The integration schema of the previous call, kept so the FD cache can
     /// be remapped when an append widens the schema.
     last_schema: Option<IntegrationSchema>,
-    latest: IncrementalOutcome,
+    latest: Arc<IncrementalOutcome>,
 }
 
 impl std::fmt::Debug for IntegrationSession {
@@ -195,12 +196,12 @@ impl IntegrationSession {
             sets: HashMap::new(),
             fd_cache: ComponentCache::with_capacity(policy.max_cached_components),
             last_schema: None,
-            latest: IncrementalOutcome {
+            latest: Arc::new(IncrementalOutcome {
                 table: lake_fd::IntegratedTable::new(Vec::new(), Vec::new()),
                 value_groups: Vec::new(),
                 report: FuzzyFdReport::default(),
                 incremental: IncrementalStats::default(),
-            },
+            }),
         };
         session.add_tables(tables)?;
         Ok(session)
@@ -229,6 +230,25 @@ impl IntegrationSession {
     /// the append's own FD assembly work.
     pub fn current(&self) -> &IncrementalOutcome {
         &self.latest
+    }
+
+    /// A shared handle to the most recent outcome.
+    ///
+    /// The retained outcome lives behind an `Arc`, so taking a snapshot is
+    /// a reference-count bump — no copy of the integrated table.  This is
+    /// the accessor the serving layer publishes to concurrent readers:
+    /// they hold the `Arc` while the session mutates on, and the snapshot
+    /// they observed stays immutable and valid.
+    pub fn snapshot(&self) -> Arc<IncrementalOutcome> {
+        Arc::clone(&self.latest)
+    }
+
+    /// The integration schema of the most recent call: which base-table
+    /// columns landed in which integrated column.  `None` only before the
+    /// first (possibly empty) integration finishes — i.e. never on a
+    /// constructed session, since `begin` integrates its initial tables.
+    pub fn schema(&self) -> Option<&IntegrationSchema> {
+        self.last_schema.as_ref()
     }
 
     /// `(hits, misses)` of the session's embedding cache, accumulated over
@@ -418,7 +438,7 @@ impl IntegrationSession {
             fd_stats,
         };
         let outcome = IncrementalOutcome { table, value_groups: all_groups, report, incremental };
-        self.latest = outcome.clone();
+        self.latest = Arc::new(outcome.clone());
         Ok(outcome)
     }
 }

@@ -24,6 +24,10 @@
 //!   quality.
 //! * [`run_round_robin`] — the retired static round-robin strategy, kept as
 //!   a baseline for the `scheduling` benchmark group and scheduler tests.
+//! * [`spawn_service`] / [`ServiceHandle`] — named long-lived threads for
+//!   server-style components (accept loops, shard writers) that outlive the
+//!   call that started them; the only sanctioned way to obtain such a
+//!   thread outside this crate.
 //!
 //! The crate is dependency-free (std only, `std::sync` primitives — the
 //! build environment has no registry access) and sits below every other
@@ -31,8 +35,10 @@
 
 pub mod executor;
 pub mod policy;
+pub mod service;
 pub mod stats;
 
 pub use executor::{run_round_robin, run_scope};
 pub use policy::ParallelPolicy;
+pub use service::{pause, spawn_service, ServiceHandle};
 pub use stats::RuntimeStats;

@@ -1,0 +1,110 @@
+//! Long-lived named service threads.
+//!
+//! [`run_scope`](crate::run_scope) covers the *scoped* parallelism in the
+//! workspace: a batch of tasks fanned out and joined before the call
+//! returns.  Server-style components (accept loops, queue drainers, reader
+//! pools) need the opposite shape — a thread that outlives the call that
+//! started it and runs until told to stop.  The workspace bans raw std
+//! thread primitives outside this crate (see `tests/no_raw_threads.rs`),
+//! so those components obtain their threads here.
+//!
+//! [`spawn_service`] starts a named OS thread and returns a
+//! [`ServiceHandle`].  Unlike the executor's workers, service threads are
+//! *not* pooled or work-stolen: each one runs a single long-lived loop.
+//! Joining a handle propagates a panic from the service body, so a crashed
+//! writer loop surfaces at shutdown instead of being silently swallowed.
+//! Dropping a handle without joining detaches the thread (same contract as
+//! `std`), which is deliberate: an accept loop blocked on a socket would
+//! otherwise deadlock the dropping thread.
+
+use std::thread;
+use std::time::Duration;
+
+/// Handle to a long-lived service thread started by [`spawn_service`].
+#[derive(Debug)]
+pub struct ServiceHandle {
+    name: String,
+    handle: thread::JoinHandle<()>,
+}
+
+impl ServiceHandle {
+    /// The name the service was spawned with (also the OS thread name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the service body has returned (or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Blocks until the service body returns.
+    ///
+    /// If the body panicked, the panic is resumed on the joining thread so
+    /// service failures cannot pass unnoticed at shutdown.
+    pub fn join(self) {
+        if let Err(payload) = self.handle.join() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Spawns a named long-lived service thread running `body`.
+///
+/// The name shows up in OS thread listings and panic messages, which is the
+/// main debugging aid for a process running a dozen identical-looking
+/// loops.  Panics if the OS refuses to create the thread.
+pub fn spawn_service<F>(name: impl Into<String>, body: F) -> ServiceHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let name = name.into();
+    let handle = thread::Builder::new()
+        .name(name.clone())
+        .spawn(body)
+        .unwrap_or_else(|err| panic!("failed to spawn service thread `{name}`: {err}"));
+    ServiceHandle { name, handle }
+}
+
+/// Puts the calling thread to sleep for `duration`.
+///
+/// Exists so polling loops outside `crates/runtime` (which may not name the
+/// std thread module — see `tests/no_raw_threads.rs`) can still back off
+/// between retries.
+pub fn pause(duration: Duration) {
+    thread::sleep(duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn service_runs_and_joins() {
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let handle = spawn_service("test-service", move || {
+            flag.store(true, Ordering::SeqCst);
+        });
+        assert_eq!(handle.name(), "test-service");
+        handle.join();
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn join_propagates_service_panics() {
+        let handle = spawn_service("test-panic", || panic!("writer died"));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pause_sleeps_at_least_the_requested_time() {
+        let start = std::time::Instant::now();
+        pause(Duration::from_millis(5));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,283 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! The build environment has no registry access, so there is no tokio or
+//! hyper to lean on; this module hand-rolls exactly the subset of RFC 9112
+//! the wire protocol needs: request-line + headers + `Content-Length`
+//! framed bodies, and `Connection: close` responses.  Chunked transfer
+//! encoding, keep-alive and HTTP/2 are deliberately out of scope — one
+//! request per connection keeps reader threads stateless.
+//!
+//! Limits are enforced before any allocation proportional to the input:
+//! headers are capped at 16 KiB and bodies at 16 MiB, so a hostile client
+//! cannot balloon a reader's memory.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the request target (no query string).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` framed).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// How reading a request failed, mapped to a response status by the server.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request → `400`.
+    BadRequest(String),
+    /// Head or body over the caps → `431` / `413`.
+    TooLarge(&'static str),
+    /// Socket-level failure (no response possible).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+            HttpError::Io(err) => write!(f, "socket error: {err}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 request head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequest("malformed request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!("unsupported version {version}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::BadRequest("chunked bodies are not supported".into()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("unparseable content-length".into()))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = parse_target(target)?;
+    Ok(Request { method: method.to_string(), path, query, headers, body })
+}
+
+/// Index of the `\r\n\r\n` separator, if fully buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into decoded path + query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a target component.
+fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| HttpError::BadRequest("malformed percent escape".into()))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("non-UTF-8 percent escape".into()))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// Optional `Retry-After` header (seconds), used by `429` responses.
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response { status, body: body.into(), retry_after: None }
+    }
+
+    /// Attaches a `Retry-After` header.
+    pub fn with_retry_after(mut self, seconds: u32) -> Self {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Serializes the response (status line, headers, body) onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.body.len(),
+        );
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes the protocol uses.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_targets() {
+        let (path, query) = parse_target("/query?group=g%201&view=table&flag").unwrap();
+        assert_eq!(path, "/query");
+        assert_eq!(
+            query,
+            vec![
+                ("group".into(), "g 1".into()),
+                ("view".into(), "table".into()),
+                ("flag".into(), String::new()),
+            ]
+        );
+        assert!(parse_target("/x%zz").is_err());
+    }
+
+    #[test]
+    fn decodes_plus_and_percent() {
+        assert_eq!(percent_decode("a+b%2Fc").unwrap(), "a b/c");
+    }
+
+    #[test]
+    fn response_serializes_with_framing() {
+        let mut out = Vec::new();
+        Response::json(429, "{}").with_retry_after(2).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

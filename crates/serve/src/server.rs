@@ -1,0 +1,326 @@
+//! The server: accept loop, reader pool, shard writer loops, routing.
+//!
+//! Thread layout for a [`ServePolicy`] with `S` shards and `R` readers
+//! (all threads come from [`lake_runtime::spawn_service`] — the workspace
+//! bans raw thread primitives outside the runtime crate):
+//!
+//! * 1 × `serve-accept` — non-blocking accept loop; hands connections to
+//!   the reader pool over a channel and polls the stop flag.
+//! * `R` × `serve-reader-i` — pop a connection, read one request, route
+//!   it, write the response, close.  Readers touch shards only through
+//!   [`Shard::try_ingest`] (queue admission) and
+//!   [`Shard::read_snapshot`] (an `Arc` clone), so no request ever waits
+//!   on an in-flight integration.
+//! * `S` × `serve-writer-i` — own the shard's
+//!   [`IntegrationSession`] (sessions
+//!   never cross threads), drain the admission queue, publish a fresh
+//!   [`ShardSnapshot`] after every applied append.
+//!
+//! Shutdown drains: [`ServerHandle::shutdown`] stops accepting, joins the
+//! readers, then asks each writer to finish its remaining queue before
+//! joining it — every acknowledged ingest is applied before `shutdown`
+//! returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fuzzy_fd_core::IntegrationSession;
+use lake_runtime::{pause, spawn_service, ServiceHandle};
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::shard::{IngestJob, Shard, ShardSnapshot, ShardStatus};
+use crate::wire::{self, QueryView};
+use crate::ServePolicy;
+
+/// How long a reader waits on a slow client before giving up on the
+/// connection.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Errors starting a [`LakeServer`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The [`ServePolicy`] failed validation.
+    InvalidPolicy(String),
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidPolicy(msg) => write!(f, "invalid serve policy: {msg}"),
+            ServeError::Io(err) => write!(f, "server I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        ServeError::Io(err)
+    }
+}
+
+/// The sharded integration server.  See the [crate docs](crate) for the
+/// protocol and [`ServePolicy`] for sizing.
+pub struct LakeServer;
+
+impl LakeServer {
+    /// Starts a server on an OS-assigned loopback port.
+    pub fn start(policy: ServePolicy) -> Result<ServerHandle, ServeError> {
+        LakeServer::start_on(policy, "127.0.0.1:0".parse().expect("loopback literal"))
+    }
+
+    /// Starts a server bound to `addr`.
+    pub fn start_on(policy: ServePolicy, addr: SocketAddr) -> Result<ServerHandle, ServeError> {
+        policy.validate().map_err(ServeError::InvalidPolicy)?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shards: Arc<Vec<Arc<Shard>>> = Arc::new(
+            (0..policy.shards)
+                .map(|id| {
+                    let empty = IntegrationSession::begin(policy.integration, &[])
+                        .expect("policy validated above");
+                    Arc::new(Shard::new(
+                        id,
+                        policy.queue_depth,
+                        ShardSnapshot::from_session(0, &empty),
+                    ))
+                })
+                .collect(),
+        );
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            spawn_service("serve-accept", move || accept_loop(listener, conn_tx, stop))
+        };
+
+        let readers = (0..policy.readers)
+            .map(|i| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let shards = Arc::clone(&shards);
+                spawn_service(format!("serve-reader-{i}"), move || {
+                    reader_loop(conn_rx, shards, policy)
+                })
+            })
+            .collect();
+
+        let writers = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                spawn_service(format!("serve-writer-{}", shard.id()), move || {
+                    writer_loop(shard, policy)
+                })
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shards,
+            stop,
+            acceptor: Some(acceptor),
+            readers,
+            writers,
+        })
+    }
+}
+
+/// A running server.  Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) detaches the service threads (the process
+/// keeps serving until exit).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shards: Arc<Vec<Arc<Shard>>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<ServiceHandle>,
+    readers: Vec<ServiceHandle>,
+    writers: Vec<ServiceHandle>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("shards", &self.shards.len())
+            .field("readers", &self.readers.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Per-shard statuses, as `/stats` reports them.
+    pub fn statuses(&self) -> Vec<ShardStatus> {
+        self.shards.iter().map(|s| s.status()).collect()
+    }
+
+    /// Stops the server: no new connections, readers joined, every shard
+    /// queue drained and applied, writers joined.  Propagates a panic from
+    /// any service thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join();
+        }
+        for reader in self.readers.drain(..) {
+            reader.join();
+        }
+        for shard in self.shards.iter() {
+            shard.stop();
+        }
+        for writer in self.writers.drain(..) {
+            writer.join();
+        }
+    }
+
+    /// Blocks the calling thread until the accept loop exits (i.e. until
+    /// another thread flips the stop flag, or forever in a long-running
+    /// process such as `examples/serve.rs`).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join();
+        }
+    }
+}
+
+/// Non-blocking accept loop; exits (dropping `conn_tx`, which unblocks the
+/// readers) when the stop flag flips.
+fn accept_loop(listener: TcpListener, conn_tx: mpsc::Sender<TcpStream>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => pause(ACCEPT_POLL),
+            // Transient per-connection accept failures (e.g. reset before
+            // accept) are not fatal to the server.
+            Err(_) => pause(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reader-pool loop: one request per connection, until the channel closes.
+fn reader_loop(
+    conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    shards: Arc<Vec<Arc<Shard>>>,
+    policy: ServePolicy,
+) {
+    loop {
+        let conn = { conn_rx.lock().expect("connection channel poisoned").recv() };
+        let Ok(mut stream) = conn else { return };
+        let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
+        let response = match read_request(&mut stream) {
+            Ok(request) => handle_request(&request, &shards, &policy),
+            Err(HttpError::BadRequest(msg)) => Response::json(400, wire::error_body(&msg)),
+            Err(HttpError::TooLarge(what)) => {
+                let status = if what == "request body" { 413 } else { 431 };
+                Response::json(status, wire::error_body(&format!("{what} too large")))
+            }
+            // Nothing sensible can be written on a broken socket.
+            Err(HttpError::Io(_)) => continue,
+        };
+        // A client gone before the response is its problem, not ours.
+        let _ = response.write_to(&mut stream);
+    }
+}
+
+/// Routes one parsed request.  Pure except for shard queue admission.
+fn handle_request(request: &Request, shards: &[Arc<Shard>], policy: &ServePolicy) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/ingest") => handle_ingest(request, shards, policy),
+        ("GET", "/query") => handle_query(request, shards),
+        ("GET", "/health") => Response::json(200, wire::health_body(shards.len())),
+        ("GET", "/stats") => {
+            let statuses: Vec<ShardStatus> = shards.iter().map(|s| s.status()).collect();
+            Response::json(200, wire::stats_body(policy, &statuses))
+        }
+        ("POST", "/query" | "/health" | "/stats") | ("GET", "/ingest") => {
+            Response::json(405, wire::error_body("method not allowed for this route"))
+        }
+        _ => Response::json(404, wire::error_body("no such route")),
+    }
+}
+
+/// `POST /ingest`: parse, route by group hash, admit or reject.
+fn handle_ingest(request: &Request, shards: &[Arc<Shard>], policy: &ServePolicy) -> Response {
+    let parsed = match wire::parse_ingest(&request.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Response::json(400, wire::error_body(&msg)),
+    };
+    let shard_id = crate::route_group(&parsed.group, shards.len());
+    let job = IngestJob { group: parsed.group.clone(), table: parsed.table };
+    match shards[shard_id].try_ingest(job) {
+        Ok(queued) => Response::json(202, wire::ingest_ack_body(&parsed.group, shard_id, queued)),
+        Err(queued) => Response::json(
+            429,
+            wire::reject_body(&parsed.group, shard_id, queued, policy.retry_after_secs),
+        )
+        .with_retry_after(policy.retry_after_secs),
+    }
+}
+
+/// `GET /query`: resolve the shard (by `shard` index or `group` hash),
+/// clone its snapshot, render the requested view.
+fn handle_query(request: &Request, shards: &[Arc<Shard>]) -> Response {
+    let view = match QueryView::parse(request.query_param("view")) {
+        Ok(view) => view,
+        Err(msg) => return Response::json(400, wire::error_body(&msg)),
+    };
+    let shard_id = match (request.query_param("shard"), request.query_param("group")) {
+        (Some(raw), _) => match raw.parse::<usize>() {
+            Ok(id) if id < shards.len() => id,
+            Ok(id) => {
+                let msg = format!("shard {id} out of range (server has {})", shards.len());
+                return Response::json(400, wire::error_body(&msg));
+            }
+            Err(_) => return Response::json(400, wire::error_body("unparseable shard index")),
+        },
+        (None, Some(group)) => crate::route_group(group, shards.len()),
+        (None, None) => {
+            return Response::json(400, wire::error_body("pass either `shard` or `group`"))
+        }
+    };
+    let snapshot = shards[shard_id].read_snapshot();
+    Response::json(200, wire::query_body(view, shard_id, &snapshot))
+}
+
+/// Shard writer loop: owns the session, drains the queue, publishes
+/// snapshots.  Exits once stopped *and* drained.
+fn writer_loop(shard: Arc<Shard>, policy: ServePolicy) {
+    let mut session =
+        IntegrationSession::begin(policy.integration, &[]).expect("policy validated at start");
+    let mut version = 0u64;
+    while let Some(job) = shard.next_job() {
+        match session.add_table(&job.table) {
+            Ok(_) => {
+                version += 1;
+                shard.publish(ShardSnapshot::from_session(version, &session));
+                shard.finish_job(true);
+            }
+            // The ingest was acknowledged with 202 but cannot be applied
+            // (e.g. a table-level error surfaced during integration); the
+            // failure is visible in `/stats` as `failed`.
+            Err(_) => shard.finish_job(false),
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Lake shards: routing, snapshots, and the bounded admission queue.
+//!
+//! Each shard owns one [`IntegrationSession`] confined to its writer
+//! thread; everything other threads may touch lives here, split into two
+//! halves with different locking disciplines:
+//!
+//! * the **admission queue** (`Mutex` + `Condvar`): bounded, rejecting at
+//!   capacity so backpressure is explicit (the server turns a rejection
+//!   into `429 Too Many Requests`), drained by the writer;
+//! * the **published snapshot** (`RwLock<Arc<ShardSnapshot>>`): readers
+//!   clone the `Arc` under a momentary read lock and then work entirely on
+//!   their own handle, so a multi-second integration in the writer never
+//!   blocks a query — the writer swaps in the next snapshot in O(1) after
+//!   integrating *outside* any lock.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use fuzzy_fd_core::{IncrementalOutcome, IntegrationSession};
+use lake_fd::IntegrationSchema;
+use lake_table::Table;
+
+/// Routes a table group to a shard by FNV-1a hash of the group name.
+///
+/// Pure and stable across processes, so clients (and tests) can re-derive
+/// placement without asking the server.
+///
+/// # Panics
+/// Panics if `shards` is zero (a [`ServePolicy`](crate::ServePolicy) that
+/// validated cannot have zero shards).
+pub fn route_group(group: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in group.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// An accepted ingest waiting for the shard's writer.
+#[derive(Debug)]
+pub struct IngestJob {
+    /// Table group the client routed by.
+    pub group: String,
+    /// The table to append.
+    pub table: Table,
+}
+
+/// An immutable, shareable view of a shard's lake at one version.
+///
+/// Published by the writer after every applied append; readers render all
+/// query views from it without touching the session.  Built through
+/// [`from_session`](Self::from_session) by the server *and* by the
+/// integration tests, which replay the same tables through a direct
+/// [`IntegrationSession`] and assert the rendered bytes match.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Monotone per-shard version: the number of appends applied so far.
+    pub version: u64,
+    /// The latest integration outcome (shared with the session's retained
+    /// copy — an `Arc` bump, not a table copy).
+    pub outcome: Arc<IncrementalOutcome>,
+    /// Every table integrated so far, in arrival order.
+    pub tables: Arc<Vec<Table>>,
+    /// Source-column → integrated-column mapping of the latest call (feeds
+    /// the per-cell provenance view).
+    pub schema: Option<IntegrationSchema>,
+    /// Session embedding-cache `(hits, misses)`, cumulative.
+    pub embed_cache: (u64, u64),
+    /// Session FD component-cache `(hits, misses)`, cumulative.
+    pub fd_cache: (u64, u64),
+}
+
+impl ShardSnapshot {
+    /// Captures the current state of `session` as version `version`.
+    pub fn from_session(version: u64, session: &IntegrationSession) -> Self {
+        ShardSnapshot {
+            version,
+            outcome: session.snapshot(),
+            tables: Arc::new(session.tables().to_vec()),
+            schema: session.schema().cloned(),
+            embed_cache: session.embedding_stats(),
+            fd_cache: session.fd_cache_stats(),
+        }
+    }
+}
+
+/// Mutable queue state behind the shard's mutex.
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<IngestJob>,
+    /// Whether the writer is currently integrating a popped job.
+    busy: bool,
+    /// Shutdown flag; the writer drains remaining jobs, then exits.
+    stopping: bool,
+    accepted: u64,
+    rejected: u64,
+    applied: u64,
+    failed: u64,
+}
+
+/// A point-in-time external view of one shard, rendered by `/stats`.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub id: usize,
+    /// Jobs waiting in the admission queue.
+    pub queued: usize,
+    /// Whether the writer is integrating right now.
+    pub busy: bool,
+    /// Ingests admitted to the queue, cumulative.
+    pub accepted: u64,
+    /// Ingests rejected with 429, cumulative.
+    pub rejected: u64,
+    /// Appends applied to the session, cumulative.
+    pub applied: u64,
+    /// Appends that failed integration (accepted but not applied).
+    pub failed: u64,
+    /// The published snapshot (version, sizes, stats).
+    pub snapshot: ShardSnapshot,
+}
+
+/// One lake shard: admission queue + published snapshot.
+///
+/// The owning [`IntegrationSession`] is *not* stored here — it is confined
+/// to the shard's writer thread (see [`writer_loop`](crate::LakeServer)).
+#[derive(Debug)]
+pub struct Shard {
+    id: usize,
+    depth: usize,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    snapshot: RwLock<Arc<ShardSnapshot>>,
+}
+
+impl Shard {
+    /// Creates shard `id` with a bounded queue of `depth` and an initial
+    /// (empty-lake) snapshot.
+    pub fn new(id: usize, depth: usize, initial: ShardSnapshot) -> Self {
+        Shard {
+            id,
+            depth,
+            state: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            snapshot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// Shard index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Admits `job` to the queue, or rejects it when the queue is full.
+    ///
+    /// Returns the queue depth after admission; the error carries the
+    /// current depth for the 429 body.
+    pub fn try_ingest(&self, job: IngestJob) -> Result<usize, usize> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        if state.jobs.len() >= self.depth {
+            state.rejected += 1;
+            return Err(state.jobs.len());
+        }
+        state.jobs.push_back(job);
+        state.accepted += 1;
+        let depth = state.jobs.len();
+        drop(state);
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available or shutdown is requested.
+    ///
+    /// Returns `None` once stopping *and* drained — the writer exits then,
+    /// so shutdown applies every admitted ingest before the server joins.
+    /// Marks the shard busy when returning a job; the writer must call
+    /// [`finish_job`](Self::finish_job) afterwards.
+    pub fn next_job(&self) -> Option<IngestJob> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                state.busy = true;
+                return Some(job);
+            }
+            if state.stopping {
+                return None;
+            }
+            state = self.work.wait(state).expect("shard queue poisoned");
+        }
+    }
+
+    /// Records the outcome of the job returned by [`next_job`](Self::next_job)
+    /// and clears the busy flag.
+    pub fn finish_job(&self, applied: bool) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        if applied {
+            state.applied += 1;
+        } else {
+            state.failed += 1;
+        }
+        state.busy = false;
+    }
+
+    /// Publishes a new snapshot (an O(1) pointer swap under the write lock).
+    pub fn publish(&self, snapshot: ShardSnapshot) {
+        *self.snapshot.write().expect("shard snapshot poisoned") = Arc::new(snapshot);
+    }
+
+    /// The current published snapshot (an `Arc` clone under a momentary
+    /// read lock; never blocks on an in-flight integration).
+    pub fn read_snapshot(&self) -> Arc<ShardSnapshot> {
+        Arc::clone(&self.snapshot.read().expect("shard snapshot poisoned"))
+    }
+
+    /// Requests writer shutdown (drain-then-exit) and wakes it.
+    pub fn stop(&self) {
+        self.state.lock().expect("shard queue poisoned").stopping = true;
+        self.work.notify_all();
+    }
+
+    /// The current external view of this shard.
+    pub fn status(&self) -> ShardStatus {
+        let snapshot = self.read_snapshot();
+        let state = self.state.lock().expect("shard queue poisoned");
+        ShardStatus {
+            id: self.id,
+            queued: state.jobs.len(),
+            busy: state.busy,
+            accepted: state.accepted,
+            rejected: state.rejected,
+            applied: state.applied,
+            failed: state.failed,
+            snapshot: (*snapshot).clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fuzzy_fd_core::FuzzyFdConfig;
+
+    use super::*;
+
+    fn empty_snapshot() -> ShardSnapshot {
+        let session = IntegrationSession::begin(FuzzyFdConfig::default(), &[]).unwrap();
+        ShardSnapshot::from_session(0, &session)
+    }
+
+    fn job(name: &str) -> IngestJob {
+        let table = lake_table::TableBuilder::new(name, ["c"]).row(["v"]).build().unwrap();
+        IngestJob { group: "g".into(), table }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1, 2, 7] {
+            for group in ["alpha", "beta", "tenant-42", ""] {
+                let shard = route_group(group, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, route_group(group, shards));
+            }
+        }
+        // Distinct groups should not all collapse onto one shard.
+        let hits: std::collections::HashSet<usize> =
+            (0..32).map(|i| route_group(&format!("g{i}"), 4)).collect();
+        assert!(hits.len() > 1);
+    }
+
+    #[test]
+    fn queue_rejects_at_capacity() {
+        let shard = Shard::new(0, 2, empty_snapshot());
+        assert_eq!(shard.try_ingest(job("a")), Ok(1));
+        assert_eq!(shard.try_ingest(job("b")), Ok(2));
+        assert_eq!(shard.try_ingest(job("c")), Err(2));
+        let status = shard.status();
+        assert_eq!((status.accepted, status.rejected), (2, 1));
+    }
+
+    #[test]
+    fn next_job_drains_then_honours_stop() {
+        let shard = Shard::new(0, 4, empty_snapshot());
+        shard.try_ingest(job("a")).unwrap();
+        shard.stop();
+        assert!(shard.next_job().is_some());
+        shard.finish_job(true);
+        assert!(shard.next_job().is_none());
+        assert_eq!(shard.status().applied, 1);
+    }
+
+    #[test]
+    fn publish_swaps_reader_snapshot() {
+        let shard = Shard::new(3, 4, empty_snapshot());
+        assert_eq!(shard.read_snapshot().version, 0);
+        let mut next = empty_snapshot();
+        next.version = 7;
+        shard.publish(next);
+        assert_eq!(shard.read_snapshot().version, 7);
+        assert_eq!(shard.status().snapshot.version, 7);
+    }
+}

@@ -1,0 +1,557 @@
+//! The JSON wire format: request parsing and response rendering.
+//!
+//! Every body the server emits is produced by a function in this module,
+//! and the functions are public on purpose: `tests/serve_integration.rs`
+//! replays the same tables through a direct
+//! [`IntegrationSession`](fuzzy_fd_core::IntegrationSession) and asserts
+//! the rendered bytes are identical to what came over the socket.  That
+//! byte-for-byte check only works because rendering is deterministic —
+//! object keys are emitted in a fixed order, floats use round-trippable
+//! formatting, and nothing timing-dependent (durations, busy-nanos)
+//! appears in `/query` bodies.  Timing-dependent counters are confined to
+//! `/stats`, which is observability, not data.
+//!
+//! The full schema of every body is documented in `docs/PROTOCOL.md`.
+
+use serde::Content;
+use serde_json::Value as Json;
+
+use lake_fd::{IntegratedTable, IntegratedTuple};
+use lake_table::{Schema, Table, Value};
+
+use crate::shard::{ShardSnapshot, ShardStatus};
+use crate::ServePolicy;
+
+/// A decoded `POST /ingest` body.
+#[derive(Debug)]
+pub struct IngestRequest {
+    /// Routing key: tables of one group land on one shard.
+    pub group: String,
+    /// The decoded table.
+    pub table: Table,
+}
+
+/// Parses a `POST /ingest` body.
+///
+/// Expected shape (see `docs/PROTOCOL.md`):
+/// `{"group": "...", "table": {"name": "...", "columns": ["..."], "rows": [[cell, ...], ...]}}`
+/// where a cell is a JSON string, integer, float, bool or null (mapping to
+/// the workspace [`Value`] variants).  Every failure is reported as a
+/// human-readable message the server returns in a `400` body.
+pub fn parse_ingest(body: &[u8]) -> Result<IngestRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = serde_json::from_str(text).map_err(|err| format!("invalid JSON: {err}"))?;
+    let group =
+        doc.get("group").and_then(Json::as_str).ok_or("missing string field `group`")?.to_string();
+    if group.is_empty() {
+        return Err("`group` must not be empty".to_string());
+    }
+    let spec = doc.get("table").ok_or("missing object field `table`")?;
+    let name =
+        spec.get("name").and_then(Json::as_str).ok_or("missing string field `table.name`")?;
+    if name.is_empty() {
+        return Err("`table.name` must not be empty".to_string());
+    }
+    let columns = spec
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or("missing array field `table.columns`")?;
+    if columns.is_empty() {
+        return Err("`table.columns` must not be empty".to_string());
+    }
+    let names: Vec<&str> = columns
+        .iter()
+        .map(|c| c.as_str().ok_or("`table.columns` entries must be strings"))
+        .collect::<Result<_, _>>()?;
+    let schema = Schema::from_names(names).map_err(|err| format!("invalid schema: {err}"))?;
+    let mut table = Table::new(name, schema);
+    let rows =
+        spec.get("rows").and_then(Json::as_array).ok_or("missing array field `table.rows`")?;
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_array().ok_or_else(|| format!("`table.rows[{i}]` must be an array"))?;
+        let values = cells
+            .iter()
+            .map(|cell| {
+                decode_cell(cell).ok_or_else(|| format!("unsupported cell in `table.rows[{i}]`"))
+            })
+            .collect::<Result<Vec<Value>, String>>()?;
+        table.push_row(values).map_err(|err| format!("`table.rows[{i}]`: {err}"))?;
+    }
+    table.infer_column_types();
+    Ok(IngestRequest { group, table })
+}
+
+/// Maps a JSON cell to a workspace [`Value`] (objects/arrays are rejected).
+fn decode_cell(cell: &Json) -> Option<Value> {
+    Some(match cell {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::String(s) => Value::Text(s.clone()),
+        Json::Number(n) => match n.as_i64() {
+            Some(i) => Value::Int(i),
+            None => Value::Float(n.as_f64()),
+        },
+        Json::Array(_) | Json::Object(_) => return None,
+    })
+}
+
+/// Renders the `POST /ingest` body for `table` (the client-side inverse of
+/// [`parse_ingest`]).
+pub fn ingest_body(group: &str, table: &Table) -> String {
+    let columns: Vec<Content> =
+        table.schema().names().iter().map(|n| Content::Str((*n).to_string())).collect();
+    let rows: Vec<Content> = table
+        .rows()
+        .iter()
+        .map(|row| Content::Seq(row.iter().map(cell_content).collect()))
+        .collect();
+    let table_obj = Content::Map(vec![
+        ("name".into(), Content::Str(table.name().to_string())),
+        ("columns".into(), Content::Seq(columns)),
+        ("rows".into(), Content::Seq(rows)),
+    ]);
+    render(Content::Map(vec![
+        ("group".into(), Content::Str(group.to_string())),
+        ("table".into(), table_obj),
+    ]))
+}
+
+/// The three `GET /query` projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryView {
+    /// The integrated table with per-tuple provenance ids.
+    Table,
+    /// The deterministic counters of the latest integration report.
+    Report,
+    /// The integrated table with per-cell source attribution.
+    Provenance,
+}
+
+impl QueryView {
+    /// Parses the `view` query parameter (`None` defaults to `table`).
+    pub fn parse(raw: Option<&str>) -> Result<Self, String> {
+        match raw {
+            None | Some("table") => Ok(QueryView::Table),
+            Some("report") => Ok(QueryView::Report),
+            Some("provenance") => Ok(QueryView::Provenance),
+            Some(other) => {
+                Err(format!("unknown view `{other}` (expected table, report or provenance)"))
+            }
+        }
+    }
+
+    /// The wire name of the view.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryView::Table => "table",
+            QueryView::Report => "report",
+            QueryView::Provenance => "provenance",
+        }
+    }
+}
+
+/// Renders a `GET /query` response body for one shard snapshot.
+///
+/// Fully deterministic in the snapshot: the integration tests compare
+/// these bytes against a server round-trip.
+pub fn query_body(view: QueryView, shard: usize, snapshot: &ShardSnapshot) -> String {
+    let mut fields = vec![
+        ("shard".into(), Content::U64(shard as u64)),
+        ("version".into(), Content::U64(snapshot.version)),
+        ("view".into(), Content::Str(view.name().to_string())),
+        (
+            "lake_tables".into(),
+            Content::Seq(
+                snapshot.tables.iter().map(|t| Content::Str(t.name().to_string())).collect(),
+            ),
+        ),
+    ];
+    match view {
+        QueryView::Table => {
+            fields.push(("table".into(), table_content(&snapshot.outcome.table)));
+        }
+        QueryView::Report => {
+            fields.push(("report".into(), report_content(snapshot)));
+        }
+        QueryView::Provenance => {
+            fields.push(("table".into(), provenance_content(snapshot)));
+        }
+    }
+    render(Content::Map(fields))
+}
+
+/// The integrated table as `{"columns": [...], "tuples": [...]}` with each
+/// tuple carrying its provenance ids and cells.
+fn table_content(table: &IntegratedTable) -> Content {
+    let columns: Vec<Content> = table.columns().iter().map(|c| Content::Str(c.clone())).collect();
+    let tuples: Vec<Content> = table
+        .tuples()
+        .iter()
+        .map(|tuple| {
+            Content::Map(vec![
+                ("tids".into(), tids_content(tuple)),
+                ("cells".into(), Content::Seq(tuple.values().iter().map(cell_content).collect())),
+            ])
+        })
+        .collect();
+    Content::Map(vec![
+        ("columns".into(), Content::Seq(columns)),
+        ("tuples".into(), Content::Seq(tuples)),
+    ])
+}
+
+/// Per-cell source attribution: which base tuples contributed a value to
+/// each integrated cell, derived from the integration schema's
+/// source-column mapping.  A source is attributed when its base table has a
+/// non-null cell in a column that maps to the integrated column — the base
+/// value itself may since have been rewritten to a group representative.
+fn provenance_content(snapshot: &ShardSnapshot) -> Content {
+    let table = &snapshot.outcome.table;
+    let index: std::collections::HashMap<&str, usize> =
+        snapshot.tables.iter().enumerate().map(|(i, t)| (t.name(), i)).collect();
+    let columns: Vec<Content> = table.columns().iter().map(|c| Content::Str(c.clone())).collect();
+    let tuples: Vec<Content> = table
+        .tuples()
+        .iter()
+        .map(|tuple| {
+            let cells: Vec<Content> = (0..table.columns().len())
+                .map(|col| {
+                    let mut sources = Vec::new();
+                    if let Some(schema) = &snapshot.schema {
+                        for tid in tuple.provenance().iter() {
+                            let Some(&t) = index.get(tid.table.as_str()) else { continue };
+                            let base = &snapshot.tables[t];
+                            for c in 0..base.num_columns() {
+                                if schema.integrated_column(t, c) == col
+                                    && !matches!(base.rows()[tid.row][c], Value::Null)
+                                {
+                                    sources.push(Content::Str(tid.to_string()));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Content::Map(vec![
+                        ("value".into(), cell_content(tuple.value(col))),
+                        ("sources".into(), Content::Seq(sources)),
+                    ])
+                })
+                .collect();
+            Content::Map(vec![
+                ("tids".into(), tids_content(tuple)),
+                ("cells".into(), Content::Seq(cells)),
+            ])
+        })
+        .collect();
+    Content::Map(vec![
+        ("columns".into(), Content::Seq(columns)),
+        ("tuples".into(), Content::Seq(tuples)),
+    ])
+}
+
+/// The deterministic counters of the latest integration, grouped by
+/// pipeline stage.  Durations and scheduler busy-nanos are deliberately
+/// absent (see the module docs); they live in `/stats`.
+fn report_content(snapshot: &ShardSnapshot) -> Content {
+    let report = &snapshot.outcome.report;
+    let blocking = &report.blocking;
+    let fd = &report.fd_stats;
+    let inc = &snapshot.outcome.incremental;
+    Content::Map(vec![
+        ("tables".into(), Content::U64(snapshot.tables.len() as u64)),
+        ("tuples".into(), Content::U64(snapshot.outcome.table.len() as u64)),
+        (
+            "pipeline".into(),
+            Content::Map(vec![
+                ("aligned_sets".into(), Content::U64(report.aligned_sets as u64)),
+                ("value_groups".into(), Content::U64(report.value_groups as u64)),
+                ("matched_groups".into(), Content::U64(report.matched_groups as u64)),
+                ("rewritten_cells".into(), Content::U64(report.rewritten_cells as u64)),
+            ]),
+        ),
+        (
+            "blocking".into(),
+            Content::Map(vec![
+                ("folds".into(), Content::U64(blocking.folds as u64)),
+                ("escalated_folds".into(), Content::U64(blocking.escalated_folds as u64)),
+                ("blocks".into(), Content::U64(blocking.blocks as u64)),
+                ("candidate_pairs".into(), Content::U64(blocking.candidate_pairs as u64)),
+                ("scored_pairs".into(), Content::U64(blocking.scored_pairs as u64)),
+                ("pruned_pairs".into(), Content::U64(blocking.pruned_pairs as u64)),
+                ("split_components".into(), Content::U64(blocking.split_components as u64)),
+                ("severed_pairs".into(), Content::U64(blocking.severed_pairs as u64)),
+                ("max_block_size".into(), Content::U64(blocking.max_block_size as u64)),
+            ]),
+        ),
+        (
+            "fd".into(),
+            Content::Map(vec![
+                ("input_tuples".into(), Content::U64(fd.input_tuples as u64)),
+                ("output_tuples".into(), Content::U64(fd.output_tuples as u64)),
+                ("components".into(), Content::U64(fd.components as u64)),
+                ("largest_component".into(), Content::U64(fd.largest_component as u64)),
+                ("reused_components".into(), Content::U64(fd.reused_components as u64)),
+            ]),
+        ),
+        (
+            "incremental".into(),
+            Content::Map(vec![
+                ("appended_tables".into(), Content::U64(inc.appended_tables as u64)),
+                ("refolded_sets".into(), Content::U64(inc.refolded_sets as u64)),
+                ("rebuilt_sets".into(), Content::U64(inc.rebuilt_sets as u64)),
+                ("reused_sets".into(), Content::U64(inc.reused_sets as u64)),
+                ("embed_hits".into(), Content::U64(inc.embed_hits)),
+                ("embed_misses".into(), Content::U64(inc.embed_misses)),
+            ]),
+        ),
+        (
+            "caches".into(),
+            Content::Map(vec![
+                ("embed_hits".into(), Content::U64(snapshot.embed_cache.0)),
+                ("embed_misses".into(), Content::U64(snapshot.embed_cache.1)),
+                ("fd_hits".into(), Content::U64(snapshot.fd_cache.0)),
+                ("fd_misses".into(), Content::U64(snapshot.fd_cache.1)),
+            ]),
+        ),
+    ])
+}
+
+/// Renders the `GET /health` body.
+pub fn health_body(shards: usize) -> String {
+    render(Content::Map(vec![
+        ("status".into(), Content::Str("ok".into())),
+        ("shards".into(), Content::U64(shards as u64)),
+    ]))
+}
+
+/// Renders the `202 Accepted` ingest acknowledgement.
+pub fn ingest_ack_body(group: &str, shard: usize, queued: usize) -> String {
+    render(Content::Map(vec![
+        ("status".into(), Content::Str("accepted".into())),
+        ("group".into(), Content::Str(group.to_string())),
+        ("shard".into(), Content::U64(shard as u64)),
+        ("queued".into(), Content::U64(queued as u64)),
+    ]))
+}
+
+/// Renders the `429 Too Many Requests` backpressure body.
+pub fn reject_body(group: &str, shard: usize, queued: usize, retry_after_secs: u32) -> String {
+    render(Content::Map(vec![
+        ("error".into(), Content::Str("shard queue full".into())),
+        ("group".into(), Content::Str(group.to_string())),
+        ("shard".into(), Content::U64(shard as u64)),
+        ("queued".into(), Content::U64(queued as u64)),
+        ("retry_after_secs".into(), Content::U64(u64::from(retry_after_secs))),
+    ]))
+}
+
+/// Renders a generic error body (`400`, `404`, `405`, `413`).
+pub fn error_body(message: &str) -> String {
+    render(Content::Map(vec![("error".into(), Content::Str(message.to_string()))]))
+}
+
+/// Renders the `GET /stats` body from per-shard statuses.
+///
+/// Unlike `/query`, this body includes scheduler aggregates
+/// ([`RuntimeStats`](lake_runtime::RuntimeStats) busy-nanos and steals from
+/// the latest integration per shard), which are timing-dependent — it is
+/// an observability surface, not a data surface.
+pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
+    let mut total_queued = 0u64;
+    let mut total_accepted = 0u64;
+    let mut total_rejected = 0u64;
+    let mut total_applied = 0u64;
+    let mut total_failed = 0u64;
+    let mut total_tables = 0u64;
+    let mut total_tuples = 0u64;
+    let mut runtime = lake_runtime::RuntimeStats::default();
+    let shards: Vec<Content> = statuses
+        .iter()
+        .map(|status| {
+            total_queued += status.queued as u64;
+            total_accepted += status.accepted;
+            total_rejected += status.rejected;
+            total_applied += status.applied;
+            total_failed += status.failed;
+            total_tables += status.snapshot.tables.len() as u64;
+            total_tuples += status.snapshot.outcome.table.len() as u64;
+            let last_runtime = status.snapshot.outcome.report.runtime();
+            runtime.merge(&last_runtime);
+            let inc = &status.snapshot.outcome.incremental;
+            Content::Map(vec![
+                ("id".into(), Content::U64(status.id as u64)),
+                ("queued".into(), Content::U64(status.queued as u64)),
+                ("busy".into(), Content::Bool(status.busy)),
+                ("accepted".into(), Content::U64(status.accepted)),
+                ("rejected".into(), Content::U64(status.rejected)),
+                ("applied".into(), Content::U64(status.applied)),
+                ("failed".into(), Content::U64(status.failed)),
+                ("version".into(), Content::U64(status.snapshot.version)),
+                ("lake_tables".into(), Content::U64(status.snapshot.tables.len() as u64)),
+                ("tuples".into(), Content::U64(status.snapshot.outcome.table.len() as u64)),
+                (
+                    "incremental".into(),
+                    Content::Map(vec![
+                        ("appended_tables".into(), Content::U64(inc.appended_tables as u64)),
+                        ("refolded_sets".into(), Content::U64(inc.refolded_sets as u64)),
+                        ("rebuilt_sets".into(), Content::U64(inc.rebuilt_sets as u64)),
+                        ("reused_sets".into(), Content::U64(inc.reused_sets as u64)),
+                    ]),
+                ),
+                (
+                    "runtime".into(),
+                    Content::Map(vec![
+                        ("tasks".into(), Content::U64(last_runtime.tasks)),
+                        ("steals".into(), Content::U64(last_runtime.steals)),
+                        ("busy_nanos".into(), Content::U64(last_runtime.busy_nanos())),
+                        (
+                            "sequential_batches".into(),
+                            Content::U64(last_runtime.sequential_batches),
+                        ),
+                    ]),
+                ),
+                (
+                    "caches".into(),
+                    Content::Map(vec![
+                        ("embed_hits".into(), Content::U64(status.snapshot.embed_cache.0)),
+                        ("embed_misses".into(), Content::U64(status.snapshot.embed_cache.1)),
+                        ("fd_hits".into(), Content::U64(status.snapshot.fd_cache.0)),
+                        ("fd_misses".into(), Content::U64(status.snapshot.fd_cache.1)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    render(Content::Map(vec![
+        (
+            "policy".into(),
+            Content::Map(vec![
+                ("shards".into(), Content::U64(policy.shards as u64)),
+                ("queue_depth".into(), Content::U64(policy.queue_depth as u64)),
+                ("readers".into(), Content::U64(policy.readers as u64)),
+                ("retry_after_secs".into(), Content::U64(u64::from(policy.retry_after_secs))),
+            ]),
+        ),
+        ("shards".into(), Content::Seq(shards)),
+        (
+            "totals".into(),
+            Content::Map(vec![
+                ("queued".into(), Content::U64(total_queued)),
+                ("accepted".into(), Content::U64(total_accepted)),
+                ("rejected".into(), Content::U64(total_rejected)),
+                ("applied".into(), Content::U64(total_applied)),
+                ("failed".into(), Content::U64(total_failed)),
+                ("lake_tables".into(), Content::U64(total_tables)),
+                ("tuples".into(), Content::U64(total_tuples)),
+                (
+                    "runtime".into(),
+                    Content::Map(vec![
+                        ("tasks".into(), Content::U64(runtime.tasks)),
+                        ("steals".into(), Content::U64(runtime.steals)),
+                        ("busy_nanos".into(), Content::U64(runtime.busy_nanos())),
+                        ("sequential_batches".into(), Content::U64(runtime.sequential_batches)),
+                    ]),
+                ),
+            ]),
+        ),
+    ]))
+}
+
+/// The tuple's provenance ids as a JSON array of `"table#row"` strings
+/// (already sorted — provenance is a `BTreeSet`).
+fn tids_content(tuple: &IntegratedTuple) -> Content {
+    Content::Seq(tuple.provenance().iter().map(|tid| Content::Str(tid.to_string())).collect())
+}
+
+/// A workspace [`Value`] as a JSON cell.  Non-finite floats (which JSON
+/// cannot represent and the workspace never produces from parsed input)
+/// degrade to `null` rather than poisoning a whole response.
+fn cell_content(value: &Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Text(s) => Content::Str(s.clone()),
+        Value::Int(i) => Content::I64(*i),
+        Value::Float(f) if f.is_finite() => Content::F64(*f),
+        Value::Float(_) => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+    }
+}
+
+/// Renders a [`Content`] tree compactly.  Infallible for the trees this
+/// module builds: the only encoder error is a non-finite float, which
+/// [`cell_content`] already maps to `null`.
+fn render(content: Content) -> String {
+    struct Raw(Content);
+    impl serde::Serialize for Raw {
+        fn to_content(&self) -> Content {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string(&Raw(content)).expect("wire content trees contain no non-finite floats")
+}
+
+#[cfg(test)]
+mod tests {
+    use lake_table::TableBuilder;
+
+    use super::*;
+
+    #[test]
+    fn ingest_body_round_trips() {
+        let table = TableBuilder::new("T1", ["City", "Cases"])
+            .row(["Berlin", "1.4M"])
+            .row(["Paris", "2.1M"])
+            .build()
+            .unwrap();
+        let body = ingest_body("covid", &table);
+        let parsed = parse_ingest(body.as_bytes()).unwrap();
+        assert_eq!(parsed.group, "covid");
+        assert_eq!(parsed.table.name(), "T1");
+        assert_eq!(parsed.table.schema().names(), table.schema().names());
+        assert_eq!(parsed.table.rows(), table.rows());
+    }
+
+    #[test]
+    fn ingest_cells_decode_typed_values() {
+        let body = r#"{"group":"g","table":{"name":"T","columns":["a","b","c","d"],
+            "rows":[[1,2.5,true,null],["x",-3,false,"y"]]}}"#;
+        let parsed = parse_ingest(body.as_bytes()).unwrap();
+        assert_eq!(parsed.table.rows()[0][0], Value::Int(1));
+        assert_eq!(parsed.table.rows()[0][1], Value::Float(2.5));
+        assert_eq!(parsed.table.rows()[0][2], Value::Bool(true));
+        assert_eq!(parsed.table.rows()[0][3], Value::Null);
+        assert_eq!(parsed.table.rows()[1][0], Value::Text("x".into()));
+        assert_eq!(parsed.table.rows()[1][1], Value::Int(-3));
+    }
+
+    #[test]
+    fn ingest_rejections_name_the_problem() {
+        for (body, needle) in [
+            (&b"not json"[..], "invalid JSON"),
+            (br#"{"table":{}}"#, "`group`"),
+            (br#"{"group":"g"}"#, "`table`"),
+            (br#"{"group":"g","table":{"name":"T","columns":[],"rows":[]}}"#, "columns"),
+            (br#"{"group":"g","table":{"name":"T","columns":["a"],"rows":[[1,2]]}}"#, "rows[0]"),
+            (br#"{"group":"g","table":{"name":"T","columns":["a"],"rows":[[{"x":1}]]}}"#, "cell"),
+        ] {
+            let err = parse_ingest(body).unwrap_err();
+            assert!(err.contains(needle), "error {err:?} does not mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn view_parsing_defaults_to_table() {
+        assert_eq!(QueryView::parse(None).unwrap(), QueryView::Table);
+        assert_eq!(QueryView::parse(Some("report")).unwrap(), QueryView::Report);
+        assert_eq!(QueryView::parse(Some("provenance")).unwrap(), QueryView::Provenance);
+        assert!(QueryView::parse(Some("nope")).is_err());
+    }
+
+    #[test]
+    fn bodies_are_reparseable_json() {
+        assert!(serde_json::from_str(&health_body(3)).is_ok());
+        assert!(serde_json::from_str(&ingest_ack_body("g", 1, 2)).is_ok());
+        assert!(serde_json::from_str(&reject_body("g", 1, 2, 1)).is_ok());
+        assert!(serde_json::from_str(&error_body("nope \"quoted\"")).is_ok());
+    }
+}

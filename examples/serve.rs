@@ -1,0 +1,66 @@
+//! Runs the sharded integration server on a local port.
+//!
+//! ```text
+//! cargo run --release --example serve -- --port 7070 --shards 2
+//! ```
+//!
+//! Then talk to it with any HTTP client (worked examples in
+//! `docs/PROTOCOL.md`, operational guidance in `docs/OPERATIONS.md`):
+//!
+//! ```text
+//! curl http://127.0.0.1:7070/health
+//! curl -X POST http://127.0.0.1:7070/ingest -d '{"group":"covid","table":{...}}'
+//! curl 'http://127.0.0.1:7070/query?group=covid&view=table'
+//! curl http://127.0.0.1:7070/stats
+//! ```
+//!
+//! The process serves until killed (Ctrl-C); shutdown-with-drain is
+//! exercised by the integration tests, which own their server handles.
+
+use std::net::SocketAddr;
+
+use datalake_fuzzy_fd::serve::{LakeServer, ServePolicy};
+
+fn main() {
+    let mut port: u16 = 7070;
+    let mut policy = ServePolicy::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+                .parse::<usize>()
+                .unwrap_or_else(|err| panic!("unparseable {what}: {err}"))
+        };
+        match flag.as_str() {
+            "--port" => port = take("--port") as u16,
+            "--shards" => policy.shards = take("--shards"),
+            "--queue-depth" => policy.queue_depth = take("--queue-depth"),
+            "--readers" => policy.readers = take("--readers"),
+            other => {
+                eprintln!("unknown flag {other}; known: --port --shards --queue-depth --readers");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(error) = policy.validate() {
+        eprintln!("invalid serve policy: {error}");
+        std::process::exit(2);
+    }
+
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("loopback address");
+    let server = match LakeServer::start_on(policy, addr) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("failed to start server: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("lake-serve listening on http://{}", server.addr());
+    println!(
+        "  shards={} queue_depth={} readers={}",
+        policy.shards, policy.queue_depth, policy.readers
+    );
+    println!("routes: POST /ingest  GET /query  GET /health  GET /stats");
+    server.wait();
+}

@@ -17,7 +17,9 @@
 //! * [`benchdata`] — benchmark generators;
 //! * [`metrics`] — evaluation metrics and reports;
 //! * [`runtime`] — the shared work-stealing scoped executor every parallel
-//!   site routes through.
+//!   site routes through;
+//! * [`serve`] — the sharded concurrent integration server (hand-rolled
+//!   HTTP/1.1 over `std::net`; see `docs/PROTOCOL.md`).
 //!
 //! ## Quickstart
 //!
@@ -53,5 +55,6 @@ pub use lake_fd as fd;
 pub use lake_metrics as metrics;
 pub use lake_runtime as runtime;
 pub use lake_schema_match as schema_match;
+pub use lake_serve as serve;
 pub use lake_table as table;
 pub use lake_text as text;

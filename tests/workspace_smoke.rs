@@ -1,7 +1,7 @@
 //! Workspace smoke test: the umbrella crate's re-exports resolve, and the
 //! `src/lib.rs` quickstart runs end to end.  This is the cheapest signal that
-//! the workspace wiring (all twelve crates plus the facade) is intact, so it
-//! is deliberately free of any fixtures or generators.
+//! the workspace wiring (all thirteen crates plus the facade) is intact, so
+//! it is deliberately free of any fixtures or generators.
 
 use datalake_fuzzy_fd::core::{FuzzyFdConfig, FuzzyFullDisjunction};
 use datalake_fuzzy_fd::table::TableBuilder;
@@ -25,6 +25,7 @@ fn facade_reexports_resolve() {
     let _benchdata = datalake_fuzzy_fd::benchdata::AutoJoinConfig::default();
     let _metrics = datalake_fuzzy_fd::metrics::PairSet::<u32>::default();
     let _runtime = datalake_fuzzy_fd::runtime::ParallelPolicy::default();
+    let _serve = datalake_fuzzy_fd::serve::ServePolicy::default();
 }
 
 /// The quickstart from the crate-level docs, as a plain test: two noisy city

@@ -1,15 +1,30 @@
-//! Offline stand-in for `serde_json`: renders the vendored serde [`Content`]
-//! tree as JSON text.  Only the encoding half the workspace uses is
-//! implemented (`to_string`, `to_string_pretty`).
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the two halves the workspace actually uses:
+//!
+//! * **Encoding** — renders the vendored serde [`Content`] tree as JSON
+//!   text (`to_string`, `to_string_pretty`).
+//! * **Decoding** — a recursive-descent parser ([`from_str`]) producing a
+//!   [`Value`] tree, added for the `lake-serve` wire protocol.  Unlike real
+//!   serde_json there is no typed `Deserialize` path (the vendored serde's
+//!   `Deserialize` is a marker trait); callers walk the [`Value`] with its
+//!   accessors instead.
+//!
+//! Divergences from the real crate, documented rather than hidden:
+//! [`Value::Object`] preserves insertion order in a `Vec` (real serde_json
+//! uses a map), and duplicate keys are kept as-is with `get` returning the
+//! first.  Round-tripping compact output through `from_str` + `to_string`
+//! is byte-stable, which `lake-serve`'s tests rely on.
 
 use std::fmt;
 
 use serde::{Content, Serialize};
 
-/// Serialization error.
+/// Serialization or parse error.
 ///
-/// The only failure the encoder can hit is a non-finite float, which JSON
-/// cannot represent (mirroring real serde_json's behaviour of rejecting them).
+/// Encoding can only fail on a non-finite float, which JSON cannot
+/// represent (mirroring real serde_json's behaviour of rejecting them);
+/// parsing reports the byte offset of the offending input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
@@ -121,6 +136,413 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// A parsed JSON document (the decoding counterpart of [`Content`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (integer or floating point, see [`Number`]).
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object.  Insertion-ordered (divergence from real serde_json's map);
+    /// duplicate keys are preserved and [`Value::get`] returns the first.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// `true` for JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number representable as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The unsigned payload, if this is a number representable as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object (first match); `None` for other shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => n.to_content(),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(entries) => {
+                Content::Map(entries.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+            }
+        }
+    }
+}
+
+/// A JSON number, preserving whether the literal was integral.
+///
+/// Integer literals without sign parse as unsigned, with a leading `-` as
+/// signed, and anything fractional/exponential (or overflowing 64 bits) as
+/// `f64` — the same classification real serde_json applies, so re-encoding
+/// a parsed number reproduces the original literal for compact output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(Repr);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Repr {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// The value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Repr::I(i) => Some(i),
+            Repr::U(u) => i64::try_from(u).ok(),
+            Repr::F(_) => None,
+        }
+    }
+
+    /// The value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Repr::I(i) => u64::try_from(i).ok(),
+            Repr::U(u) => Some(u),
+            Repr::F(_) => None,
+        }
+    }
+
+    /// The value widened to `f64` (lossy above 2^53, like the real crate).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            Repr::I(i) => i as f64,
+            Repr::U(u) => u as f64,
+            Repr::F(f) => f,
+        }
+    }
+
+    /// `true` when the literal was fractional or exponential.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, Repr::F(_))
+    }
+}
+
+impl Serialize for Number {
+    fn to_content(&self) -> Content {
+        match self.0 {
+            Repr::I(i) => Content::I64(i),
+            Repr::U(u) => Content::U64(u),
+            Repr::F(f) => Content::F64(f),
+        }
+    }
+}
+
+/// Nesting depth cap for the parser: the server feeds it untrusted request
+/// bodies, and unbounded recursion on `[[[[…` would overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document.
+///
+/// Accepts exactly one top-level value surrounded by optional whitespace;
+/// trailing garbage is an error.  Strings must be valid UTF-8 with standard
+/// escapes (including `\uXXXX` surrogate pairs).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("JSON nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.pos += 1; // consume '{'
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{0008}',
+            b'f' => '\u{000c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let unit = self.parse_hex4()?;
+                if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: must be followed by `\uXXXX` low half.
+                    if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                        return Err(self.err("unpaired surrogate escape"));
+                    }
+                    self.pos += 2;
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.err("invalid low surrogate escape"));
+                    }
+                    let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else if (0xDC00..0xE000).contains(&unit) {
+                    return Err(self.err("unpaired surrogate escape"));
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.err("invalid unicode escape"))?
+                }
+            }
+            _ => return Err(self.err("invalid escape character")),
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(self.err("expected digit in number"));
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let literal =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literals are ASCII");
+        if integral {
+            if negative {
+                if let Ok(i) = literal.parse::<i64>() {
+                    return Ok(Value::Number(Number(Repr::I(i))));
+                }
+            } else if let Ok(u) = literal.parse::<u64>() {
+                return Ok(Value::Number(Number(Repr::U(u))));
+            }
+        }
+        let f: f64 = literal.parse().map_err(|_| self.err("invalid number literal"))?;
+        if !f.is_finite() {
+            return Err(self.err("number literal overflows f64"));
+        }
+        Ok(Value::Number(Number(Repr::F(f))))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +579,71 @@ mod tests {
     fn floats_keep_fractional_marker() {
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(from_str("2e3").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(from_str("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parses_containers_and_get() {
+        let doc = from_str(r#"{"group":"g1","rows":[[1,"x",null],[2,"y",true]]}"#).unwrap();
+        assert_eq!(doc.get("group").and_then(Value::as_str), Some("g1"));
+        let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].as_array().unwrap()[0].as_i64(), Some(1));
+        assert!(rows[0].as_array().unwrap()[2].is_null());
+        assert_eq!(rows[1].as_array().unwrap()[2].as_bool(), Some(true));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        let doc = from_str(r#""a\"b\\c\n\t\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\"b\\c\n\tAé😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "nul",
+            "01x",
+            "\"unterminated",
+            "1 2",
+            "[1] extra",
+            "\"\\ud800\"",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(5000) + &"]".repeat(5000);
+        assert!(from_str(&deep).is_err());
+    }
+
+    #[test]
+    fn compact_output_reparses_byte_stable() {
+        let source = r#"{"a":[1,-2,3.5,"x\ny",null,true],"b":{"c":[]},"d":"é"}"#;
+        let parsed = from_str(source).unwrap();
+        let rendered = to_string(&parsed).unwrap();
+        assert_eq!(rendered, source);
+        assert_eq!(from_str(&rendered).unwrap(), parsed);
     }
 }
