@@ -1,0 +1,87 @@
+//! Criterion bench for the durable lake store: what durability costs on
+//! the serving write path, and what recovery costs after a restart.
+//!
+//! * `wal-append` — write-ahead logging throughput: a fresh store absorbs
+//!   the whole serving trace (frame + CRC + buffered write per record).
+//!   Runs under [`FsyncPolicy::Never`] so the series prices the logging
+//!   code path, not the container's fsync latency — the fsync-per-append
+//!   cost is visible in the serving baseline instead (every `202` in the
+//!   `serving` group pays one under the default policy).
+//! * `recovery-replay` — restart cost: open a store whose log holds the
+//!   full trace (half checkpointed into the manifest, half in the WAL
+//!   tail — the mixed shape a mid-cadence crash leaves) and replay it
+//!   into an [`IntegrationSession`] via [`restore_session`].
+//!
+//! The workload is the `lake_benchdata::serving` multi-tenant trace, the
+//! same arrivals the serving benches push through `/ingest`.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy_fd_core::{FuzzyFdConfig, IncrementalPolicy};
+use lake_benchdata::serving::{generate_serving_trace, ServingTrace, ServingTraceConfig};
+use lake_store::{restore_session, FsyncPolicy, LakeStore, StorePolicy};
+
+fn trace() -> ServingTrace {
+    generate_serving_trace(ServingTraceConfig {
+        tenants: 3,
+        tables_per_tenant: 2,
+        entities: 20,
+        seed: 0xD07A,
+    })
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lake-bench-durability-{}-{tag}", std::process::id()))
+}
+
+fn append_trace(store: &mut LakeStore, trace: &ServingTrace) {
+    for arrival in &trace.arrivals {
+        store.append(&arrival.tenant, &arrival.table, true).expect("append");
+    }
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let trace = trace();
+
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+
+    let append_dir = bench_dir("wal-append");
+    let no_fsync = StorePolicy { fsync: FsyncPolicy::Never, ..StorePolicy::default() };
+    group.bench_with_input(BenchmarkId::from_parameter("wal-append"), &trace, |b, trace| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&append_dir).ok();
+            let mut store = LakeStore::open(&append_dir, no_fsync).expect("open");
+            append_trace(&mut store, trace);
+            store.flush().expect("flush");
+            store.status().wal_bytes
+        })
+    });
+    std::fs::remove_dir_all(&append_dir).ok();
+
+    // Pre-populate once: half the trace checkpointed into the manifest,
+    // half left in the WAL tail, then bench the restart path over it.
+    let replay_dir = bench_dir("recovery-replay");
+    std::fs::remove_dir_all(&replay_dir).ok();
+    let mut store = LakeStore::open(&replay_dir, StorePolicy::default()).expect("open");
+    append_trace(&mut store, &trace);
+    store.checkpoint(trace.arrivals.len() as u64 / 2).expect("checkpoint");
+    drop(store);
+    group.bench_with_input(BenchmarkId::from_parameter("recovery-replay"), &trace, |b, trace| {
+        b.iter(|| {
+            let store = LakeStore::open(&replay_dir, StorePolicy::default()).expect("reopen");
+            assert_eq!(store.recovered().len(), trace.arrivals.len());
+            let session =
+                restore_session(&store, FuzzyFdConfig::default(), IncrementalPolicy::default())
+                    .expect("replay");
+            session.current().table.len()
+        })
+    });
+    std::fs::remove_dir_all(&replay_dir).ok();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

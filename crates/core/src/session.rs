@@ -155,6 +155,12 @@ pub struct IntegrationSession {
     /// be remapped when an append widens the schema.
     last_schema: Option<IntegrationSchema>,
     latest: Arc<IncrementalOutcome>,
+    /// Number of tables appended by each `add_tables` call, in call order
+    /// (the first entry is the `begin` batch).  The session is a pure,
+    /// deterministic function of these batch boundaries, which is what lets
+    /// `lake-store` restore a session — warmed caches included — by
+    /// replaying the same calls.
+    batch_sizes: Vec<usize>,
 }
 
 impl std::fmt::Debug for IntegrationSession {
@@ -196,6 +202,7 @@ impl IntegrationSession {
             sets: HashMap::new(),
             fd_cache: ComponentCache::with_capacity(policy.max_cached_components),
             last_schema: None,
+            batch_sizes: Vec::new(),
             latest: Arc::new(IncrementalOutcome {
                 table: lake_fd::IntegratedTable::new(Vec::new(), Vec::new()),
                 value_groups: Vec::new(),
@@ -263,6 +270,17 @@ impl IntegrationSession {
         self.fd_cache.stats()
     }
 
+    /// Number of tables appended by each `add_tables` call so far, in call
+    /// order; the first entry is the batch `begin` integrated (possibly 0).
+    ///
+    /// Together with [`tables`](Self::tables) this fully determines the
+    /// session: replaying the same tables with the same call boundaries
+    /// reproduces every outcome, cache counter and retained state exactly —
+    /// the contract `lake-store` snapshot/restore is built on.
+    pub fn batch_sizes(&self) -> &[usize] {
+        &self.batch_sizes
+    }
+
     /// Appends one table and re-integrates incrementally.
     pub fn add_table(&mut self, table: &Table) -> TableResult<IncrementalOutcome> {
         self.add_tables(std::slice::from_ref(table))
@@ -276,6 +294,7 @@ impl IntegrationSession {
     pub fn add_tables(&mut self, new_tables: &[Table]) -> TableResult<IncrementalOutcome> {
         let first_new = self.tables.len();
         self.tables.extend(new_tables.iter().cloned());
+        self.batch_sizes.push(new_tables.len());
         let (embed_hits_before, embed_misses_before) = self.embedder.stats();
 
         let alignment = align_by_headers(&self.tables);
@@ -600,6 +619,18 @@ mod tests {
         let batch = FuzzyFullDisjunction::default().integrate_by_headers(&tables).unwrap();
         assert_eq!(session.current().table, batch.table);
         assert_eq!(session.tables().len(), 3);
+    }
+
+    #[test]
+    fn batch_sizes_record_call_boundaries() {
+        let tables = figure1_tables();
+        let mut session =
+            IntegrationSession::begin(FuzzyFdConfig::default(), &tables[..2]).unwrap();
+        assert_eq!(session.batch_sizes(), &[2]);
+        session.add_table(&tables[2]).unwrap();
+        session.add_tables(&[]).unwrap();
+        assert_eq!(session.batch_sizes(), &[2, 1, 0]);
+        assert_eq!(session.batch_sizes().iter().sum::<usize>(), session.tables().len());
     }
 
     #[test]

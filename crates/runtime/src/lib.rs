@@ -27,7 +27,9 @@
 //! * [`spawn_service`] / [`ServiceHandle`] — named long-lived threads for
 //!   server-style components (accept loops, shard writers) that outlive the
 //!   call that started them; the only sanctioned way to obtain such a
-//!   thread outside this crate.
+//!   thread outside this crate.  [`spawn_periodic`] layers an
+//!   interruptible ticking loop on top for maintenance services (the
+//!   `lake-store` log flusher).
 //!
 //! The crate is dependency-free (std only, `std::sync` primitives — the
 //! build environment has no registry access) and sits below every other
@@ -40,5 +42,5 @@ pub mod stats;
 
 pub use executor::{run_round_robin, run_scope};
 pub use policy::ParallelPolicy;
-pub use service::{pause, spawn_service, ServiceHandle};
+pub use service::{pause, spawn_periodic, spawn_service, PeriodicHandle, ServiceHandle};
 pub use stats::RuntimeStats;

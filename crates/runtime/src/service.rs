@@ -17,6 +17,7 @@
 //! `std`), which is deliberate: an accept loop blocked on a socket would
 //! otherwise deadlock the dropping thread.
 
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -66,6 +67,65 @@ where
     ServiceHandle { name, handle }
 }
 
+/// Handle to a ticking service started by [`spawn_periodic`].
+///
+/// Dropping the handle without calling [`stop`](Self::stop) detaches the
+/// thread, which then ticks forever — same contract as [`ServiceHandle`].
+#[derive(Debug)]
+pub struct PeriodicHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: ServiceHandle,
+}
+
+impl PeriodicHandle {
+    /// The name the service was spawned with.
+    pub fn name(&self) -> &str {
+        self.handle.name()
+    }
+
+    /// Stops the loop (waking it immediately if it is mid-wait) and joins
+    /// the thread, propagating a panic from the tick body.
+    pub fn stop(self) {
+        let (lock, signal) = &*self.stop;
+        *lock.lock().expect("periodic stop flag poisoned") = true;
+        signal.notify_all();
+        self.handle.join();
+    }
+}
+
+/// Spawns a named service thread invoking `tick` every `interval` until
+/// [`PeriodicHandle::stop`] is called.
+///
+/// This is the sanctioned shape for background maintenance loops (e.g. the
+/// `lake-store` log flusher): the wait is interruptible, so stopping never
+/// has to ride out a full interval, and the final tick's effects are
+/// visible to the stopper because `stop` joins.
+pub fn spawn_periodic<F>(name: impl Into<String>, interval: Duration, mut tick: F) -> PeriodicHandle
+where
+    F: FnMut() + Send + 'static,
+{
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let shared = Arc::clone(&stop);
+    let handle = spawn_service(name, move || {
+        let (lock, signal) = &*shared;
+        let mut stopped = lock.lock().expect("periodic stop flag poisoned");
+        loop {
+            let (guard, wait) =
+                signal.wait_timeout(stopped, interval).expect("periodic stop flag poisoned");
+            stopped = guard;
+            if *stopped {
+                return;
+            }
+            if wait.timed_out() {
+                drop(stopped);
+                tick();
+                stopped = lock.lock().expect("periodic stop flag poisoned");
+            }
+        }
+    });
+    PeriodicHandle { stop, handle }
+}
+
 /// Puts the calling thread to sleep for `duration`.
 ///
 /// Exists so polling loops outside `crates/runtime` (which may not name the
@@ -99,6 +159,30 @@ mod tests {
         let handle = spawn_service("test-panic", || panic!("writer died"));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn periodic_service_ticks_until_stopped() {
+        let ticks = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&ticks);
+        let handle = spawn_periodic("test-ticker", Duration::from_millis(1), move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        while ticks.load(Ordering::SeqCst) < 3 {
+            pause(Duration::from_millis(1));
+        }
+        handle.stop();
+        let after_stop = ticks.load(Ordering::SeqCst);
+        pause(Duration::from_millis(10));
+        assert_eq!(ticks.load(Ordering::SeqCst), after_stop, "ticker kept running after stop");
+    }
+
+    #[test]
+    fn periodic_stop_does_not_wait_out_the_interval() {
+        let handle = spawn_periodic("test-slow-ticker", Duration::from_secs(3600), || {});
+        let start = std::time::Instant::now();
+        handle.stop();
+        assert!(start.elapsed() < Duration::from_secs(60), "stop rode out the interval");
     }
 
     #[test]

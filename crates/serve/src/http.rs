@@ -12,7 +12,6 @@
 //! cannot balloon a reader's memory.
 
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
 
 /// Maximum accepted size of the request line + headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -68,17 +67,27 @@ impl std::fmt::Display for HttpError {
 }
 
 /// Reads and parses one request from `stream`.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+///
+/// Generic over [`Read`] so the framing logic is unit-testable without a
+/// socket; the server instantiates it with a `TcpStream`.  The head scan
+/// resumes from the previous buffer tail (a terminator can only start in
+/// the last three bytes already seen), so a trickle-fed head costs O(n),
+/// and reads are capped so the head buffer never exceeds
+/// [`MAX_HEAD_BYTES`].
+pub fn read_request<S: Read>(stream: &mut S) -> Result<Request, HttpError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    let mut scanned = 0;
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
+        if let Some(pos) = find_head_end(&buf, scanned) {
             break pos;
         }
-        if buf.len() > MAX_HEAD_BYTES {
+        scanned = buf.len().saturating_sub(3);
+        if buf.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge("request head"));
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        let limit = chunk.len().min(MAX_HEAD_BYTES - buf.len());
+        let n = stream.read(&mut chunk[..limit]).map_err(HttpError::Io)?;
         if n == 0 {
             return Err(HttpError::BadRequest("connection closed mid-head".into()));
         }
@@ -112,9 +121,22 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         return Err(HttpError::BadRequest("chunked bodies are not supported".into()));
     }
 
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+    let mut declared_length: Option<&str> = None;
+    for (name, value) in &headers {
+        if name == "content-length" {
+            match declared_length {
+                Some(prev) if prev != value => {
+                    return Err(HttpError::BadRequest(
+                        "conflicting duplicate content-length headers".into(),
+                    ));
+                }
+                _ => declared_length = Some(value),
+            }
+        }
+    }
+    let content_length = match declared_length {
         None => 0,
-        Some((_, v)) => v
+        Some(v) => v
             .parse::<usize>()
             .map_err(|_| HttpError::BadRequest("unparseable content-length".into()))?,
     };
@@ -138,29 +160,38 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 }
 
 /// Index of the `\r\n\r\n` separator, if fully buffered.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+///
+/// `from` is how far previous scans already got; a terminator cannot start
+/// in a region that was fully scanned before, so rescans stay O(1) per new
+/// chunk instead of O(buffer).
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..].windows(4).position(|w| w == b"\r\n\r\n").map(|pos| pos + from)
 }
 
 /// Splits a request target into decoded path + query pairs.
+///
+/// `+`-as-space applies only to query keys and values
+/// (`application/x-www-form-urlencoded` convention); in the path component
+/// `+` is a literal character per RFC 3986.
 fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
-    let path = percent_decode(raw_path)?;
+    let path = percent_decode(raw_path, false)?;
     let mut query = Vec::new();
     if let Some(raw_query) = raw_query {
         for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-            query.push((percent_decode(k)?, percent_decode(v)?));
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
         }
     }
     Ok((path, query))
 }
 
-/// Decodes `%XX` escapes and `+`-as-space in a target component.
-fn percent_decode(s: &str) -> Result<String, HttpError> {
+/// Decodes `%XX` escapes in a target component; `+` becomes a space only
+/// when `plus_as_space` is set (query components, never the path).
+fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, HttpError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -175,7 +206,7 @@ fn percent_decode(s: &str) -> Result<String, HttpError> {
                 out.push(hex);
                 i += 3;
             }
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -250,6 +281,31 @@ fn reason_phrase(status: u16) -> &'static str {
 mod tests {
     use super::*;
 
+    /// A [`Read`] that hands out at most `step` bytes per call, simulating
+    /// a client trickling the request onto the socket.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+        reads: usize,
+    }
+
+    impl Trickle {
+        fn new(data: impl Into<Vec<u8>>, step: usize) -> Self {
+            Trickle { data: data.into(), pos: 0, step, reads: 0 }
+        }
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.reads += 1;
+            let n = self.step.min(self.data.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
     #[test]
     fn parses_targets() {
         let (path, query) = parse_target("/query?group=g%201&view=table&flag").unwrap();
@@ -267,7 +323,71 @@ mod tests {
 
     #[test]
     fn decodes_plus_and_percent() {
-        assert_eq!(percent_decode("a+b%2Fc").unwrap(), "a b/c");
+        assert_eq!(percent_decode("a+b%2Fc", true).unwrap(), "a b/c");
+        assert_eq!(percent_decode("a+b%2Fc", false).unwrap(), "a+b/c");
+    }
+
+    #[test]
+    fn plus_is_literal_in_paths_but_space_in_queries() {
+        let (path, query) = parse_target("/c++/docs?group=a+b&tag=c%2Bd").unwrap();
+        assert_eq!(path, "/c++/docs");
+        assert_eq!(query, vec![("group".into(), "a b".into()), ("tag".into(), "c+d".into())]);
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let raw = "POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!";
+        let err = read_request(&mut Trickle::new(raw, 4096)).unwrap_err();
+        assert!(
+            matches!(err, HttpError::BadRequest(ref m) if m.contains("content-length")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_are_tolerated() {
+        let raw = "POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi";
+        let request = read_request(&mut Trickle::new(raw, 4096)).unwrap();
+        assert_eq!(request.body, b"hi");
+    }
+
+    #[test]
+    fn slow_trickle_head_is_parsed_in_linear_passes() {
+        let filler = "x".repeat(8 * 1024);
+        let raw = format!("GET /health HTTP/1.1\r\nX-Filler: {filler}\r\nHost: t\r\n\r\n");
+        let mut stream = Trickle::new(raw.clone(), 1);
+        let request = read_request(&mut stream).unwrap();
+        assert_eq!(request.path, "/health");
+        assert_eq!(request.header("host"), Some("t"));
+        assert_eq!(stream.reads, raw.len());
+    }
+
+    #[test]
+    fn terminator_split_across_chunks_is_found() {
+        for step in [1, 2, 3, 5] {
+            let raw = "GET /q HTTP/1.1\r\nHost: t\r\n\r\n";
+            let request = read_request(&mut Trickle::new(raw, step)).unwrap();
+            assert_eq!(request.path, "/q");
+        }
+    }
+
+    #[test]
+    fn head_cap_is_enforced_exactly() {
+        // An unterminated head: the reader must give up with 431 once (and
+        // only once) MAX_HEAD_BYTES are buffered, never over-reading.
+        let raw = format!("GET /q HTTP/1.1\r\nX-Filler: {}", "y".repeat(2 * MAX_HEAD_BYTES));
+        let mut stream = Trickle::new(raw, 4096);
+        let err = read_request(&mut stream).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge("request head")), "{err}");
+        assert_eq!(stream.pos, MAX_HEAD_BYTES, "reader consumed bytes past the head cap");
+
+        // A head that fits exactly under the cap still parses, with the
+        // body following intact.
+        let head = "POST /ingest HTTP/1.1\r\nContent-Length: 4\r\nX-Pad: ";
+        let pad = "p".repeat(MAX_HEAD_BYTES - head.len() - 4);
+        let raw = format!("{head}{pad}\r\n\r\nbody");
+        let request = read_request(&mut Trickle::new(raw, 4096)).unwrap();
+        assert_eq!(request.body, b"body");
     }
 
     #[test]

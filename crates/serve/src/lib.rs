@@ -27,6 +27,19 @@
 //! connection, `Content-Length` framing, `Connection: close`.  All service
 //! threads come from [`lake_runtime::spawn_service`].
 //!
+//! ## Durability
+//!
+//! [`LakeServer::start_durable`] gives every shard a
+//! [`LakeStore`](lake_store::LakeStore) under `dir/shard-<i>`: an ingest
+//! is write-ahead logged *before* the `202` is written, so an
+//! acknowledged table survives `kill -9` (under the default
+//! fsync-per-append policy).  On restart each shard writer replays its
+//! log before draining new work — integration is deterministic, so the
+//! recovered `/query` bodies are byte-identical to an uninterrupted run.
+//! `/stats` grows a per-shard `durability` section (log size, fsyncs,
+//! checkpoints, buffer-pool counters, what recovery found); see
+//! `docs/OPERATIONS.md` for the recovery runbook.
+//!
 //! ## Routes
 //!
 //! | Route | Purpose |
@@ -76,6 +89,6 @@ pub mod wire;
 
 pub use client::{ClientError, QueryTarget, Reply, ServeClient};
 pub use policy::ServePolicy;
-pub use server::{LakeServer, ServeError, ServerHandle};
-pub use shard::{route_group, IngestJob, Shard, ShardSnapshot, ShardStatus};
+pub use server::{DurabilityPolicy, LakeServer, ServeError, ServerHandle};
+pub use shard::{route_group, IngestJob, IngestReject, Shard, ShardSnapshot, ShardStatus};
 pub use wire::QueryView;

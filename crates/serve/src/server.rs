@@ -22,16 +22,18 @@
 //! returns.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use fuzzy_fd_core::IntegrationSession;
-use lake_runtime::{pause, spawn_service, ServiceHandle};
+use lake_runtime::{pause, spawn_periodic, spawn_service, PeriodicHandle, ServiceHandle};
+use lake_store::{DurableOp, FsyncPolicy, LakeStore, StoreError, StorePolicy};
 
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::shard::{IngestJob, Shard, ShardSnapshot, ShardStatus};
+use crate::shard::{IngestJob, IngestReject, Shard, ShardSnapshot, ShardStatus};
 use crate::wire::{self, QueryView};
 use crate::ServePolicy;
 
@@ -48,6 +50,8 @@ pub enum ServeError {
     InvalidPolicy(String),
     /// Binding or configuring the listener failed.
     Io(std::io::Error),
+    /// Opening or recovering a shard's durable store failed.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -55,6 +59,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::InvalidPolicy(msg) => write!(f, "invalid serve policy: {msg}"),
             ServeError::Io(err) => write!(f, "server I/O error: {err}"),
+            ServeError::Store(err) => write!(f, "durable store error: {err}"),
         }
     }
 }
@@ -64,6 +69,54 @@ impl std::error::Error for ServeError {}
 impl From<std::io::Error> for ServeError {
     fn from(err: std::io::Error) -> Self {
         ServeError::Io(err)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(err: StoreError) -> Self {
+        ServeError::Store(err)
+    }
+}
+
+/// Durability configuration for [`LakeServer::start_durable`].
+///
+/// Each shard gets its own [`LakeStore`] in `dir/shard-<i>`; an ingest is
+/// appended to the shard's write-ahead log *before* it is acknowledged
+/// with `202`, so under [`FsyncPolicy::Always`] (the default) every
+/// acknowledged table survives `kill -9`.  On restart each shard writer
+/// replays its log before draining new work, reproducing the
+/// pre-crash `/query` bodies byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityPolicy {
+    /// Root directory; shard `i` stores under `dir/shard-<i>`.
+    pub dir: PathBuf,
+    /// Per-shard store policy (fsync cadence, buffer pool size,
+    /// checkpoint cadence).
+    pub store: StorePolicy,
+    /// How often the background flusher syncs the logs under
+    /// [`FsyncPolicy::Batched`] (ignored for `Always`/`Never`, which
+    /// need no flusher).
+    pub flush_interval: Duration,
+}
+
+impl DurabilityPolicy {
+    /// A durability policy rooted at `dir` with default store settings
+    /// (fsync on every append) and a 25 ms batched-flush interval.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityPolicy {
+            dir: dir.into(),
+            store: StorePolicy::default(),
+            flush_interval: Duration::from_millis(25),
+        }
+    }
+
+    /// Validates the policy (same contract as [`ServePolicy::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        self.store.validate()?;
+        if self.store.fsync == FsyncPolicy::Batched && self.flush_interval.is_zero() {
+            return Err("flush_interval must be positive under batched fsync".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -79,6 +132,38 @@ impl LakeServer {
 
     /// Starts a server bound to `addr`.
     pub fn start_on(policy: ServePolicy, addr: SocketAddr) -> Result<ServerHandle, ServeError> {
+        LakeServer::start_inner(policy, addr, None)
+    }
+
+    /// Starts a durable server on an OS-assigned loopback port: every
+    /// acknowledged ingest is write-ahead logged under `durability.dir`
+    /// and replayed on restart.
+    pub fn start_durable(
+        policy: ServePolicy,
+        durability: DurabilityPolicy,
+    ) -> Result<ServerHandle, ServeError> {
+        LakeServer::start_durable_on(
+            policy,
+            durability,
+            "127.0.0.1:0".parse().expect("loopback literal"),
+        )
+    }
+
+    /// Starts a durable server bound to `addr`.
+    pub fn start_durable_on(
+        policy: ServePolicy,
+        durability: DurabilityPolicy,
+        addr: SocketAddr,
+    ) -> Result<ServerHandle, ServeError> {
+        durability.validate().map_err(ServeError::InvalidPolicy)?;
+        LakeServer::start_inner(policy, addr, Some(durability))
+    }
+
+    fn start_inner(
+        policy: ServePolicy,
+        addr: SocketAddr,
+        durability: Option<DurabilityPolicy>,
+    ) -> Result<ServerHandle, ServeError> {
         policy.validate().map_err(ServeError::InvalidPolicy)?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -89,13 +174,20 @@ impl LakeServer {
                 .map(|id| {
                     let empty = IntegrationSession::begin(policy.integration, &[])
                         .expect("policy validated above");
-                    Arc::new(Shard::new(
-                        id,
-                        policy.queue_depth,
-                        ShardSnapshot::from_session(0, &empty),
-                    ))
+                    let initial = ShardSnapshot::from_session(0, &empty);
+                    let shard = match &durability {
+                        Some(durability) => {
+                            let store = LakeStore::open(
+                                &durability.dir.join(format!("shard-{id}")),
+                                durability.store,
+                            )?;
+                            Shard::new_durable(id, policy.queue_depth, initial, store)
+                        }
+                        None => Shard::new(id, policy.queue_depth, initial),
+                    };
+                    Ok(Arc::new(shard))
                 })
-                .collect(),
+                .collect::<Result<_, ServeError>>()?,
         );
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -127,6 +219,21 @@ impl LakeServer {
             })
             .collect();
 
+        // Batched fsync trades per-append syncs for a periodic group
+        // flush; `Always` and `Never` need no service thread.
+        let flusher = durability
+            .filter(|durability| durability.store.fsync == FsyncPolicy::Batched)
+            .map(|durability| {
+                let shards = Arc::clone(&shards);
+                spawn_periodic("serve-flush", durability.flush_interval, move || {
+                    for shard in shards.iter() {
+                        // A failed flush keeps the records in the log
+                        // buffer; the next tick (or writer exit) retries.
+                        let _ = shard.with_store(|store| store.flush().is_ok());
+                    }
+                })
+            });
+
         Ok(ServerHandle {
             addr: local_addr,
             shards,
@@ -134,6 +241,7 @@ impl LakeServer {
             acceptor: Some(acceptor),
             readers,
             writers,
+            flusher,
         })
     }
 }
@@ -148,6 +256,7 @@ pub struct ServerHandle {
     acceptor: Option<ServiceHandle>,
     readers: Vec<ServiceHandle>,
     writers: Vec<ServiceHandle>,
+    flusher: Option<PeriodicHandle>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -182,9 +291,14 @@ impl ServerHandle {
         for reader in self.readers.drain(..) {
             reader.join();
         }
+        if let Some(flusher) = self.flusher.take() {
+            flusher.stop();
+        }
         for shard in self.shards.iter() {
             shard.stop();
         }
+        // Each durable writer flushes and checkpoints its store on exit,
+        // so after `shutdown` the logs are compact and fully applied.
         for writer in self.writers.drain(..) {
             writer.join();
         }
@@ -268,14 +382,19 @@ fn handle_ingest(request: &Request, shards: &[Arc<Shard>], policy: &ServePolicy)
         Err(msg) => return Response::json(400, wire::error_body(&msg)),
     };
     let shard_id = crate::route_group(&parsed.group, shards.len());
-    let job = IngestJob { group: parsed.group.clone(), table: parsed.table };
+    let job = IngestJob { group: parsed.group.clone(), table: parsed.table, seq: None };
     match shards[shard_id].try_ingest(job) {
         Ok(queued) => Response::json(202, wire::ingest_ack_body(&parsed.group, shard_id, queued)),
-        Err(queued) => Response::json(
+        Err(IngestReject::QueueFull(queued)) => Response::json(
             429,
             wire::reject_body(&parsed.group, shard_id, queued, policy.retry_after_secs),
         )
         .with_retry_after(policy.retry_after_secs),
+        // The table could not be made durable, so it must not be
+        // acknowledged (a 202 is a durability promise on durable shards).
+        Err(IngestReject::Wal(msg)) => {
+            Response::json(500, wire::error_body(&format!("durable log append failed: {msg}")))
+        }
     }
 }
 
@@ -306,21 +425,77 @@ fn handle_query(request: &Request, shards: &[Arc<Shard>]) -> Response {
 
 /// Shard writer loop: owns the session, drains the queue, publishes
 /// snapshots.  Exits once stopped *and* drained.
+///
+/// On a durable shard the loop first replays the records the store
+/// recovered at open — the session is confined to this thread, so replay
+/// cannot happen in `start_inner`.  New ingests admitted during replay
+/// simply queue behind it; log order stays apply order.
 fn writer_loop(shard: Arc<Shard>, policy: ServePolicy) {
     let mut session =
         IntegrationSession::begin(policy.integration, &[]).expect("policy validated at start");
     let mut version = 0u64;
+
+    if shard.is_durable() {
+        let recovered = shard.with_store(LakeStore::take_recovered).unwrap_or_default();
+        let (mut applied, mut failed) = (0u64, 0u64);
+        for record in &recovered {
+            // The serving layer logs one Append per ingest; EmptyBatch
+            // records only appear in library-made snapshots.
+            if let DurableOp::Append { table, .. } = &record.op {
+                match session.add_table(table) {
+                    Ok(_) => {
+                        version += 1;
+                        applied += 1;
+                    }
+                    // Mirrors the live path below: an append that failed
+                    // integration before the crash fails identically on
+                    // replay (integration is deterministic).
+                    Err(_) => failed += 1,
+                }
+            }
+        }
+        shard.record_recovery(applied, failed);
+        // Publish even when nothing was recovered: a version-0 snapshot
+        // with durability counters signals recovery is complete.
+        shard.publish(ShardSnapshot::from_session(version, &session));
+    }
+
+    let checkpoint_every =
+        shard.with_store(|store| store.policy().checkpoint_every).unwrap_or(u64::MAX);
+    let mut since_checkpoint = 0u64;
     while let Some(job) = shard.next_job() {
-        match session.add_table(&job.table) {
+        let applied = match session.add_table(&job.table) {
             Ok(_) => {
                 version += 1;
                 shard.publish(ShardSnapshot::from_session(version, &session));
-                shard.finish_job(true);
+                true
             }
             // The ingest was acknowledged with 202 but cannot be applied
             // (e.g. a table-level error surfaced during integration); the
-            // failure is visible in `/stats` as `failed`.
-            Err(_) => shard.finish_job(false),
+            // failure is visible in `/stats` as `failed`.  Its log record
+            // stays — replay reproduces the same failure, keeping
+            // recovered state identical to live state.
+            Err(_) => false,
+        };
+        if let Some(seq) = job.seq {
+            since_checkpoint += 1;
+            if since_checkpoint >= checkpoint_every {
+                // A failed checkpoint is retried next round: the log still
+                // holds every record, so durability is not at risk.
+                if shard.with_store(|store| store.checkpoint(seq).is_ok()) == Some(true) {
+                    since_checkpoint = 0;
+                }
+            }
         }
+        shard.finish_job(applied);
     }
+
+    // Drained and stopping: leave a compact, fully-checkpointed store so
+    // the next start replays from segments instead of a long log tail.
+    let _ = shard.with_store(|store| {
+        let _ = store.flush();
+        if store.next_seq() > 0 {
+            let _ = store.checkpoint(store.next_seq() - 1);
+        }
+    });
 }

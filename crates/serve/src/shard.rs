@@ -18,6 +18,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use fuzzy_fd_core::{IncrementalOutcome, IntegrationSession};
 use lake_fd::IntegrationSchema;
+use lake_store::{LakeStore, StoreStatus};
 use lake_table::Table;
 
 /// Routes a table group to a shard by FNV-1a hash of the group name.
@@ -45,6 +46,20 @@ pub struct IngestJob {
     pub group: String,
     /// The table to append.
     pub table: Table,
+    /// Durable log sequence number, assigned at admission on durable
+    /// shards (`None` on in-memory shards).
+    pub seq: Option<u64>,
+}
+
+/// Why [`Shard::try_ingest`] refused a job.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IngestReject {
+    /// The bounded admission queue is at capacity; carries the current
+    /// depth for the `429` body.
+    QueueFull(usize),
+    /// The durable log append failed, so the ingest cannot be
+    /// acknowledged (`202` promises durability); carries the store error.
+    Wal(String),
 }
 
 /// An immutable, shareable view of a shard's lake at one version.
@@ -117,6 +132,9 @@ pub struct ShardStatus {
     pub applied: u64,
     /// Appends that failed integration (accepted but not applied).
     pub failed: u64,
+    /// Durability counters of the shard's store (`None` on in-memory
+    /// shards).
+    pub durability: Option<StoreStatus>,
     /// The published snapshot (version, sizes, stats).
     pub snapshot: ShardSnapshot,
 }
@@ -132,6 +150,10 @@ pub struct Shard {
     state: Mutex<QueueState>,
     work: Condvar,
     snapshot: RwLock<Arc<ShardSnapshot>>,
+    /// The shard's durable store, when serving durably.  Lock order is
+    /// `store` → `state`: admission holds the store lock across the log
+    /// append *and* the queue push so log order equals apply order.
+    store: Option<Mutex<LakeStore>>,
 }
 
 impl Shard {
@@ -144,7 +166,17 @@ impl Shard {
             state: Mutex::new(QueueState::default()),
             work: Condvar::new(),
             snapshot: RwLock::new(Arc::new(initial)),
+            store: None,
         }
+    }
+
+    /// Creates a durable shard: every admitted ingest is logged to
+    /// `store` before it is queued, and the writer replays the store's
+    /// recovered records before draining.
+    pub fn new_durable(id: usize, depth: usize, initial: ShardSnapshot, store: LakeStore) -> Self {
+        let mut shard = Shard::new(id, depth, initial);
+        shard.store = Some(Mutex::new(store));
+        shard
     }
 
     /// Shard index.
@@ -152,15 +184,54 @@ impl Shard {
         self.id
     }
 
+    /// Whether the shard logs ingests durably.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Runs `f` with exclusive access to the shard's store; `None` on
+    /// in-memory shards.  Used by the writer (recovery replay,
+    /// checkpoints) and the periodic flusher.
+    pub fn with_store<T>(&self, f: impl FnOnce(&mut LakeStore) -> T) -> Option<T> {
+        self.store.as_ref().map(|store| f(&mut store.lock().expect("shard store poisoned")))
+    }
+
     /// Admits `job` to the queue, or rejects it when the queue is full.
     ///
-    /// Returns the queue depth after admission; the error carries the
-    /// current depth for the 429 body.
-    pub fn try_ingest(&self, job: IngestJob) -> Result<usize, usize> {
+    /// On a durable shard the job is appended to the write-ahead log
+    /// before it is queued, under the store lock, so a `202` means the
+    /// table is durable (per the store's fsync policy) and log order is
+    /// exactly apply order.  A full queue is checked first — a rejected
+    /// ingest must leave no log record behind.
+    ///
+    /// Returns the queue depth after admission; the error carries either
+    /// the current depth (for the 429 body) or the log failure.
+    pub fn try_ingest(&self, mut job: IngestJob) -> Result<usize, IngestReject> {
+        let Some(store) = &self.store else { return self.admit(job) };
+        let mut store = store.lock().expect("shard store poisoned");
+        // Capacity pre-check: holding the store lock keeps it valid (every
+        // other durable admission needs this lock too; the writer only
+        // shrinks the queue).
+        {
+            let mut state = self.state.lock().expect("shard queue poisoned");
+            if state.jobs.len() >= self.depth {
+                state.rejected += 1;
+                return Err(IngestReject::QueueFull(state.jobs.len()));
+            }
+        }
+        let seq = store
+            .append(&job.group, &job.table, true)
+            .map_err(|err| IngestReject::Wal(err.to_string()))?;
+        job.seq = Some(seq);
+        self.admit(job)
+    }
+
+    /// Queue admission proper (capacity check + push + wake).
+    fn admit(&self, job: IngestJob) -> Result<usize, IngestReject> {
         let mut state = self.state.lock().expect("shard queue poisoned");
         if state.jobs.len() >= self.depth {
             state.rejected += 1;
-            return Err(state.jobs.len());
+            return Err(IngestReject::QueueFull(state.jobs.len()));
         }
         state.jobs.push_back(job);
         state.accepted += 1;
@@ -168,6 +239,16 @@ impl Shard {
         drop(state);
         self.work.notify_one();
         Ok(depth)
+    }
+
+    /// Folds a recovery replay into the shard's counters so `/stats`
+    /// stays coherent across restarts (`accepted == applied + failed +
+    /// queued` keeps holding).
+    pub fn record_recovery(&self, applied: u64, failed: u64) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        state.accepted += applied + failed;
+        state.applied += applied;
+        state.failed += failed;
     }
 
     /// Blocks until a job is available or shutdown is requested.
@@ -222,6 +303,7 @@ impl Shard {
     /// The current external view of this shard.
     pub fn status(&self) -> ShardStatus {
         let snapshot = self.read_snapshot();
+        let durability = self.with_store(|store| store.status());
         let state = self.state.lock().expect("shard queue poisoned");
         ShardStatus {
             id: self.id,
@@ -231,6 +313,7 @@ impl Shard {
             rejected: state.rejected,
             applied: state.applied,
             failed: state.failed,
+            durability,
             snapshot: (*snapshot).clone(),
         }
     }
@@ -249,7 +332,7 @@ mod tests {
 
     fn job(name: &str) -> IngestJob {
         let table = lake_table::TableBuilder::new(name, ["c"]).row(["v"]).build().unwrap();
-        IngestJob { group: "g".into(), table }
+        IngestJob { group: "g".into(), table, seq: None }
     }
 
     #[test]
@@ -272,7 +355,7 @@ mod tests {
         let shard = Shard::new(0, 2, empty_snapshot());
         assert_eq!(shard.try_ingest(job("a")), Ok(1));
         assert_eq!(shard.try_ingest(job("b")), Ok(2));
-        assert_eq!(shard.try_ingest(job("c")), Err(2));
+        assert_eq!(shard.try_ingest(job("c")), Err(IngestReject::QueueFull(2)));
         let status = shard.status();
         assert_eq!((status.accepted, status.rejected), (2, 1));
     }
@@ -286,6 +369,31 @@ mod tests {
         shard.finish_job(true);
         assert!(shard.next_job().is_none());
         assert_eq!(shard.status().applied, 1);
+    }
+
+    #[test]
+    fn durable_admission_logs_before_queueing_and_rejections_leave_no_record() {
+        let dir =
+            std::env::temp_dir().join(format!("lake-serve-shard-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = LakeStore::open(&dir, lake_store::StorePolicy::default()).unwrap();
+        let shard = Shard::new_durable(0, 2, empty_snapshot(), store);
+        assert!(shard.is_durable());
+
+        assert_eq!(shard.try_ingest(job("a")), Ok(1));
+        assert_eq!(shard.try_ingest(job("b")), Ok(2));
+        // Full queue: rejected *before* the log append, so no orphan record.
+        assert_eq!(shard.try_ingest(job("c")), Err(IngestReject::QueueFull(2)));
+        assert_eq!(shard.with_store(|s| s.next_seq()), Some(2));
+
+        // Jobs carry the log sequence they were admitted under, in order.
+        shard.stop();
+        assert_eq!(shard.next_job().unwrap().seq, Some(0));
+        shard.finish_job(true);
+        assert_eq!(shard.next_job().unwrap().seq, Some(1));
+        shard.finish_job(true);
+        assert!(shard.status().durability.is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -365,6 +365,8 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
     let mut total_tables = 0u64;
     let mut total_tuples = 0u64;
     let mut runtime = lake_runtime::RuntimeStats::default();
+    let mut durable = lake_store::StoreStatus::default();
+    let mut durable_shards = 0u64;
     let shards: Vec<Content> = statuses
         .iter()
         .map(|status| {
@@ -377,8 +379,21 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
             total_tuples += status.snapshot.outcome.table.len() as u64;
             let last_runtime = status.snapshot.outcome.report.runtime();
             runtime.merge(&last_runtime);
+            if let Some(store) = &status.durability {
+                durable_shards += 1;
+                durable.appends += store.appends;
+                durable.wal_records += store.wal_records;
+                durable.wal_bytes += store.wal_bytes;
+                durable.fsyncs += store.fsyncs;
+                durable.checkpoints += store.checkpoints;
+                durable.checkpointed_records += store.checkpointed_records;
+                durable.segment_blocks += store.segment_blocks;
+                durable.recovery.manifest_records += store.recovery.manifest_records;
+                durable.recovery.wal_records += store.recovery.wal_records;
+                durable.recovery.torn_bytes += store.recovery.torn_bytes;
+            }
             let inc = &status.snapshot.outcome.incremental;
-            Content::Map(vec![
+            let mut fields = vec![
                 ("id".into(), Content::U64(status.id as u64)),
                 ("queued".into(), Content::U64(status.queued as u64)),
                 ("busy".into(), Content::Bool(status.busy)),
@@ -419,9 +434,35 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
                         ("fd_misses".into(), Content::U64(status.snapshot.fd_cache.1)),
                     ]),
                 ),
-            ])
+            ];
+            if let Some(store) = &status.durability {
+                fields.push(("durability".into(), durability_content(store)));
+            }
+            Content::Map(fields)
         })
         .collect();
+    let mut totals = vec![
+        ("queued".into(), Content::U64(total_queued)),
+        ("accepted".into(), Content::U64(total_accepted)),
+        ("rejected".into(), Content::U64(total_rejected)),
+        ("applied".into(), Content::U64(total_applied)),
+        ("failed".into(), Content::U64(total_failed)),
+        ("lake_tables".into(), Content::U64(total_tables)),
+        ("tuples".into(), Content::U64(total_tuples)),
+        (
+            "runtime".into(),
+            Content::Map(vec![
+                ("tasks".into(), Content::U64(runtime.tasks)),
+                ("steals".into(), Content::U64(runtime.steals)),
+                ("busy_nanos".into(), Content::U64(runtime.busy_nanos())),
+                ("sequential_batches".into(), Content::U64(runtime.sequential_batches)),
+            ]),
+        ),
+    ];
+    if durable_shards > 0 {
+        totals.push(("durable_shards".into(), Content::U64(durable_shards)));
+        totals.push(("durability".into(), durability_content(&durable)));
+    }
     render(Content::Map(vec![
         (
             "policy".into(),
@@ -433,28 +474,37 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
             ]),
         ),
         ("shards".into(), Content::Seq(shards)),
+        ("totals".into(), Content::Map(totals)),
+    ]))
+}
+
+/// One store's durability counters as a `/stats` JSON object.
+fn durability_content(store: &lake_store::StoreStatus) -> Content {
+    Content::Map(vec![
+        ("appends".into(), Content::U64(store.appends)),
+        ("wal_records".into(), Content::U64(store.wal_records)),
+        ("wal_bytes".into(), Content::U64(store.wal_bytes)),
+        ("fsyncs".into(), Content::U64(store.fsyncs)),
+        ("checkpoints".into(), Content::U64(store.checkpoints)),
+        ("checkpointed_records".into(), Content::U64(store.checkpointed_records)),
+        ("segment_blocks".into(), Content::U64(store.segment_blocks)),
         (
-            "totals".into(),
+            "pool".into(),
             Content::Map(vec![
-                ("queued".into(), Content::U64(total_queued)),
-                ("accepted".into(), Content::U64(total_accepted)),
-                ("rejected".into(), Content::U64(total_rejected)),
-                ("applied".into(), Content::U64(total_applied)),
-                ("failed".into(), Content::U64(total_failed)),
-                ("lake_tables".into(), Content::U64(total_tables)),
-                ("tuples".into(), Content::U64(total_tuples)),
-                (
-                    "runtime".into(),
-                    Content::Map(vec![
-                        ("tasks".into(), Content::U64(runtime.tasks)),
-                        ("steals".into(), Content::U64(runtime.steals)),
-                        ("busy_nanos".into(), Content::U64(runtime.busy_nanos())),
-                        ("sequential_batches".into(), Content::U64(runtime.sequential_batches)),
-                    ]),
-                ),
+                ("hits".into(), Content::U64(store.pool.hits)),
+                ("misses".into(), Content::U64(store.pool.misses)),
+                ("evictions".into(), Content::U64(store.pool.evictions)),
             ]),
         ),
-    ]))
+        (
+            "recovery".into(),
+            Content::Map(vec![
+                ("manifest_records".into(), Content::U64(store.recovery.manifest_records)),
+                ("wal_records".into(), Content::U64(store.recovery.wal_records)),
+                ("torn_bytes".into(), Content::U64(store.recovery.torn_bytes)),
+            ]),
+        ),
+    ])
 }
 
 /// The tuple's provenance ids as a JSON array of `"table#row"` strings

@@ -1,0 +1,181 @@
+//! Pinned-page buffer pool over a [`FileManager`].
+//!
+//! Segment reads go through a small pool of in-memory frames so folds over
+//! lakes larger than RAM page cleanly: at most `capacity` blocks are
+//! resident at once, readers **pin** the frame they are copying out of and
+//! unpin it when done, and loading into a full pool evicts the
+//! least-recently-used *unpinned* frame.  Segments are immutable once
+//! written (append-only format), so eviction never writes back — a frame
+//! is always a clean copy of its block.
+
+use std::collections::HashMap;
+
+use crate::error::{StoreError, StoreResult};
+use crate::file::{FileManager, BLOCK_SIZE};
+
+/// Cumulative buffer-pool counters, surfaced through
+/// [`StoreStatus`](crate::StoreStatus) and `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Pins that had to load the block from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    data: Box<[u8]>,
+    pins: u32,
+    last_used: u64,
+}
+
+/// A fixed-capacity pool of block frames with pin counts and LRU eviction.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<u64, Frame>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a validated
+    /// [`StorePolicy`](crate::StorePolicy) cannot produce one).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        BufferPool { capacity, frames: HashMap::new(), tick: 0, stats: PoolStats::default() }
+    }
+
+    /// Configured capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Block ids currently resident, sorted (test/diagnostic aid).
+    pub fn resident(&self) -> Vec<u64> {
+        let mut blocks: Vec<u64> = self.frames.keys().copied().collect();
+        blocks.sort_unstable();
+        blocks
+    }
+
+    /// Pins `block`, loading it from `file` if it is not resident, and
+    /// returns its frame contents.  The caller must [`unpin`](Self::unpin)
+    /// the block once done with the returned slice.
+    ///
+    /// Fails with [`StoreError::PoolExhausted`] when the block is absent
+    /// and every frame is pinned.
+    pub fn pin(&mut self, file: &mut FileManager, block: u64) -> StoreResult<&[u8]> {
+        self.tick += 1;
+        if self.frames.contains_key(&block) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.frames.len() >= self.capacity {
+                self.evict()?;
+            }
+            let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+            file.read_block(block, &mut data)?;
+            self.frames.insert(block, Frame { data, pins: 0, last_used: 0 });
+        }
+        let frame = self.frames.get_mut(&block).expect("frame resident after load");
+        frame.pins += 1;
+        frame.last_used = self.tick;
+        Ok(&frame.data)
+    }
+
+    /// Releases one pin on `block`.
+    ///
+    /// # Panics
+    /// Panics on a pin/unpin imbalance — that is a store bug, not an I/O
+    /// condition.
+    pub fn unpin(&mut self, block: u64) {
+        let frame = self.frames.get_mut(&block).expect("unpin of a non-resident block");
+        assert!(frame.pins > 0, "unpin of an unpinned block");
+        frame.pins -= 1;
+    }
+
+    /// Evicts the least-recently-used unpinned frame.
+    fn evict(&mut self) -> StoreResult<()> {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, frame)| frame.pins == 0)
+            .min_by_key(|(_, frame)| frame.last_used)
+            .map(|(block, _)| *block);
+        match victim {
+            Some(block) => {
+                self.frames.remove(&block);
+                self.stats.evictions += 1;
+                Ok(())
+            }
+            None => Err(StoreError::PoolExhausted { capacity: self.capacity }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_file(tag: &str, blocks: u8) -> FileManager {
+        let dir = crate::test_dir(tag);
+        let mut file = FileManager::open(&dir.join("blocks")).unwrap();
+        for fill in 0..blocks {
+            file.append(&vec![fill; BLOCK_SIZE]).unwrap();
+        }
+        file
+    }
+
+    #[test]
+    fn pins_are_served_from_resident_frames() {
+        let mut file = block_file("pool-hit", 2);
+        let mut pool = BufferPool::new(2);
+        assert_eq!(pool.pin(&mut file, 0).unwrap()[0], 0);
+        pool.unpin(0);
+        assert_eq!(pool.pin(&mut file, 0).unwrap()[0], 0);
+        pool.unpin(0);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn eviction_is_lru_over_unpinned_frames() {
+        let mut file = block_file("pool-lru", 4);
+        let mut pool = BufferPool::new(2);
+        for block in [0, 1] {
+            pool.pin(&mut file, block).unwrap();
+            pool.unpin(block);
+        }
+        // Touch 0 so 1 becomes the LRU; loading 2 must evict 1.
+        pool.pin(&mut file, 0).unwrap();
+        pool.unpin(0);
+        pool.pin(&mut file, 2).unwrap();
+        pool.unpin(2);
+        assert_eq!(pool.resident(), vec![0, 2]);
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let mut file = block_file("pool-pinned", 3);
+        let mut pool = BufferPool::new(2);
+        pool.pin(&mut file, 0).unwrap(); // stays pinned
+        pool.pin(&mut file, 1).unwrap();
+        pool.unpin(1);
+        pool.pin(&mut file, 2).unwrap(); // must evict 1, not pinned 0
+        assert!(pool.resident().contains(&0));
+        assert!(!pool.resident().contains(&1));
+        let err = pool.pin(&mut file, 1).unwrap_err();
+        assert!(matches!(err, StoreError::PoolExhausted { capacity: 2 }), "{err}");
+    }
+}

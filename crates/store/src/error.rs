@@ -1,0 +1,76 @@
+//! Store error type, carrying enough context to tell apart "the disk
+//! failed" from "the bytes on disk are not what we wrote".
+
+use std::io;
+
+use lake_table::TableError;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// How a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// On-disk bytes failed validation (bad magic, CRC mismatch, truncated
+    /// structure) somewhere a torn tail cannot explain.  `context` names
+    /// the structure being decoded.
+    Corrupt {
+        /// Which durable structure was being decoded.
+        context: &'static str,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A table-layer failure while decoding or replaying (e.g. a schema
+    /// rejected by `lake-table`).
+    Table(TableError),
+    /// A [`StorePolicy`](crate::StorePolicy) that cannot be honoured.
+    InvalidPolicy(String),
+    /// Every buffer-pool frame is pinned; the pool is too small for the
+    /// concurrent pin set.
+    PoolExhausted {
+        /// Configured pool capacity in pages.
+        capacity: usize,
+    },
+    /// A snapshot request the store cannot represent (e.g. snapshotting
+    /// into a store that already holds records).
+    Snapshot(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store i/o error: {err}"),
+            StoreError::Corrupt { context, detail } => write!(f, "corrupt {context}: {detail}"),
+            StoreError::Table(err) => write!(f, "table error: {err}"),
+            StoreError::InvalidPolicy(msg) => write!(f, "invalid store policy: {msg}"),
+            StoreError::PoolExhausted { capacity } => {
+                write!(f, "buffer pool exhausted: all {capacity} frames pinned")
+            }
+            StoreError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Table(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+impl From<TableError> for StoreError {
+    fn from(err: TableError) -> Self {
+        StoreError::Table(err)
+    }
+}

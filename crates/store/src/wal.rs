@@ -1,0 +1,298 @@
+//! Write-ahead log with torn-tail-tolerant recovery.
+//!
+//! Frames are `[payload_len: u32][crc32: u32][payload]`, appended
+//! sequentially.  A crash mid-append leaves a *torn tail*: a frame whose
+//! length field overruns the file or whose CRC does not match.  Recovery
+//! ([`scan`]) keeps every frame up to the first tear and drops the rest —
+//! a torn frame was by definition never fsync-acknowledged, so dropping it
+//! is the correct outcome, never a data loss.  Opening the log truncates
+//! the tear so appends resume on a clean frame boundary.
+//!
+//! Durability cadence is the [`FsyncPolicy`]: `Always` fsyncs inside every
+//! append (ack ⇒ durable), `Batched` leaves fsync to explicit
+//! [`flush`](Wal::flush) calls (the serving layer drives one from a
+//! `lake-runtime` periodic service), `Never` leaves it to the OS.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::crc32;
+use crate::error::{StoreError, StoreResult};
+
+/// When the log forces appended frames to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync inside every append: an acknowledged append is durable.  The
+    /// default, and the policy the serving layer's 202-implies-durable
+    /// contract requires.
+    #[default]
+    Always,
+    /// Fsync only on explicit [`flush`](Wal::flush) calls; a crash may lose
+    /// appends acknowledged since the last flush (they are still torn-tail
+    /// safe: lost entirely, never half-applied).
+    Batched,
+    /// Never fsync appends (checkpoints still fsync); fastest, weakest.
+    Never,
+}
+
+/// Result of scanning a log file: the intact frame payloads in append
+/// order, plus where the intact prefix ends.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Payloads of every intact frame, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the intact prefix (where the next append belongs).
+    pub valid_bytes: u64,
+    /// Bytes dropped after the intact prefix (torn tail), 0 on a clean log.
+    pub torn_bytes: u64,
+}
+
+/// Scans the log at `path`.  A missing file is an empty log.
+pub fn scan(path: &Path) -> StoreResult<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(err) => return Err(StoreError::Io(err)),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let Some(end) = (pos + 8).checked_add(len) else { break };
+        if end > bytes.len() {
+            break; // length field overruns the file: torn mid-payload
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            break; // torn mid-frame (or bit rot at the tail)
+        }
+        records.push(payload.to_vec());
+        pos = end;
+    }
+    Ok(WalScan { records, valid_bytes: pos as u64, torn_bytes: (bytes.len() - pos) as u64 })
+}
+
+/// An open write-ahead log positioned after its intact prefix.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+    bytes: u64,
+    records: u64,
+    appends: u64,
+    fsyncs: u64,
+}
+
+impl Wal {
+    /// Opens the log at `path`, truncating everything past `valid_bytes`
+    /// (the torn tail found by [`scan`]) so appends resume cleanly.
+    /// `records` is the intact frame count from the same scan.
+    pub fn open(
+        path: &Path,
+        policy: FsyncPolicy,
+        valid_bytes: u64,
+        records: u64,
+    ) -> StoreResult<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        file.set_len(valid_bytes)?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            policy,
+            bytes: valid_bytes,
+            records,
+            appends: 0,
+            fsyncs: 0,
+        })
+    }
+
+    /// Appends one frame; under [`FsyncPolicy::Always`] it is durable when
+    /// this returns.
+    pub fn append(&mut self, payload: &[u8]) -> StoreResult<()> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len()).expect("payload over 4 GiB").to_le_bytes(),
+        );
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.seek(SeekFrom::Start(self.bytes))?;
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        self.appends += 1;
+        if self.policy == FsyncPolicy::Always {
+            self.file.sync_data()?;
+            self.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Forces appended frames to stable storage (no-op under
+    /// [`FsyncPolicy::Never`]).
+    pub fn flush(&mut self) -> StoreResult<()> {
+        if self.policy != FsyncPolicy::Never {
+            self.file.sync_data()?;
+            self.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces the log contents with `payloads` (checkpoint
+    /// compaction): writes a sibling temp file, fsyncs it, renames it over
+    /// the log and fsyncs the directory.  Always durable, regardless of
+    /// the fsync policy — a checkpoint that is not durable is not a
+    /// checkpoint.
+    pub fn rewrite(&mut self, payloads: &[&[u8]]) -> StoreResult<()> {
+        let tmp_path = self.path.with_extension("tmp");
+        let mut tmp = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp_path)?;
+        let mut bytes = 0u64;
+        for payload in payloads {
+            let mut frame = Vec::with_capacity(payload.len() + 8);
+            frame.extend_from_slice(
+                &u32::try_from(payload.len()).expect("payload over 4 GiB").to_le_bytes(),
+            );
+            frame.extend_from_slice(&crc32(payload).to_le_bytes());
+            frame.extend_from_slice(payload);
+            tmp.write_all(&frame)?;
+            bytes += frame.len() as u64;
+        }
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+        sync_parent_dir(&self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.bytes = bytes;
+        self.records = payloads.len() as u64;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Current log length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Frames currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends performed through this handle.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Fsyncs performed through this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+}
+
+/// Fsyncs the directory containing `path`, making a rename durable.
+pub(crate) fn sync_parent_dir(path: &Path) -> StoreResult<()> {
+    if let Some(parent) = path.parent() {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_fresh(tag: &str) -> (PathBuf, Wal) {
+        let path = crate::test_dir(tag).join("wal");
+        let wal = Wal::open(&path, FsyncPolicy::Always, 0, 0).unwrap();
+        (path, wal)
+    }
+
+    #[test]
+    fn appended_frames_scan_back_in_order() {
+        let (path, mut wal) = open_fresh("wal-roundtrip");
+        for payload in [b"alpha".as_slice(), b"", b"gamma-gamma"] {
+            wal.append(payload).unwrap();
+        }
+        assert_eq!(wal.records(), 3);
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records, vec![b"alpha".to_vec(), Vec::new(), b"gamma-gamma".to_vec()]);
+        assert_eq!(scanned.valid_bytes, wal.bytes());
+        assert_eq!(scanned.torn_bytes, 0);
+    }
+
+    #[test]
+    fn missing_and_empty_logs_scan_empty() {
+        let dir = crate::test_dir("wal-empty");
+        let missing = scan(&dir.join("nope")).unwrap();
+        assert_eq!((missing.records.len(), missing.valid_bytes, missing.torn_bytes), (0, 0, 0));
+        std::fs::write(dir.join("wal"), b"").unwrap();
+        let empty = scan(&dir.join("wal")).unwrap();
+        assert_eq!((empty.records.len(), empty.valid_bytes, empty.torn_bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn torn_tails_are_dropped_at_every_cut_point() {
+        let (path, mut wal) = open_fresh("wal-torn");
+        wal.append(b"first-record").unwrap();
+        let keep = wal.bytes();
+        wal.append(b"second-record").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut the file anywhere inside the second frame: scan must return
+        // exactly the first record.
+        for cut in keep as usize + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scanned = scan(&path).unwrap();
+            assert_eq!(scanned.records.len(), 1, "cut at {cut}");
+            assert_eq!(scanned.valid_bytes, keep, "cut at {cut}");
+            assert_eq!(scanned.torn_bytes, cut as u64 - keep, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn log_with_only_a_torn_tail_recovers_to_empty() {
+        let dir = crate::test_dir("wal-only-torn");
+        let path = dir.join("wal");
+        // A length field promising more bytes than the file holds.
+        std::fs::write(&path, 1_000_000u32.to_le_bytes()).unwrap();
+        let scanned = scan(&path).unwrap();
+        assert!(scanned.records.is_empty());
+        assert_eq!(scanned.valid_bytes, 0);
+        assert_eq!(scanned.torn_bytes, 4);
+        // Opening truncates the tear; the next append then scans cleanly.
+        let mut wal = Wal::open(&path, FsyncPolicy::Always, scanned.valid_bytes, 0).unwrap();
+        wal.append(b"fresh").unwrap();
+        assert_eq!(scan(&path).unwrap().records, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_scan() {
+        let (path, mut wal) = open_fresh("wal-crc");
+        wal.append(b"aaaa").unwrap();
+        wal.append(b"bbbb").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // flip last payload byte of record 2
+        std::fs::write(&path, &bytes).unwrap();
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records, vec![b"aaaa".to_vec()]);
+        assert!(scanned.torn_bytes > 0);
+    }
+
+    #[test]
+    fn rewrite_compacts_and_survives_rescan() {
+        let (path, mut wal) = open_fresh("wal-rewrite");
+        for payload in [b"one".as_slice(), b"two", b"three"] {
+            wal.append(payload).unwrap();
+        }
+        wal.rewrite(&[b"three"]).unwrap();
+        assert_eq!(wal.records(), 1);
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records, vec![b"three".to_vec()]);
+        // Appends continue after the compacted prefix.
+        wal.append(b"four").unwrap();
+        assert_eq!(scan(&path).unwrap().records.len(), 2);
+    }
+}

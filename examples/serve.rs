@@ -4,6 +4,11 @@
 //! cargo run --release --example serve -- --port 7070 --shards 2
 //! ```
 //!
+//! Pass `--store-dir <path>` to run durably: every acknowledged ingest
+//! is write-ahead logged under the directory before the `202`, and a
+//! restart over the same directory replays the log and serves the same
+//! `/query` bytes (`docs/OPERATIONS.md` has the recovery runbook).
+//!
 //! Then talk to it with any HTTP client (worked examples in
 //! `docs/PROTOCOL.md`, operational guidance in `docs/OPERATIONS.md`):
 //!
@@ -19,11 +24,12 @@
 
 use std::net::SocketAddr;
 
-use datalake_fuzzy_fd::serve::{LakeServer, ServePolicy};
+use datalake_fuzzy_fd::serve::{DurabilityPolicy, LakeServer, ServePolicy};
 
 fn main() {
     let mut port: u16 = 7070;
     let mut policy = ServePolicy::default();
+    let mut store_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |what: &str| {
@@ -37,8 +43,14 @@ fn main() {
             "--shards" => policy.shards = take("--shards"),
             "--queue-depth" => policy.queue_depth = take("--queue-depth"),
             "--readers" => policy.readers = take("--readers"),
+            "--store-dir" => {
+                store_dir =
+                    Some(args.next().unwrap_or_else(|| panic!("--store-dir requires a value")))
+            }
             other => {
-                eprintln!("unknown flag {other}; known: --port --shards --queue-depth --readers");
+                eprintln!(
+                    "unknown flag {other}; known: --port --shards --queue-depth --readers --store-dir"
+                );
                 std::process::exit(2);
             }
         }
@@ -49,7 +61,11 @@ fn main() {
     }
 
     let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("loopback address");
-    let server = match LakeServer::start_on(policy, addr) {
+    let started = match &store_dir {
+        Some(dir) => LakeServer::start_durable_on(policy, DurabilityPolicy::at(dir), addr),
+        None => LakeServer::start_on(policy, addr),
+    };
+    let server = match started {
         Ok(server) => server,
         Err(error) => {
             eprintln!("failed to start server: {error}");
@@ -57,10 +73,16 @@ fn main() {
         }
     };
     println!("lake-serve listening on http://{}", server.addr());
-    println!(
-        "  shards={} queue_depth={} readers={}",
-        policy.shards, policy.queue_depth, policy.readers
-    );
+    match &store_dir {
+        Some(dir) => println!(
+            "  shards={} queue_depth={} readers={} store_dir={dir}",
+            policy.shards, policy.queue_depth, policy.readers
+        ),
+        None => println!(
+            "  shards={} queue_depth={} readers={}",
+            policy.shards, policy.queue_depth, policy.readers
+        ),
+    }
     println!("routes: POST /ingest  GET /query  GET /health  GET /stats");
     server.wait();
 }

@@ -19,7 +19,9 @@
 //! * [`runtime`] — the shared work-stealing scoped executor every parallel
 //!   site routes through;
 //! * [`serve`] — the sharded concurrent integration server (hand-rolled
-//!   HTTP/1.1 over `std::net`; see `docs/PROTOCOL.md`).
+//!   HTTP/1.1 over `std::net`; see `docs/PROTOCOL.md`);
+//! * [`store`] — the durable lake store (write-ahead log, paged column
+//!   segments, buffer pool, session snapshot/restore by replay).
 //!
 //! ## Quickstart
 //!
@@ -56,5 +58,6 @@ pub use lake_metrics as metrics;
 pub use lake_runtime as runtime;
 pub use lake_schema_match as schema_match;
 pub use lake_serve as serve;
+pub use lake_store as store;
 pub use lake_table as table;
 pub use lake_text as text;

@@ -268,6 +268,81 @@ fn malformed_requests_return_4xx_without_killing_the_worker() {
     server.shutdown();
 }
 
+#[test]
+fn plus_signs_and_duplicate_content_lengths_over_a_raw_socket() {
+    let policy = ServePolicy { shards: 4, readers: 1, ..ServePolicy::default() };
+    let server = LakeServer::start(policy).expect("server starts");
+    let addr = server.addr();
+
+    // RFC 3986: `+` is a literal in paths.  An unknown route containing a
+    // plus parses cleanly and 404s — it is not a 400 and not `/c  /docs`.
+    let reply = raw_socket(addr, b"GET /c++/docs HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 404"), "got: {reply}");
+
+    // In the query string `+` *is* a space, so a group literally named
+    // "a+b" must travel as `a%2Bb`; a raw `a+b` resolves group "a b".
+    // The `shard` field of the query body exposes which group routed.
+    let plus = raw_socket(
+        addr,
+        b"GET /query?group=a%2Bb&view=report HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    );
+    let space =
+        raw_socket(addr, b"GET /query?group=a+b&view=report HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(shard_of(&plus), route_group("a+b", 4), "a%2Bb routes the group `a+b`");
+    assert_eq!(shard_of(&space), route_group("a b", 4), "a+b routes the group `a b`");
+
+    // A table ingested under the group "a+b" (the JSON body needs no
+    // escaping) is visible when queried with `a%2Bb`.
+    let body = r#"{"group":"a+b","table":{"name":"PlusT","columns":["c"],"rows":[["v"]]}}"#;
+    let ack = raw_socket(
+        addr,
+        format!("POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len()).as_bytes(),
+    );
+    assert!(ack.starts_with("HTTP/1.1 202"), "got: {ack}");
+    let client = ServeClient::new(addr);
+    assert!(client.wait_idle(IDLE_TIMEOUT).expect("stats"));
+    let view = raw_socket(
+        addr,
+        b"GET /query?group=a%2Bb&view=table HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert!(view.contains("PlusT"), "got: {view}");
+
+    // Conflicting duplicate Content-Length headers: 400, not first-wins.
+    let reply = raw_socket(
+        addr,
+        b"POST /ingest HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde",
+    );
+    assert!(reply.starts_with("HTTP/1.1 400"), "got: {reply}");
+    assert!(reply.contains("content-length"), "got: {reply}");
+
+    // Identical duplicates are tolerated.
+    let reply =
+        raw_socket(addr, b"GET /health HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 0\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 200"), "got: {reply}");
+
+    // The reader survived the whole sweep.
+    assert_eq!(client.health().expect("health").status, 200);
+    server.shutdown();
+}
+
+/// Sends raw bytes over a fresh socket and returns the full response text.
+fn raw_socket(addr: std::net::SocketAddr, request: &[u8]) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    stream.write_all(request).expect("write request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// Extracts the `shard` field from a raw `/query` response.
+fn shard_of(response: &str) -> usize {
+    let body = response.split("\r\n\r\n").nth(1).expect("response has a body");
+    let doc: serde_json::Value = serde_json::from_str(body).expect("JSON body");
+    doc.get("shard").and_then(serde_json::Value::as_u64).expect("shard field") as usize
+}
+
 /// Issues a request with an arbitrary method/target through the client's
 /// transport (the typed helpers only cover well-formed calls).
 fn raw_request(
