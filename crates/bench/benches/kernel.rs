@@ -1,0 +1,54 @@
+//! Criterion bench for the quantized scoring kernel: pair throughput of the
+//! cache-blocked int8 sweep (`lake_embed::kernel::sweep_below`) against the
+//! dense f32 reference sweep, at three square fold sizes — ~1k, ~100k and
+//! ~2.1M pairs (the escalated tier's re-score volume on the 4200-entity
+//! lake fold).  Both paths emit bit-identical candidates (asserted once per
+//! size before timing), so the comparison is pure throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lake_benchdata::generate_kernel_fold_columns;
+use lake_embed::kernel::{dense_sweep_below, sweep_below};
+use lake_embed::{EmbeddingCache, HashingNgramEmbedder, KernelStats, Vector};
+use lake_runtime::ParallelPolicy;
+
+/// The default matching cutoff: θ 0.7 plus the exact channel's 0.1 slack.
+const CUTOFF: f32 = 0.8;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    for (label, side) in [("1k", 32usize), ("100k", 316), ("2.1M", 1449)] {
+        let (row_values, col_values) = generate_kernel_fold_columns(side, 42);
+        let rows: Vec<&str> = row_values.iter().map(String::as_str).collect();
+        let cols: Vec<&str> = col_values.iter().map(String::as_str).collect();
+        let cache = EmbeddingCache::new(HashingNgramEmbedder::new());
+        let policy = ParallelPolicy::explicit(1);
+        let row_slab = cache.embed_slab(&rows, &policy);
+        let col_slab = cache.embed_slab(&cols, &policy);
+        let row_vecs = cache.embed_batch(&rows, &policy);
+        let col_vecs = cache.embed_batch(&cols, &policy);
+        let row_refs: Vec<&Vector> = row_vecs.iter().collect();
+        let col_refs: Vec<&Vector> = col_vecs.iter().collect();
+
+        // The kernel is only worth timing while it is exact: both sweeps
+        // must agree bit for bit on this workload.
+        let mut stats = KernelStats::default();
+        let quantized = sweep_below(&row_slab, &col_slab, CUTOFF, &mut stats);
+        let dense = dense_sweep_below(&row_refs, &col_refs, CUTOFF);
+        assert_eq!(quantized, dense, "kernel diverged from the dense sweep at side {side}");
+
+        group.bench_with_input(BenchmarkId::new("dense", label), &side, |b, _| {
+            b.iter(|| dense_sweep_below(&row_refs, &col_refs, CUTOFF))
+        });
+        group.bench_with_input(BenchmarkId::new("quantized", label), &side, |b, _| {
+            b.iter(|| {
+                let mut stats = KernelStats::default();
+                sweep_below(&row_slab, &col_slab, CUTOFF, &mut stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -149,6 +149,32 @@ pub fn generate_escalation_fold(config: EscalationFoldConfig) -> EscalationFold 
     EscalationFold { columns: vec![canonical, noisy], gold }
 }
 
+/// A square `side × side` fold for the scoring-kernel benchmark: `side`
+/// canonical entities against `side` noisy values (surface variants padded
+/// with unrelated pseudo-words), so the pair count is exactly `side²`.
+///
+/// Shaped like [`generate_escalation_fold`]'s output but with both sides
+/// pinned to one length, which is what pair-throughput measurements need:
+/// the kernel bench sweeps sides 32 / 316 / 1449 for ~1k / ~100k / ~2.1M
+/// pairs.  Deterministic given the seed.
+pub fn generate_kernel_fold_columns(side: usize, seed: u64) -> (Vec<String>, Vec<String>) {
+    let mut fold = generate_escalation_fold(EscalationFoldConfig {
+        entities: side,
+        presence_percent: 100,
+        seed,
+    });
+    let canonical = std::mem::take(&mut fold.columns[0]);
+    let mut noisy = std::mem::take(&mut fold.columns[1]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_FACE);
+    let mut pad = 0usize;
+    while noisy.len() < side {
+        noisy.push(format!("{} pad-{pad:04}", pseudo_word(&mut rng, 3)));
+        pad += 1;
+    }
+    noisy.truncate(side);
+    (canonical, noisy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +204,17 @@ mod tests {
         for (base, variant) in &fold.gold {
             assert!(fold.columns[0].contains(base));
             assert!(fold.columns[1].contains(variant));
+        }
+    }
+
+    #[test]
+    fn kernel_fold_is_square_and_deterministic() {
+        for side in [0usize, 1, 32, 316] {
+            let (canonical, noisy) = generate_kernel_fold_columns(side, 7);
+            assert_eq!(canonical.len(), side);
+            assert_eq!(noisy.len(), side);
+            let again = generate_kernel_fold_columns(side, 7);
+            assert_eq!((canonical, noisy), again);
         }
     }
 

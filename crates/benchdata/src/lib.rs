@@ -45,7 +45,9 @@ pub mod skew;
 pub use alite_em::{generate_em_benchmark, EmBenchmark, EmBenchmarkConfig};
 pub use append::{generate_append_workload, AppendWorkload, AppendWorkloadConfig};
 pub use autojoin::{generate_autojoin_benchmark, AutoJoinConfig, ValueMatchingSet};
-pub use escalation::{generate_escalation_fold, EscalationFold, EscalationFoldConfig};
+pub use escalation::{
+    generate_escalation_fold, generate_kernel_fold_columns, EscalationFold, EscalationFoldConfig,
+};
 pub use imdb::{generate_imdb_benchmark, ImdbConfig};
 pub use lexicon::{topic_values, Topic, ALL_TOPICS};
 pub use noise::{apply_transformation, Transformation};

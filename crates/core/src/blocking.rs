@@ -66,7 +66,8 @@ use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use lake_embed::{AnnIndex, SimHasher, Vector};
+use lake_embed::kernel::{self, KernelStats};
+use lake_embed::{AnnIndex, QuantizedSlab, SimHasher, Vector};
 use lake_text::{string_block_keys, BlockKeyOptions};
 
 use crate::config::{BlockingPolicy, KeyedBlockingConfig, SemanticBlocking};
@@ -211,6 +212,11 @@ pub struct BlockingStats {
     /// ([`lake_runtime::run_scope`]), accumulated over every fold: tasks,
     /// steals, per-worker busy time.  Empty when every fold solved inline.
     pub runtime: lake_runtime::RuntimeStats,
+    /// What the quantized scoring kernel did under the cost-carrying tiers:
+    /// int8-scored / bound-skipped / f32-re-scored pairs and swept cache
+    /// tiles, accumulated over every fold.  Empty for folds that never
+    /// touched the kernel (cartesian fallback, key-bucket channel).
+    pub kernel: KernelStats,
 }
 
 impl BlockingStats {
@@ -226,6 +232,7 @@ impl BlockingStats {
         self.severed_pairs = self.severed_pairs.saturating_add(other.severed_pairs);
         self.max_block_size = self.max_block_size.max(other.max_block_size);
         self.runtime.merge(&other.runtime);
+        self.kernel.merge(&other.kernel);
     }
 
     /// Fraction of the exhaustive candidate space that was pruned, in
@@ -468,32 +475,26 @@ pub fn plan_blocks(input: &FoldInputs<'_>, policy: &BlockingPolicy) -> BlockPlan
     }
 }
 
-/// The exact sub-threshold planner: one dot-product sweep computes every
-/// (row, col) cosine distance; pairs strictly below `cutoff` are candidates
-/// and carry their distance into the blocks.  *Candidacy* at the matching
-/// threshold is exact by construction; when a component exceeds
+/// The exact sub-threshold planner: the fold's embeddings are packed into
+/// [`QuantizedSlab`]s and one cache-blocked kernel sweep
+/// ([`kernel::sweep_below`]) classifies every (row, col) pair — int8
+/// estimates prove most pairs above `cutoff`, the near-threshold band is
+/// re-scored in exact f32, and surviving pairs carry their exact distance
+/// into the blocks, bit-identical to a dense f32 sweep.  *Candidacy* at the
+/// matching threshold is exact by construction; when a component exceeds
 /// `max_component_cells` the splitter may still sever candidate edges
 /// (each one recorded as a [`CutEdge`]), so end-to-end recall is exact
 /// whenever no component is oversized.
 fn plan_exact(input: &FoldInputs<'_>, cutoff: f32, max_component_cells: usize) -> BlockPlan {
     let rows = input.row_embeddings.len();
     let cols = input.col_embeddings.len();
-    let row_norms: Vec<f32> = input.row_embeddings.iter().map(|e| e.norm()).collect();
-    let col_norms: Vec<f32> = input.col_embeddings.iter().map(|e| e.norm()).collect();
-
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    let mut costs: Vec<f32> = Vec::new();
-    for (r, row) in input.row_embeddings.iter().enumerate() {
-        for (c, col) in input.col_embeddings.iter().enumerate() {
-            let distance = row.cosine_distance_given_norms(row_norms[r], col, col_norms[c]);
-            if distance < cutoff {
-                pairs.push((r, c));
-                costs.push(distance);
-            }
-        }
-    }
+    let row_slab = QuantizedSlab::from_vectors(input.row_embeddings);
+    let col_slab = QuantizedSlab::from_vectors(input.col_embeddings);
+    let mut kernel_stats = KernelStats::default();
+    let (pairs, costs) = kernel::sweep_below(&row_slab, &col_slab, cutoff, &mut kernel_stats);
     let mut plan = assemble_components_split(rows, cols, pairs, costs, max_component_cells);
     plan.stats.scored_pairs = rows * cols;
+    plan.stats.kernel = kernel_stats;
     plan
 }
 
@@ -533,24 +534,23 @@ fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConf
     pairs.sort_unstable();
     pairs.dedup();
 
-    let row_norms: Vec<f32> = input.row_embeddings.iter().map(|e| e.norm()).collect();
-    let col_norms: Vec<f32> = input.col_embeddings.iter().map(|e| e.norm()).collect();
+    // All re-scoring below goes through the quantized kernel: the int8 tier
+    // proves most candidates above `cutoff` and only the near-threshold band
+    // pays for an exact f32 dot product — with results bit-identical to the
+    // dense distance closure this code used to carry.
+    let row_slab = QuantizedSlab::from_vectors(input.row_embeddings);
+    let col_slab = QuantizedSlab::from_vectors(input.col_embeddings);
+    let mut kernel_stats = KernelStats::default();
     let mut scored = pairs.len();
-    let distance = |r: usize, c: usize| {
-        input.row_embeddings[r].cosine_distance_given_norms(
-            row_norms[r],
-            input.col_embeddings[c],
-            col_norms[c],
-        )
-    };
     let theta = input.theta;
     let mut kept: Vec<(usize, usize)> = Vec::new();
     let mut costs: Vec<f32> = Vec::new();
     let mut row_live = vec![false; rows];
     let mut col_live = vec![false; cols];
     for (r, c) in pairs {
-        let d = distance(r, c);
-        if d < cutoff {
+        if let Some(d) =
+            kernel::distance_below(&row_slab, r, &col_slab, c, cutoff, &mut kernel_stats)
+        {
             kept.push((r, c));
             costs.push(d);
             row_live[r] |= d < theta;
@@ -572,8 +572,9 @@ fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConf
         }
         scored += rows;
         for (r, live) in row_live.iter_mut().enumerate() {
-            let d = distance(r, c);
-            if d < cutoff {
+            if let Some(d) =
+                kernel::distance_below(&row_slab, r, &col_slab, c, cutoff, &mut kernel_stats)
+            {
                 kept.push((r, c));
                 costs.push(d);
                 *live |= d < theta;
@@ -588,8 +589,9 @@ fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConf
         // including this one — only the others need a look.
         for (c, &already_swept) in swept_cols.iter().enumerate() {
             if !already_swept {
-                let d = distance(r, c);
-                if d < cutoff {
+                if let Some(d) =
+                    kernel::distance_below(&row_slab, r, &col_slab, c, cutoff, &mut kernel_stats)
+                {
                     kept.push((r, c));
                     costs.push(d);
                 }
@@ -608,6 +610,7 @@ fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConf
     let mut plan = assemble_components_split(rows, cols, kept, costs, keyed.max_component_cells);
     plan.stats.scored_pairs = scored;
     plan.stats.escalated_folds = 1;
+    plan.stats.kernel = kernel_stats;
     plan
 }
 

@@ -57,7 +57,7 @@ pub use config::{
     AssignmentStrategy, BlockingPolicy, EscalationPolicy, FuzzyFdConfig, IncrementalPolicy,
     KeyedBlockingConfig, SemanticBlocking,
 };
-pub use lake_embed::{AnnIndex, AnnParams};
+pub use lake_embed::{AnnIndex, AnnParams, KernelStats};
 pub use lake_runtime::{ParallelPolicy, RuntimeStats};
 pub use pipeline::{
     regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,

@@ -1014,6 +1014,24 @@ mod tests {
     }
 
     #[test]
+    fn kernel_stats_flow_through_matcher_stats() {
+        // With blocking forced on, the exact tier runs the quantized scoring
+        // kernel and its counters must surface through the matcher report.
+        let columns = vec![
+            values(&["Berlin", "Toronto", "Barcelona", "Quito"]),
+            values(&["Berlinn", "Torontoo", "Barcelonna", "Lagos"]),
+        ];
+        let embedder = EmbeddingModel::FastText.build();
+        let config = FuzzyFdConfig::default().force_blocking();
+        let (_, stats) = match_column_values_with_stats(&columns, embedder.as_ref(), config);
+        assert!(stats.kernel.classified() > 0, "{stats:?}");
+        assert_eq!(stats.kernel.int8_scored, stats.kernel.skipped + stats.kernel.rescored);
+        // Fewer exact f32 dot products than classified pairs is the whole
+        // point of the int8 tier.
+        assert!(stats.kernel.rescored <= stats.kernel.int8_scored, "{stats:?}");
+    }
+
+    #[test]
     fn parallel_block_solving_matches_sequential() {
         let columns = vec![
             values(&["Berlin", "Toronto", "Barcelona", "Quito", "Lima", "Dallas"]),

@@ -259,6 +259,46 @@ mod tests {
     }
 
     #[test]
+    fn ann_candidates_rescore_against_the_same_theta_semantics() {
+        // The index only decides *which* pairs get a distance.  The distance
+        // itself — and the strict `< θ` comparison — is the same exact f32
+        // computation in every tier: `Vector::cosine_distance` in the dense
+        // sweep and `kernel::distance_below` in the quantized kernel the
+        // escalated tier re-scores through.  (`DISTANCE_EPSILON` bounds how
+        // far *evaluation strategies* may drift; θ itself is tolerance-free.)
+        use crate::kernel::{distance_below, KernelStats};
+        use crate::vector::QuantizedSlab;
+
+        let indexed = embeddings(&["Berlin", "Toronto", "Barcelona"]);
+        let queries = embeddings(&["Berlinn", "Torontoo"]);
+        let index = AnnIndex::build(AnnParams::default(), indexed.iter());
+        let col_refs: Vec<&Vector> = indexed.iter().collect();
+        let row_refs: Vec<&Vector> = queries.iter().collect();
+        let rows = QuantizedSlab::from_vectors(&row_refs);
+        let cols = QuantizedSlab::from_vectors(&col_refs);
+        let mut stats = KernelStats::default();
+        let mut checked = 0usize;
+        for (r, query) in queries.iter().enumerate() {
+            for c in index.candidates(query) {
+                let c = c as usize;
+                let dense = query.cosine_distance(&indexed[c]);
+                // θ at, just above, and far below the pair's distance: the
+                // kernel must admit exactly when the dense comparison does,
+                // with the identical bit pattern.
+                for theta in [dense, f32::from_bits(dense.to_bits() + 1), 0.05] {
+                    let via_kernel = distance_below(&rows, r, &cols, c, theta, &mut stats);
+                    assert_eq!(via_kernel.is_some(), dense < theta, "θ = {theta}");
+                    if let Some(d) = via_kernel {
+                        assert_eq!(d.to_bits(), dense.to_bits());
+                    }
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "probing must surface at least the typo pairs");
+    }
+
+    #[test]
     fn near_duplicates_collide_unrelated_mostly_do_not() {
         let indexed = embeddings(&["Berlin", "Toronto", "Barcelona", "New Delhi"]);
         let index = AnnIndex::build(AnnParams::default(), indexed.iter());

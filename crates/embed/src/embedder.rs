@@ -85,6 +85,7 @@ pub(crate) fn seeded_direction(seed: u64, dim: usize) -> Vector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vector::DISTANCE_EPSILON;
 
     #[test]
     fn fnv_is_stable_and_discriminating() {
@@ -98,7 +99,7 @@ mod tests {
         let a = seeded_direction(42, 32);
         let b = seeded_direction(42, 32);
         assert_eq!(a, b);
-        assert!((a.norm() - 1.0).abs() < 1e-5);
+        assert!((a.norm() - 1.0).abs() < DISTANCE_EPSILON);
         let c = seeded_direction(43, 32);
         assert!(a.cosine_similarity(&c).abs() < 0.6, "different seeds should diverge");
     }
@@ -107,6 +108,6 @@ mod tests {
     fn distance_between_helper() {
         let a = Vector::new(vec![1.0, 0.0]);
         let b = Vector::new(vec![0.0, 1.0]);
-        assert!((cosine_distance_between(&a, &b) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance_between(&a, &b) - 1.0).abs() < DISTANCE_EPSILON);
     }
 }

@@ -349,6 +349,7 @@ impl Embedder for HashingNgramEmbedder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vector::DISTANCE_EPSILON;
 
     #[test]
     fn deterministic() {
@@ -371,7 +372,7 @@ mod tests {
     #[test]
     fn case_differences_vanish() {
         let e = HashingNgramEmbedder::new();
-        assert!(e.distance("barcelona", "Barcelona") < 1e-5);
+        assert!(e.distance("barcelona", "Barcelona") < DISTANCE_EPSILON);
     }
 
     #[test]
@@ -394,7 +395,7 @@ mod tests {
     fn embeddings_are_unit_norm() {
         let e = HashingNgramEmbedder::new();
         for s in ["Berlin", "New Delhi", "83%", "a"] {
-            assert!((e.embed(s).norm() - 1.0).abs() < 1e-5);
+            assert!((e.embed(s).norm() - 1.0).abs() < DISTANCE_EPSILON);
         }
     }
 

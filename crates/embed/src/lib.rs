@@ -29,6 +29,7 @@ pub mod ann;
 pub mod cache;
 pub mod embedder;
 pub mod hashing;
+pub mod kernel;
 pub mod knowledge;
 pub mod models;
 pub mod simlm;
@@ -38,7 +39,8 @@ pub use ann::{AnnIndex, AnnParams};
 pub use cache::EmbeddingCache;
 pub use embedder::{cosine_distance_between, Embedder};
 pub use hashing::{HashingNgramEmbedder, SimHasher};
+pub use kernel::KernelStats;
 pub use knowledge::KnowledgeBase;
 pub use models::{EmbeddingModel, ALL_MODELS};
 pub use simlm::SimulatedLmEmbedder;
-pub use vector::Vector;
+pub use vector::{QuantizedSlab, Vector, DISTANCE_EPSILON, SLAB_LANE};

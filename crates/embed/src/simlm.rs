@@ -185,6 +185,7 @@ impl Embedder for SimulatedLmEmbedder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vector::DISTANCE_EPSILON;
 
     fn mistral_like() -> SimulatedLmEmbedder {
         SimulatedLmEmbedder::new(
@@ -197,7 +198,7 @@ mod tests {
     fn deterministic_and_unit_norm() {
         let e = mistral_like();
         assert_eq!(e.embed("Canada"), e.embed("Canada"));
-        assert!((e.embed("Canada").norm() - 1.0).abs() < 1e-5);
+        assert!((e.embed("Canada").norm() - 1.0).abs() < DISTANCE_EPSILON);
         assert!(e.embed("").is_zero());
     }
 
@@ -267,7 +268,7 @@ mod tests {
         let noisy =
             SimulatedLmEmbedder::new("Noisy", SimLmParams { noise: 0.4, ..SimLmParams::default() });
         // Identical strings still embed identically (noise is value-keyed).
-        assert!(noisy.distance("Toronto", "Toronto") < 1e-6);
+        assert!(noisy.distance("Toronto", "Toronto") < DISTANCE_EPSILON);
         // Noise is model-specific: two tiers disagree on the same value.
         let other =
             SimulatedLmEmbedder::new("Other", SimLmParams { noise: 0.4, ..SimLmParams::default() });

@@ -232,6 +232,15 @@ fn autojoin_150_set_blocked_equals_exhaustive() {
         stats.candidate_pairs < exhaustive_stats.candidate_pairs,
         "blocked: {stats:?}, exhaustive: {exhaustive_stats:?}"
     );
+    // The exact tier runs on the quantized kernel: every scored pair is
+    // classified, the counters add up, and the exact f32 re-score band stays
+    // a strict subset of the int8-classified pairs.
+    assert_eq!(stats.kernel.classified(), stats.scored_pairs, "{stats:?}");
+    assert_eq!(stats.kernel.int8_scored, stats.kernel.skipped + stats.kernel.rescored);
+    assert!(stats.kernel.rescored < stats.kernel.int8_scored, "{stats:?}");
+    assert!(stats.kernel.blocks > 0, "{stats:?}");
+    // The exhaustive path never touches the kernel.
+    assert_eq!(exhaustive_stats.kernel.classified(), 0, "{exhaustive_stats:?}");
     // On single-topic data the sub-cutoff candidate graph is connected, so
     // the plan is one (heavily sparsified) block; splitting into several
     // blocks needs genuinely separable value clusters and is covered by the
@@ -370,6 +379,14 @@ fn escalated_channel_equals_exact_on_autojoin_150() {
     assert!(
         stats.scored_pairs < exact_stats.scored_pairs,
         "escalation scored as much as the sweep: {stats:?} vs {exact_stats:?}"
+    );
+    // Both tiers re-score through the quantized kernel; the escalated tier
+    // classifies far fewer pairs (per-pair probes, no cache tiles).
+    assert!(stats.kernel.classified() > 0, "{stats:?}");
+    assert_eq!(stats.kernel.blocks, 0, "per-pair probing uses no sweep tiles: {stats:?}");
+    assert!(
+        stats.kernel.classified() < exact_stats.kernel.classified(),
+        "escalated: {stats:?}, exact: {exact_stats:?}"
     );
 }
 
