@@ -21,11 +21,13 @@ pub mod greedy;
 pub mod hungarian;
 pub mod matrix;
 pub mod sap;
+pub mod sparse;
 
 pub use greedy::greedy;
 pub use hungarian::hungarian;
 pub use matrix::CostMatrix;
 pub use sap::shortest_augmenting_path;
+pub use sparse::{sparse_shortest_augmenting_path, SparseCostError, SparseCostMatrix};
 
 /// Which algorithm to use when solving an assignment problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -52,9 +54,20 @@ pub struct Assignment {
 impl Assignment {
     /// Builds an assignment from pairs, computing the total cost from the
     /// matrix.
-    pub fn from_pairs(matrix: &CostMatrix, mut pairs: Vec<(usize, usize)>) -> Self {
+    pub fn from_pairs(matrix: &CostMatrix, pairs: Vec<(usize, usize)>) -> Self {
+        Assignment::from_pairs_with(|r, c| matrix.get(r, c), pairs)
+    }
+
+    /// Builds an assignment from pairs with an arbitrary cost lookup.  The
+    /// pairs are sorted and the costs summed in sorted order — the same
+    /// accumulation order as [`from_pairs`](Assignment::from_pairs), so sparse
+    /// and dense callers produce bit-identical totals.
+    pub fn from_pairs_with(
+        cost: impl Fn(usize, usize) -> f64,
+        mut pairs: Vec<(usize, usize)>,
+    ) -> Self {
         pairs.sort_unstable();
-        let total_cost = pairs.iter().map(|&(r, c)| matrix.get(r, c)).sum();
+        let total_cost = pairs.iter().map(|&(r, c)| cost(r, c)).sum();
         Assignment { pairs, total_cost }
     }
 
@@ -73,9 +86,15 @@ impl Assignment {
     /// distance is at or above θ are discarded and their values left
     /// unmatched.
     pub fn threshold(&self, matrix: &CostMatrix, threshold: f64) -> Assignment {
+        self.threshold_with(|r, c| matrix.get(r, c), threshold)
+    }
+
+    /// [`threshold`](Assignment::threshold) with an arbitrary cost lookup,
+    /// for sparse matrices and other non-dense cost sources.
+    pub fn threshold_with(&self, cost: impl Fn(usize, usize) -> f64, threshold: f64) -> Assignment {
         let pairs: Vec<(usize, usize)> =
-            self.pairs.iter().copied().filter(|&(r, c)| matrix.get(r, c) < threshold).collect();
-        Assignment::from_pairs(matrix, pairs)
+            self.pairs.iter().copied().filter(|&(r, c)| cost(r, c) < threshold).collect();
+        Assignment::from_pairs_with(cost, pairs)
     }
 
     /// The column matched to `row`, if any.

@@ -1,0 +1,85 @@
+//! Property-based pinning of the sparse solver against the dense big-M
+//! solver: over random shapes and random candidate masks, the sparse
+//! shortest-augmenting-path solver must return the **same pairs** and a
+//! **bit-identical total cost** as the dense solver on the materialised
+//! matrix.  Tie-breaks included — the blocked planner's output feeds an
+//! equivalence harness that compares match groups exactly, so "equally
+//! optimal but different" is a failure here, not a pass.
+
+use lake_assign::{shortest_augmenting_path, sparse_shortest_augmenting_path, SparseCostMatrix};
+use proptest::prelude::*;
+
+const MASKED_COST: f64 = 1.0e6;
+
+/// A random shape plus a random candidate mask with quantised costs.  Costs
+/// are multiples of 1/16 so exact ties arise often and the tie-break paths
+/// get real coverage.
+fn sparse_strategy() -> impl Strategy<Value = SparseCostMatrix> {
+    (1usize..=7, 1usize..=7)
+        .prop_flat_map(|(rows, cols)| {
+            let cells = rows * cols;
+            (
+                Just(rows),
+                Just(cols),
+                prop::collection::vec(any::<bool>(), cells),
+                prop::collection::vec(0u8..32, cells),
+            )
+        })
+        .prop_map(|(rows, cols, mask, costs)| {
+            let entries: Vec<(usize, usize, f64)> = (0..rows * cols)
+                .filter(|&i| mask[i])
+                .map(|i| (i / cols, i % cols, f64::from(costs[i]) / 16.0))
+                .collect();
+            SparseCostMatrix::from_entries(rows, cols, MASKED_COST, &entries)
+                .expect("entries are generated in row-major order")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Sparse SAP ≡ dense SAP on the materialised matrix: same pairs, same
+    /// total cost to the bit.
+    #[test]
+    fn sparse_sap_is_bit_identical_to_dense(sparse in sparse_strategy()) {
+        let dense = sparse.to_dense();
+        let sparse_solution = sparse_shortest_augmenting_path(&sparse);
+        let dense_solution = shortest_augmenting_path(&dense);
+        prop_assert_eq!(&sparse_solution.pairs, &dense_solution.pairs);
+        prop_assert_eq!(
+            sparse_solution.total_cost.to_bits(),
+            dense_solution.total_cost.to_bits(),
+            "sparse {} vs dense {}",
+            sparse_solution.total_cost,
+            dense_solution.total_cost
+        );
+    }
+
+    /// Thresholding through the sparse cost lookup matches thresholding
+    /// through the dense matrix — the matcher discards pairs at or above θ
+    /// after solving, so this step must agree too.
+    #[test]
+    fn sparse_threshold_matches_dense(sparse in sparse_strategy(), threshold in 0u8..40) {
+        let theta = f64::from(threshold) / 16.0;
+        let dense = sparse.to_dense();
+        let sparse_kept =
+            sparse_shortest_augmenting_path(&sparse).threshold_with(|r, c| sparse.get(r, c), theta);
+        let dense_kept = shortest_augmenting_path(&dense).threshold(&dense, theta);
+        prop_assert_eq!(&sparse_kept.pairs, &dense_kept.pairs);
+        prop_assert_eq!(sparse_kept.total_cost.to_bits(), dense_kept.total_cost.to_bits());
+    }
+
+    /// Every stored cell agrees between the sparse matrix, its dense
+    /// materialisation, and its double transpose.
+    #[test]
+    fn sparse_accessors_agree_with_dense(sparse in sparse_strategy()) {
+        let dense = sparse.to_dense();
+        let round_trip = sparse.transpose().transpose();
+        for r in 0..sparse.rows() {
+            for c in 0..sparse.cols() {
+                prop_assert_eq!(sparse.get(r, c).to_bits(), dense.get(r, c).to_bits());
+                prop_assert_eq!(sparse.get(r, c).to_bits(), round_trip.get(r, c).to_bits());
+            }
+        }
+    }
+}

@@ -67,7 +67,8 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use lake_embed::kernel::{self, KernelStats};
-use lake_embed::{AnnIndex, QuantizedSlab, SimHasher, Vector};
+use lake_embed::{AnnIndex, AnnScratch, QuantizedSlab, SimHasher, Vector};
+use lake_metrics::{PhaseTimings, Stopwatch};
 use lake_text::{string_block_keys, BlockKeyOptions};
 
 use crate::config::{BlockingPolicy, KeyedBlockingConfig, SemanticBlocking};
@@ -217,6 +218,11 @@ pub struct BlockingStats {
     /// tiles, accumulated over every fold.  Empty for folds that never
     /// touched the kernel (cartesian fallback, key-bucket channel).
     pub kernel: KernelStats,
+    /// Where the planning wall clock went, phase by phase
+    /// (hash/probe/pairs/dedup/score/fallback from the planners, assign from
+    /// the block solver), accumulated over every fold.  Zero for cartesian
+    /// plans, whose only measured phase is the assignment solve.
+    pub phase: PhaseTimings,
 }
 
 impl BlockingStats {
@@ -233,6 +239,7 @@ impl BlockingStats {
         self.max_block_size = self.max_block_size.max(other.max_block_size);
         self.runtime.merge(&other.runtime);
         self.kernel.merge(&other.kernel);
+        self.phase.merge(&other.phase);
     }
 
     /// Fraction of the exhaustive candidate space that was pruned, in
@@ -423,6 +430,193 @@ pub fn hashed_value_block_keys(value: &str) -> Vec<u64> {
     keys
 }
 
+/// Canonicalizes a candidate-pair list in place: ascending `(row, col)`
+/// order with duplicates removed — the one place the planner's pair-list
+/// invariant (sorted, unique, row-major) lives.  Pair coordinates must be in
+/// `0..rows` / `0..cols`.
+///
+/// Runs as a two-pass stable counting (radix) sort in O(pairs + rows + cols)
+/// — the planner's id spaces are dense, so this beats the O(pairs·log pairs)
+/// comparison sort the call sites used to carry — and falls back to the
+/// comparison sort when the id space dwarfs the pair list.  The output never
+/// exceeds the input length (pinned by the planner regression test).
+pub fn canonicalize_pairs(pairs: &mut Vec<(usize, usize)>, rows: usize, cols: usize) {
+    radix_canonicalize(pairs, None, rows, cols);
+}
+
+/// As [`canonicalize_pairs`], keeping `costs` aligned with `pairs`.  Every
+/// duplicate of a pair must carry the same cost (the planner measures each
+/// pair's distance exactly, so re-encounters agree bit for bit); the first
+/// occurrence survives.
+///
+/// # Panics
+/// Panics (in debug builds) when `costs` is not aligned with `pairs`.
+pub fn canonicalize_pairs_with_costs(
+    pairs: &mut Vec<(usize, usize)>,
+    costs: &mut Vec<f32>,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert_eq!(pairs.len(), costs.len(), "costs must align with pairs");
+    radix_canonicalize(pairs, Some(costs), rows, cols);
+}
+
+fn radix_canonicalize(
+    pairs: &mut Vec<(usize, usize)>,
+    costs: Option<&mut Vec<f32>>,
+    rows: usize,
+    cols: usize,
+) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    if rows.saturating_add(cols) > (4 * n).saturating_add(1024) {
+        // The counting arrays would dwarf the pair list; compare instead.
+        match costs {
+            Some(costs) => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_unstable_by_key(|&i| pairs[i]);
+                order.dedup_by_key(|i| pairs[*i]);
+                let (kept_pairs, kept_costs): (Vec<_>, Vec<_>) =
+                    order.into_iter().map(|i| (pairs[i], costs[i])).unzip();
+                *pairs = kept_pairs;
+                *costs = kept_costs;
+            }
+            None => {
+                pairs.sort_unstable();
+                pairs.dedup();
+            }
+        }
+        return;
+    }
+    // LSD radix over the two coordinates: a stable counting pass by column,
+    // then one by row, yields ascending (row, col) order.
+    let mut by_col = vec![0usize; cols + 1];
+    for &(_, c) in pairs.iter() {
+        by_col[c + 1] += 1;
+    }
+    for i in 1..by_col.len() {
+        by_col[i] += by_col[i - 1];
+    }
+    let mut order_by_col = vec![0usize; n];
+    for (i, &(_, c)) in pairs.iter().enumerate() {
+        order_by_col[by_col[c]] = i;
+        by_col[c] += 1;
+    }
+    let mut by_row = vec![0usize; rows + 1];
+    for &(r, _) in pairs.iter() {
+        by_row[r + 1] += 1;
+    }
+    for i in 1..by_row.len() {
+        by_row[i] += by_row[i - 1];
+    }
+    let mut order = vec![0usize; n];
+    for &i in &order_by_col {
+        let r = pairs[i].0;
+        order[by_row[r]] = i;
+        by_row[r] += 1;
+    }
+    // Gather in final order, dropping adjacent duplicates as they stream by.
+    let mut out_pairs = Vec::with_capacity(n);
+    let mut out_costs = costs.as_ref().map(|c| Vec::with_capacity(c.len()));
+    for &i in &order {
+        if out_pairs.last() == Some(&pairs[i]) {
+            continue;
+        }
+        out_pairs.push(pairs[i]);
+        if let (Some(out), Some(costs)) = (&mut out_costs, &costs) {
+            out.push(costs[i]);
+        }
+    }
+    *pairs = out_pairs;
+    if let (Some(costs), Some(out)) = (costs, out_costs) {
+        *costs = out;
+    }
+}
+
+/// Merges one row's sorted duplicate-free probe candidates with its
+/// (canonical, hence sorted) surface-key run into `out` — the union, sorted
+/// and duplicate-free, in O(a + b).  The escalated planner calls this once
+/// per row, so the two candidate channels deduplicate without ever
+/// materializing a fold-wide pair list.
+fn merge_sorted_cols(candidates: &[u32], keyed_run: &[(usize, usize)], out: &mut Vec<usize>) {
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "probe candidates not canonical");
+    debug_assert!(keyed_run.windows(2).all(|w| w[0].1 < w[1].1), "keyed run not canonical");
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < candidates.len() && j < keyed_run.len() {
+        let a = candidates[i] as usize;
+        let b = keyed_run[j].1;
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => {
+                out.push(a);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend(candidates[i..].iter().map(|&c| c as usize));
+    out.extend(keyed_run[j..].iter().map(|&(_, c)| c));
+}
+
+/// Merges two already-canonical (strictly ascending, duplicate-free) pair
+/// lists, carrying costs alongside: `pairs`/`costs` (already
+/// canonical) absorb the canonical `tail_pairs`/`tail_costs`.  Cross-list
+/// duplicates keep the first list's copy — callers guarantee duplicates carry
+/// the same measured cost.
+fn merge_canonical_with_costs(
+    pairs: &mut Vec<(usize, usize)>,
+    costs: &mut Vec<f32>,
+    tail_pairs: Vec<(usize, usize)>,
+    tail_costs: Vec<f32>,
+) {
+    debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]), "base merge input is not canonical");
+    debug_assert!(tail_pairs.windows(2).all(|w| w[0] < w[1]), "tail merge input is not canonical");
+    debug_assert_eq!(pairs.len(), costs.len());
+    debug_assert_eq!(tail_pairs.len(), tail_costs.len());
+    if tail_pairs.is_empty() {
+        return;
+    }
+    let mut out_pairs = Vec::with_capacity(pairs.len() + tail_pairs.len());
+    let mut out_costs = Vec::with_capacity(pairs.len() + tail_pairs.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < pairs.len() && j < tail_pairs.len() {
+        match pairs[i].cmp(&tail_pairs[j]) {
+            std::cmp::Ordering::Less => {
+                out_pairs.push(pairs[i]);
+                out_costs.push(costs[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out_pairs.push(tail_pairs[j]);
+                out_costs.push(tail_costs[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out_pairs.push(pairs[i]);
+                out_costs.push(costs[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out_pairs.extend_from_slice(&pairs[i..]);
+    out_costs.extend_from_slice(&costs[i..]);
+    out_pairs.extend_from_slice(&tail_pairs[j..]);
+    out_costs.extend_from_slice(&tail_costs[j..]);
+    *pairs = out_pairs;
+    *costs = out_costs;
+}
+
 /// Plans the blocks of one bipartite matching step.
 ///
 /// Under [`BlockingPolicy::Exhaustive`] — or a keyed policy whose
@@ -486,15 +680,27 @@ pub fn plan_blocks(input: &FoldInputs<'_>, policy: &BlockingPolicy) -> BlockPlan
 /// (each one recorded as a [`CutEdge`]), so end-to-end recall is exact
 /// whenever no component is oversized.
 fn plan_exact(input: &FoldInputs<'_>, cutoff: f32, max_component_cells: usize) -> BlockPlan {
+    let watch = Stopwatch::start();
     let rows = input.row_embeddings.len();
     let cols = input.col_embeddings.len();
-    let row_slab = QuantizedSlab::from_vectors(input.row_embeddings);
-    let col_slab = QuantizedSlab::from_vectors(input.col_embeddings);
+    let ((row_slab, col_slab), hash_time) = Stopwatch::time(|| {
+        (
+            QuantizedSlab::from_vectors(input.row_embeddings),
+            QuantizedSlab::from_vectors(input.col_embeddings),
+        )
+    });
     let mut kernel_stats = KernelStats::default();
-    let (pairs, costs) = kernel::sweep_below(&row_slab, &col_slab, cutoff, &mut kernel_stats);
-    let mut plan = assemble_components_split(rows, cols, pairs, costs, max_component_cells);
+    let ((pairs, costs), score_time) =
+        Stopwatch::time(|| kernel::sweep_below(&row_slab, &col_slab, cutoff, &mut kernel_stats));
+    let (mut plan, assemble_time) = Stopwatch::time(|| {
+        assemble_components_split(rows, cols, pairs, costs, max_component_cells)
+    });
     plan.stats.scored_pairs = rows * cols;
     plan.stats.kernel = kernel_stats;
+    plan.stats.phase.hash = hash_time;
+    plan.stats.phase.score = score_time;
+    plan.stats.phase.pairs = assemble_time;
+    plan.stats.phase.total = watch.total();
     plan
 }
 
@@ -517,44 +723,88 @@ fn plan_exact(input: &FoldInputs<'_>, cutoff: f32, max_component_cells: usize) -
 ///   deviate from the exact sweep's result if the index supplied at least
 ///   one genuine alternative for it.
 fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConfig) -> BlockPlan {
+    let watch = Stopwatch::start();
     let rows = input.row_embeddings.len();
     let cols = input.col_embeddings.len();
-    let index = AnnIndex::build(keyed.escalation.ann, input.col_embeddings.iter().copied());
+    let mut phase = PhaseTimings::default();
 
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    let mut scratch: Vec<u32> = Vec::new();
-    for (r, row) in input.row_embeddings.iter().enumerate() {
-        index.candidates_into(row, &mut scratch);
-        pairs.extend(scratch.iter().map(|&c| (r, c as usize)));
-    }
+    // One pair of quantized slabs serves the whole tier: the column slab
+    // feeds the batch-signed ANN index (`build_from_slab` signs every row in
+    // one slab-resident sweep) and both slabs feed the exact re-scoring
+    // kernel below, so the fold's embeddings are packed exactly once.
+    let ((row_slab, col_slab, index), hash_time) = Stopwatch::time(|| {
+        let row_slab = QuantizedSlab::from_vectors(input.row_embeddings);
+        let col_slab = QuantizedSlab::from_vectors(input.col_embeddings);
+        let index = AnnIndex::build_from_slab(keyed.escalation.ann, &col_slab);
+        (row_slab, col_slab, index)
+    });
+    phase.hash = hash_time;
+
     // The surface-key channel is sub-quadratic by construction and catches
     // the shared-token/typo pairs the probabilistic index is most likely to
     // drop, so its candidates ride along for free.
-    pairs.extend(keyed_pair_set(input, keyed));
-    pairs.sort_unstable();
-    pairs.dedup();
+    let (keyed_pairs, keyed_time) = Stopwatch::time(|| keyed_pair_set(input, keyed));
+    phase.pairs = keyed_time;
 
     // All re-scoring below goes through the quantized kernel: the int8 tier
     // proves most candidates above `cutoff` and only the near-threshold band
     // pays for an exact f32 dot product — with results bit-identical to the
     // dense distance closure this code used to carry.
-    let row_slab = QuantizedSlab::from_vectors(input.row_embeddings);
-    let col_slab = QuantizedSlab::from_vectors(input.col_embeddings);
+    //
+    // Probing, channel union and scoring run fused, one row at a time: the
+    // row's probe candidates and its (canonical, row-grouped) surface-key run
+    // merge into one sorted column list that feeds straight into the batched
+    // kernel entry point — no fold-wide pair list is ever materialized, and
+    // deduplicating the two channels is a linear per-row merge.
     let mut kernel_stats = KernelStats::default();
-    let mut scored = pairs.len();
+    let mut scored = 0usize;
     let theta = input.theta;
     let mut kept: Vec<(usize, usize)> = Vec::new();
     let mut costs: Vec<f32> = Vec::new();
     let mut row_live = vec![false; rows];
     let mut col_live = vec![false; cols];
-    for (r, c) in pairs {
-        if let Some(d) =
-            kernel::distance_below(&row_slab, r, &col_slab, c, cutoff, &mut kernel_stats)
-        {
-            kept.push((r, c));
-            costs.push(d);
-            row_live[r] |= d < theta;
-            col_live[c] |= d < theta;
+    {
+        let mut ann_scratch = AnnScratch::default();
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut merged_cols: Vec<usize> = Vec::new();
+        let mut keyed_at = 0usize;
+        for (r, row) in input.row_embeddings.iter().enumerate() {
+            let ((), probe_time) = Stopwatch::time(|| {
+                index.candidates_with(row, &mut ann_scratch, &mut candidates);
+            });
+            phase.probe += probe_time;
+            let keyed_start = keyed_at;
+            while keyed_at < keyed_pairs.len() && keyed_pairs[keyed_at].0 == r {
+                keyed_at += 1;
+            }
+            let ((), dedup_time) = Stopwatch::time(|| {
+                merge_sorted_cols(
+                    &candidates,
+                    &keyed_pairs[keyed_start..keyed_at],
+                    &mut merged_cols,
+                );
+            });
+            phase.dedup += dedup_time;
+            scored += merged_cols.len();
+            let ((), score_time) = Stopwatch::time(|| {
+                let mut live = false;
+                kernel::row_distances_below(
+                    &row_slab,
+                    r,
+                    &col_slab,
+                    merged_cols.iter().copied(),
+                    cutoff,
+                    &mut kernel_stats,
+                    |c, d| {
+                        kept.push((r, c));
+                        costs.push(d);
+                        live |= d < theta;
+                        col_live[c] |= d < theta;
+                    },
+                );
+                row_live[r] = live;
+            });
+            phase.score += score_time;
         }
     }
 
@@ -564,65 +814,92 @@ fn plan_escalated(input: &FoldInputs<'_>, cutoff: f32, keyed: &KeyedBlockingConf
     // it unmatchable.  This is what keeps the tier faithful for participants
     // the sketch is blind to; it degrades to the exact sweep's own cost only
     // in the pathological fold where nothing is matchable at all.
-    let swept_cols: Vec<bool> = col_live.iter().map(|&live| !live).collect();
-    let unswept_cols = cols - swept_cols.iter().filter(|&&swept| swept).count();
-    for (c, &swept) in swept_cols.iter().enumerate() {
-        if !swept {
-            continue;
-        }
-        scored += rows;
-        for (r, live) in row_live.iter_mut().enumerate() {
-            if let Some(d) =
-                kernel::distance_below(&row_slab, r, &col_slab, c, cutoff, &mut kernel_stats)
-            {
-                kept.push((r, c));
-                costs.push(d);
-                *live |= d < theta;
+    let fallback_start = kept.len();
+    let ((), fallback_time) = Stopwatch::time(|| {
+        let swept_cols: Vec<bool> = col_live.iter().map(|&live| !live).collect();
+        let unswept_cols = cols - swept_cols.iter().filter(|&&swept| swept).count();
+        for (c, &swept) in swept_cols.iter().enumerate() {
+            if !swept {
+                continue;
             }
-        }
-    }
-    for (r, &live) in row_live.iter().enumerate() {
-        if live {
-            continue;
-        }
-        // Columns swept above are already fully scored against every row,
-        // including this one — only the others need a look.
-        for (c, &already_swept) in swept_cols.iter().enumerate() {
-            if !already_swept {
+            scored += rows;
+            for (r, live) in row_live.iter_mut().enumerate() {
                 if let Some(d) =
                     kernel::distance_below(&row_slab, r, &col_slab, c, cutoff, &mut kernel_stats)
                 {
                     kept.push((r, c));
                     costs.push(d);
+                    *live |= d < theta;
                 }
             }
         }
-        scored += unswept_cols;
-    }
-    // A sweep can revisit a slack-band pair the probing already kept (slack
-    // candidates do not make their participants live), so sort by pair and
-    // drop the duplicates — both copies carry the same measured distance.
-    let mut order: Vec<usize> = (0..kept.len()).collect();
-    order.sort_unstable_by_key(|&i| kept[i]);
-    order.dedup_by_key(|i| kept[*i]);
-    let (kept, costs): (Vec<_>, Vec<_>) = order.into_iter().map(|i| (kept[i], costs[i])).unzip();
+        for (r, &live) in row_live.iter().enumerate() {
+            if live {
+                continue;
+            }
+            // Columns swept above are already fully scored against every
+            // row, including this one — only the others need a look.
+            for (c, &already_swept) in swept_cols.iter().enumerate() {
+                if !already_swept {
+                    if let Some(d) = kernel::distance_below(
+                        &row_slab,
+                        r,
+                        &col_slab,
+                        c,
+                        cutoff,
+                        &mut kernel_stats,
+                    ) {
+                        kept.push((r, c));
+                        costs.push(d);
+                    }
+                }
+            }
+            scored += unswept_cols;
+        }
+    });
+    phase.fallback = fallback_time;
 
-    let mut plan = assemble_components_split(rows, cols, kept, costs, keyed.max_component_cells);
+    // A sweep can revisit a slack-band pair the probing already kept (slack
+    // candidates do not make their participants live); duplicates carry the
+    // same measured distance, so either copy may survive.  The pre-fallback
+    // prefix of `kept` is a filtered subsequence of the canonical pair list
+    // and therefore still canonical — only the fallback suffix needs sorting
+    // before a linear merge folds it in.
+    let ((), sweep_dedup_time) = Stopwatch::time(|| {
+        if kept.len() > fallback_start {
+            let mut tail_pairs = kept.split_off(fallback_start);
+            let mut tail_costs = costs.split_off(fallback_start);
+            canonicalize_pairs_with_costs(&mut tail_pairs, &mut tail_costs, rows, cols);
+            merge_canonical_with_costs(&mut kept, &mut costs, tail_pairs, tail_costs);
+        }
+    });
+    phase.dedup += sweep_dedup_time;
+
+    let (mut plan, assemble_time) = Stopwatch::time(|| {
+        assemble_components_split(rows, cols, kept, costs, keyed.max_component_cells)
+    });
+    phase.pairs += assemble_time;
     plan.stats.scored_pairs = scored;
     plan.stats.escalated_folds = 1;
     plan.stats.kernel = kernel_stats;
+    phase.total = watch.total();
+    plan.stats.phase = phase;
     plan
 }
 
 /// The key-bucket planner: rows and columns sharing a usable key become
 /// candidate pairs.
 fn plan_by_keys(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> BlockPlan {
+    let watch = Stopwatch::start();
     let rows = input.rows();
     let cols = input.cols();
-    let pairs = keyed_pair_set(input, keyed);
-    let mut plan = assemble_components(rows, cols, pairs, None);
+    let (pairs, pairs_time) = Stopwatch::time(|| keyed_pair_set(input, keyed));
+    let (mut plan, assemble_time) =
+        Stopwatch::time(|| assemble_components(rows, cols, pairs, None));
     // Key-channel candidates carry no cost, so the solver scores each one.
     plan.stats.scored_pairs = plan.stats.candidate_pairs;
+    plan.stats.phase.pairs = pairs_time + assemble_time;
+    plan.stats.phase.total = watch.total();
     plan
 }
 
@@ -643,13 +920,14 @@ fn keyed_pair_set(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> Vec<(u
     };
     let bucket_keys = |embedding: Option<&&Vector>, keys: &mut Vec<(u64, u32)>, node: u32| {
         if let (Some(hasher), Some(embedding)) = (&hasher, embedding) {
-            keys.extend(
-                hasher
-                    .band_buckets(embedding, band_bits)
-                    .into_iter()
-                    .enumerate()
-                    .map(|(band, bucket)| (band_bucket_key(band, bucket), node)),
-            );
+            // One signature, then a shift/mask per band: hash-identical to
+            // mapping `band_buckets` through `band_bucket_key`, with no
+            // per-vector Vec (or String) allocation.
+            let signature = hasher.signature(embedding);
+            let mask = if band_bits >= 64 { u64::MAX } else { (1u64 << band_bits) - 1 };
+            keys.extend((0..hasher.bits() / band_bits).map(|band| {
+                (band_bucket_key(band, (signature >> (band * band_bits)) & mask), node)
+            }));
         }
     };
 
@@ -721,7 +999,8 @@ fn keyed_pair_set(input: &FoldInputs<'_>, keyed: &KeyedBlockingConfig) -> Vec<(u
             }
         }
     }
-    pairs.sort_unstable();
+    // The bitmap/map already deduplicated; canonicalization radix-sorts.
+    canonicalize_pairs(&mut pairs, rows, cols);
     pairs
 }
 
@@ -770,16 +1049,33 @@ fn assemble_components_split(
     }
 
     // Kruskal rebuild: strongest (smallest-distance) edges first, capped
-    // cluster sizes.  Ties break on the pair itself for determinism.
-    let mut order: Vec<usize> = (0..pairs.len()).collect();
-    order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]).then_with(|| pairs[a].cmp(&pairs[b])));
+    // cluster sizes.  Ties break on the pair itself for determinism — the
+    // pair list arrives canonical (strictly ascending), so the index is the
+    // pair order and the whole sort key packs into one u64 (total-order cost
+    // bits high, index low), sorted without a comparator closure.
+    debug_assert!(
+        pairs.windows(2).all(|w| w[0] < w[1]),
+        "assemble_components_split needs a canonical pair list"
+    );
+    let order: Vec<usize> = if pairs.len() <= u32::MAX as usize {
+        let mut packed: Vec<u64> = costs
+            .iter()
+            .enumerate()
+            .map(|(idx, &cost)| ((total_order_bits(cost) as u64) << 32) | idx as u64)
+            .collect();
+        packed.sort_unstable();
+        packed.into_iter().map(|key| (key & u32::MAX as u64) as usize).collect()
+    } else {
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]).then_with(|| pairs[a].cmp(&pairs[b])));
+        order
+    };
     let mut parent: Vec<usize> = (0..rows + cols).collect();
     let mut row_count = vec![0usize; rows + cols];
     let mut col_count = vec![0usize; rows + cols];
     row_count[..rows].fill(1);
     col_count[rows..].fill(1);
     let mut kept = vec![false; pairs.len()];
-    let mut cut_edges: Vec<CutEdge> = Vec::new();
     for idx in order {
         let (r, c) = pairs[idx];
         let (ra, rb) = (find(&mut parent, r), find(&mut parent, rows + c));
@@ -795,20 +1091,36 @@ fn assemble_components_split(
             row_count[root] = merged_rows;
             col_count[root] = merged_cols;
             kept[idx] = true;
-        } else {
-            cut_edges.push(CutEdge { row: r, col: c, distance: costs[idx] });
         }
     }
-    cut_edges.sort_by_key(|edge| (edge.row, edge.col));
-
-    let (kept_pairs, kept_costs): (Vec<(usize, usize)>, Vec<f32>) = pairs
+    // Severed edges read back out of the kept bitmap in index order — the
+    // pair list is canonical, so they come out already sorted by (row, col)
+    // and the old post-hoc sort disappears.
+    let cut_edges: Vec<CutEdge> = kept
         .iter()
-        .zip(&costs)
         .enumerate()
-        .filter(|(idx, _)| kept[*idx])
-        .map(|(_, (&pair, &cost))| (pair, cost))
-        .unzip();
-    let mut plan = assemble_components(rows, cols, kept_pairs, Some(kept_costs));
+        .filter(|&(_, &keep)| !keep)
+        .map(|(idx, _)| CutEdge { row: pairs[idx].0, col: pairs[idx].1, distance: costs[idx] })
+        .collect();
+
+    // Compact the kept edges in place (the lists are ours to reuse), then
+    // hand the Kruskal union-find over directly: it unioned exactly the kept
+    // edges, so it already is the component structure of the kept pairs, and
+    // roots are the minimum node of each component by construction, so block
+    // order is unaffected.
+    let mut pairs = pairs;
+    let mut costs = costs;
+    let mut write = 0usize;
+    for idx in 0..pairs.len() {
+        if kept[idx] {
+            pairs[write] = pairs[idx];
+            costs[write] = costs[idx];
+            write += 1;
+        }
+    }
+    pairs.truncate(write);
+    costs.truncate(write);
+    let mut plan = assemble_from_parent(rows, cols, pairs, Some(costs), parent);
     plan.stats.split_components = oversized;
     plan.stats.severed_pairs = cut_edges.len();
     plan.cut_edges = cut_edges;
@@ -830,23 +1142,40 @@ fn assemble_components(
     for &(r, c) in &pairs {
         union(&mut parent, r, rows + c);
     }
+    assemble_from_parent(rows, cols, pairs, costs, parent)
+}
 
+/// [`assemble_components`] with the union-find already built — callers that
+/// ran a union pass over exactly these pairs (the Kruskal splitter) skip the
+/// rebuild.
+fn assemble_from_parent(
+    rows: usize,
+    cols: usize,
+    pairs: Vec<(usize, usize)>,
+    costs: Option<Vec<f32>>,
+    mut parent: Vec<usize>,
+) -> BlockPlan {
     // Gather components in node order for determinism; nodes in no candidate
-    // pair form one-sided components and are dropped below.
+    // pair form one-sided components and are dropped below.  Roots index a
+    // plain vector (sentinel = unseen) — the pair scatter below does one
+    // lookup per pair, which a hash map would turn into the hottest line of
+    // plan assembly.
     let with_costs = costs.is_some();
-    let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+    const UNSEEN: usize = usize::MAX;
+    let mut component_of_root: Vec<usize> = vec![UNSEEN; rows + cols];
     let mut blocks: Vec<Block> = Vec::new();
     for node in 0..rows + cols {
         let root = find(&mut parent, node);
-        let idx = *component_of_root.entry(root).or_insert_with(|| {
+        if component_of_root[root] == UNSEEN {
+            component_of_root[root] = blocks.len();
             blocks.push(Block {
                 rows: Vec::new(),
                 cols: Vec::new(),
                 pairs: Some(Vec::new()),
                 costs: with_costs.then(Vec::new),
             });
-            blocks.len() - 1
-        });
+        }
+        let idx = component_of_root[root];
         if node < rows {
             blocks[idx].rows.push(node);
         } else {
@@ -856,7 +1185,7 @@ fn assemble_components(
     let costs = costs.unwrap_or_default();
     for (idx, (r, c)) in pairs.into_iter().enumerate() {
         let root = find(&mut parent, r);
-        let block = &mut blocks[component_of_root[&root]];
+        let block = &mut blocks[component_of_root[root]];
         if let Some(block_pairs) = &mut block.pairs {
             block_pairs.push((r, c));
         }
@@ -917,6 +1246,18 @@ pub fn plan_cartesian(rows: usize, cols: usize) -> BlockPlan {
         ..BlockingStats::default()
     };
     BlockPlan { blocks, cut_edges: Vec::new(), stats }
+}
+
+/// Monotone map from [`f32::total_cmp`] order onto unsigned integer order:
+/// negative floats flip every bit, non-negatives flip the sign bit.  Lets a
+/// cost ride in the high half of a packed `u64` sort key.
+fn total_order_bits(cost: f32) -> u32 {
+    let bits = cost.to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000
+    }
 }
 
 fn find(parent: &mut [usize], node: usize) -> usize {
@@ -1264,6 +1605,81 @@ mod tests {
         assert_eq!(plan.blocks.len(), 1);
         assert_eq!(plan.stats.candidate_pairs, 1);
         assert_eq!(plan.stats.max_block_size, 2);
+    }
+
+    #[test]
+    fn canonicalize_pairs_matches_comparison_sort() {
+        // A small dense id space exercises the radix path; the oversized one
+        // exercises the comparison fallback.  Both must agree with the
+        // reference sort+dedup on every input, duplicates included.
+        type Case = (Vec<(usize, usize)>, usize, usize);
+        let cases: Vec<Case> = vec![
+            (vec![], 4, 4),
+            (vec![(3, 2)], 4, 4),
+            (vec![(1, 1), (0, 3), (1, 1), (0, 0), (3, 2), (0, 3), (2, 1)], 4, 4),
+            (vec![(0, 0), (0, 0), (0, 0)], 1, 1),
+            (vec![(7, 900_000), (2, 1), (7, 900_000), (0, 999_999)], 1_000_000, 1_000_000),
+        ];
+        for (pairs, rows, cols) in cases {
+            let mut expected = pairs.clone();
+            expected.sort_unstable();
+            expected.dedup();
+            let mut canonical = pairs.clone();
+            canonicalize_pairs(&mut canonical, rows, cols);
+            assert_eq!(canonical, expected, "input {pairs:?}");
+            assert!(canonical.len() <= pairs.len());
+        }
+    }
+
+    #[test]
+    fn canonicalize_pairs_with_costs_keeps_costs_aligned() {
+        // Duplicates carry equal costs (the planner's contract), so any
+        // surviving copy must keep its pair's cost.
+        let pairs = vec![(2usize, 0usize), (0, 1), (2, 0), (1, 1), (0, 1), (0, 0)];
+        let costs = vec![0.5f32, 0.25, 0.5, 0.75, 0.25, 0.125];
+        for (rows, cols) in [(3usize, 2usize), (100_000, 100_000)] {
+            let mut p = pairs.clone();
+            let mut c = costs.clone();
+            canonicalize_pairs_with_costs(&mut p, &mut c, rows, cols);
+            assert_eq!(p, vec![(0, 0), (0, 1), (1, 1), (2, 0)]);
+            assert_eq!(c, vec![0.125, 0.25, 0.75, 0.5]);
+        }
+    }
+
+    #[test]
+    fn cost_planners_attribute_their_phases() {
+        let near = |base: f32| Vector::new(vec![base, 1.0 - base, 0.0, 0.0]);
+        let (r0, c0) = (near(0.45), near(0.55));
+        let input = FoldInputs {
+            row_embeddings: &[&r0],
+            col_embeddings: &[&c0],
+            theta: 0.5,
+            ..FoldInputs::default()
+        };
+        let policy = BlockingPolicy::Keyed(KeyedBlockingConfig {
+            min_blocked_pairs: 0,
+            ..KeyedBlockingConfig::default()
+        });
+        let exact = plan_blocks(&input, &policy);
+        assert!(exact.stats.phase.total > std::time::Duration::ZERO);
+        assert!(exact.stats.phase.phase_sum() <= exact.stats.phase.total);
+        let escalating = BlockingPolicy::Keyed(KeyedBlockingConfig {
+            min_blocked_pairs: 0,
+            escalation: crate::config::EscalationPolicy {
+                min_fold_pairs: 0,
+                ..crate::config::EscalationPolicy::default()
+            },
+            ..KeyedBlockingConfig::default()
+        });
+        let escalated = plan_blocks(&input, &escalating);
+        assert_eq!(escalated.stats.escalated_folds, 1);
+        assert!(escalated.stats.phase.total > std::time::Duration::ZERO);
+        assert!(escalated.stats.phase.phase_sum() <= escalated.stats.phase.total);
+        // Phase timings accumulate across merges like every other counter.
+        let mut acc = BlockingStats::default();
+        acc.merge(&exact.stats);
+        acc.merge(&escalated.stats);
+        assert_eq!(acc.phase.total, exact.stats.phase.total + escalated.stats.phase.total);
     }
 
     #[test]

@@ -49,15 +49,16 @@ pub mod session;
 pub mod value_match;
 
 pub use blocking::{
-    band_bucket_key, embedding_bucket_keys, embedding_hasher, hash_key, hashed_keys,
-    hashed_value_block_keys, plan_blocks, plan_cartesian, value_block_keys, Block, BlockPlan,
-    BlockingStats, CutEdge, FoldInputs,
+    band_bucket_key, canonicalize_pairs, canonicalize_pairs_with_costs, embedding_bucket_keys,
+    embedding_hasher, hash_key, hashed_keys, hashed_value_block_keys, plan_blocks, plan_cartesian,
+    value_block_keys, Block, BlockPlan, BlockingStats, CutEdge, FoldInputs,
 };
 pub use config::{
     AssignmentStrategy, BlockingPolicy, EscalationPolicy, FuzzyFdConfig, IncrementalPolicy,
     KeyedBlockingConfig, SemanticBlocking,
 };
 pub use lake_embed::{AnnIndex, AnnParams, KernelStats};
+pub use lake_metrics::PhaseTimings;
 pub use lake_runtime::{ParallelPolicy, RuntimeStats};
 pub use pipeline::{
     regular_full_disjunction, FuzzyFdReport, FuzzyFullDisjunction, IntegrationOutcome,

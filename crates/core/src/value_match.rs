@@ -15,8 +15,11 @@
 
 use std::collections::HashMap;
 
-use lake_assign::{solve, Assignment, AssignmentAlgorithm, CostMatrix};
+use lake_assign::{
+    solve, sparse_shortest_augmenting_path, AssignmentAlgorithm, CostMatrix, SparseCostMatrix,
+};
 use lake_embed::{Embedder, Vector};
+use lake_metrics::Stopwatch;
 use lake_runtime::{ParallelPolicy, RuntimeStats};
 use lake_table::Value;
 
@@ -303,10 +306,15 @@ impl<'a> ValueMatcher<'a> {
             let value_embeddings: Vec<Vector> =
                 fuzzy_values.iter().map(|v| self.embedder.embed(&v.render())).collect();
             let plan = self.plan_fold(&candidate_groups, groups, &fuzzy_values, &value_embeddings);
-            let (accepted, scheduling) =
-                self.solve_blocks(&plan.blocks, &candidate_groups, groups, &value_embeddings);
+            let ((accepted, scheduling), solve_time) = Stopwatch::time(|| {
+                self.solve_blocks(&plan.blocks, &candidate_groups, groups, &value_embeddings)
+            });
             stats = plan.stats;
             stats.runtime.merge(&scheduling);
+            // The assignment solve happens outside the planner, so its wall
+            // clock is appended to both the phase and the fold total here.
+            stats.phase.assign += solve_time;
+            stats.phase.total += solve_time;
             for (row, col) in accepted {
                 let g_idx = candidate_groups[row];
                 let keys = self.value_surface_keys(&fuzzy_values[col]);
@@ -370,6 +378,7 @@ impl<'a> ValueMatcher<'a> {
         // key-based channels only hash this fold's new values here.  An
         // escalating exact-channel fold has no maintained keys and rebuilds
         // them from the members (duplicates are fine — the planner dedups).
+        let key_watch = Stopwatch::start();
         let row_keys: Vec<Vec<u64>> = if self.uses_surface_keys() {
             candidate_groups.iter().map(|&g_idx| groups[g_idx].surface_keys.clone()).collect()
         } else if escalates {
@@ -391,6 +400,7 @@ impl<'a> ValueMatcher<'a> {
         } else {
             Vec::new()
         };
+        let key_time = key_watch.total();
         let input = FoldInputs {
             row_keys: &row_keys,
             col_keys: &col_keys,
@@ -398,7 +408,13 @@ impl<'a> ValueMatcher<'a> {
             col_embeddings: &col_embeddings,
             theta: self.config.theta,
         };
-        plan_blocks(&input, &BlockingPolicy::Keyed(keyed))
+        let mut plan = plan_blocks(&input, &BlockingPolicy::Keyed(keyed));
+        // Key extraction above is hashing work the planner did not see —
+        // fold it into the hash phase so the attribution covers the whole
+        // planning wall clock.
+        plan.stats.phase.hash += key_time;
+        plan.stats.phase.total += key_time;
+        plan
     }
 
     /// Solves every block and returns the accepted `(row, col)` pairs, where
@@ -437,11 +453,56 @@ impl<'a> ValueMatcher<'a> {
         }
 
         let solve_one = |block: &Block| -> Vec<(usize, usize)> {
+            let n_cols = block.cols.len();
+            let algorithm = self.resolved_algorithm(block.rows.len(), n_cols);
+            // Sparse fast path: a plan that enumerated its candidate pairs
+            // needs no dense matrix under the SAP solver — the sparse solver
+            // replays the dense big-M arithmetic over candidate cells only,
+            // bit-identical by construction (see `lake_assign::sparse`).
+            // Hungarian and Greedy (incl. ExactUpTo demotions) keep the dense
+            // path, as do cartesian blocks, which have no pair list.
+            if algorithm == AssignmentAlgorithm::ShortestAugmentingPath {
+                if let Some(pairs) = &block.pairs {
+                    let mut entries: Vec<(usize, usize, f64)> = Vec::with_capacity(pairs.len());
+                    for (idx, &(r, c)) in pairs.iter().enumerate() {
+                        let lr = block.rows.binary_search(&r).expect("pair row outside block");
+                        let lc = block.cols.binary_search(&c).expect("pair col outside block");
+                        let cost = match &block.costs {
+                            Some(costs) => costs[idx] as f64,
+                            None => {
+                                groups[candidate_groups[r]].embedding.cosine_distance_given_norms(
+                                    group_norms[r],
+                                    &value_embeddings[c],
+                                    value_norms[c],
+                                ) as f64
+                            }
+                        };
+                        entries.push((lr, lc, cost));
+                    }
+                    // Canonical plans arrive row-major already; sorting a
+                    // sorted run is O(n) and keeps the invariant local.
+                    entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+                    let matrix = SparseCostMatrix::from_entries(
+                        block.rows.len(),
+                        n_cols,
+                        PRUNED_COST,
+                        &entries,
+                    )
+                    .expect("planner pairs are deduplicated and in range");
+                    let assignment = sparse_shortest_augmenting_path(&matrix);
+                    let accepted = assignment
+                        .threshold_with(|r, c| matrix.get(r, c), self.config.theta as f64);
+                    return accepted
+                        .pairs
+                        .iter()
+                        .map(|&(r, c)| (block.rows[r], block.cols[c]))
+                        .collect();
+                }
+            }
             // Local-index grid of the block's candidate pairs; rows/cols are
             // sorted, so global→local is a binary search.  An exact-channel
             // plan already measured each candidate's distance — reuse it so
             // the matrix entry is bit-identical and computed exactly once.
-            let n_cols = block.cols.len();
             let grid: Option<Vec<Cell>> = block.pairs.as_ref().map(|pairs| {
                 let mut grid = vec![Cell::Masked; block.rows.len() * n_cols];
                 for (idx, &(r, c)) in pairs.iter().enumerate() {
@@ -469,7 +530,7 @@ impl<'a> ValueMatcher<'a> {
                     value_norms[col],
                 ) as f64
             });
-            let assignment = self.solve_assignment(&matrix);
+            let assignment = solve(&matrix, algorithm);
             let accepted = assignment.threshold(&matrix, self.config.theta as f64);
             accepted.pairs.iter().map(|&(r, c)| (block.rows[r], block.cols[c])).collect()
         };
@@ -503,18 +564,19 @@ impl<'a> ValueMatcher<'a> {
         }
     }
 
-    fn solve_assignment(&self, matrix: &CostMatrix) -> Assignment {
-        let algorithm = match self.config.assignment_strategy {
+    /// The algorithm the configured strategy resolves to for a block of the
+    /// given shape (`ExactUpTo` demotes oversized blocks to Greedy).
+    fn resolved_algorithm(&self, rows: usize, cols: usize) -> AssignmentAlgorithm {
+        match self.config.assignment_strategy {
             AssignmentStrategy::AlwaysExact => self.config.assignment_algorithm,
             AssignmentStrategy::ExactUpTo { max_side } => {
-                if matrix.rows().max(matrix.cols()) <= max_side {
+                if rows.max(cols) <= max_side {
                     self.config.assignment_algorithm
                 } else {
                     AssignmentAlgorithm::Greedy
                 }
             }
-        };
-        solve(matrix, algorithm)
+        }
     }
 
     fn singleton(&self, position: ColumnPosition, value: Value) -> WorkingGroup {

@@ -34,9 +34,99 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::hashing::SimHasher;
-use crate::vector::Vector;
+use crate::hashing::{packed_band_key, ProbeScratch, SimHasher};
+use crate::vector::{QuantizedSlab, Vector};
+
+/// Pass-through [`Hasher`] for the packed band keys: the low bits of a
+/// packed key are SimHash signature bits — already uniformly distributed by
+/// the random hyperplanes — so re-hashing them through SipHash would only
+/// burn cycles per probe.
+#[derive(Debug, Clone, Default)]
+struct PackedKeyHasher(u64);
+
+impl Hasher for PackedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("packed band keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key;
+    }
+}
+
+/// Bucket map keyed on [`packed_band_key`] values with identity hashing.
+type PackedKeyMap<V> = HashMap<u64, V, BuildHasherDefault<PackedKeyHasher>>;
+
+/// Slot-count ceiling for the direct-indexed bucket table: a `u32` offset
+/// per slot, so the default shape (8 bands × 2⁸ buckets = 2048 slots) costs
+/// 8 KiB and even the cap costs 4 MiB — far cheaper than a pointer chase
+/// per probe.
+const MAX_DENSE_SLOTS: usize = 1 << 20;
+
+/// Physical bucket storage of an [`AnnIndex`].
+///
+/// A packed band key is `(band << band_bits) | bucket`, so for narrow bands
+/// the whole key space is a small dense range — the buckets become one flat
+/// CSR array indexed directly by key, and a probe is two array reads instead
+/// of a hash lookup chasing a per-bucket heap `Vec`.  Wide bands (sparse key
+/// spaces) keep the identity-hashed map.
+#[derive(Debug, Clone)]
+enum BucketStore {
+    /// `offsets[key]..offsets[key + 1]` spans the bucket's ids in `ids`.
+    Dense { offsets: Vec<u32>, ids: Vec<u32> },
+    /// Sparse key space: [`packed_band_key`] → ids, identity-hashed.
+    Sparse(PackedKeyMap<Vec<u32>>),
+}
+
+impl BucketStore {
+    fn empty() -> Self {
+        BucketStore::Sparse(PackedKeyMap::default())
+    }
+
+    /// The ids bucketed under `key` (empty when the bucket does not exist).
+    #[inline]
+    fn get(&self, key: u64) -> &[u32] {
+        match self {
+            BucketStore::Dense { offsets, ids } => {
+                let slot = key as usize;
+                debug_assert!(slot + 1 < offsets.len(), "probed key outside the dense table");
+                &ids[offsets[slot] as usize..offsets[slot + 1] as usize]
+            }
+            BucketStore::Sparse(map) => map.get(&key).map_or(&[], Vec::as_slice),
+        }
+    }
+
+    /// Applies `f` to every stored id (the zero-dim-gap remap in
+    /// [`AnnIndex::build`]).
+    fn for_each_id_mut(&mut self, mut f: impl FnMut(&mut u32)) {
+        match self {
+            BucketStore::Dense { ids, .. } => ids.iter_mut().for_each(&mut f),
+            BucketStore::Sparse(map) => {
+                map.values_mut().for_each(|bucket| bucket.iter_mut().for_each(&mut f));
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`AnnIndex::candidates_with`]: one instance per
+/// query loop amortises the probe-sequence and key-list allocations that the
+/// per-call API would otherwise pay per query.
+#[derive(Debug, Default)]
+pub struct AnnScratch {
+    probe: ProbeScratch,
+    keys: Vec<u64>,
+    /// Per-id distinct-band hit counters, sized to the index and zeroed
+    /// between queries by walking `touched` (never by refilling).
+    counts: Vec<u32>,
+    /// The ids whose counter moved this query — the only ones to reset.
+    touched: Vec<u32>,
+}
 
 /// Tuning knobs of an [`AnnIndex`]: the SimHash banding shape and how many
 /// buckets each query probes per band.
@@ -147,8 +237,8 @@ impl AnnParams {
 pub struct AnnIndex {
     params: AnnParams,
     hasher: Option<SimHasher>,
-    /// `(band, bucket) → indexed vector ids`, in insertion (id) order.
-    buckets: HashMap<(u32, u64), Vec<u32>>,
+    /// [`packed_band_key`] → indexed vector ids, in insertion (id) order.
+    buckets: BucketStore,
     indexed: usize,
 }
 
@@ -156,29 +246,113 @@ impl AnnIndex {
     /// Indexes `vectors` (ids are their enumeration order) under every band
     /// bucket of their SimHash signature.
     ///
+    /// Internally the hashable (non-zero-dimensional) vectors are packed
+    /// into a [`QuantizedSlab`] and signed in one batch sweep
+    /// ([`build_from_slab`](Self::build_from_slab)); callers that already
+    /// hold a slab — e.g. to share with the exact re-scoring kernel —
+    /// should build from it directly and skip the repack.
+    ///
     /// # Panics
     /// Panics on an invalid [`AnnParams`] (see [`AnnParams::validate`]) and
     /// when more than `u32::MAX` vectors are supplied.
     pub fn build<'a>(params: AnnParams, vectors: impl IntoIterator<Item = &'a Vector>) -> Self {
         params.validate();
-        let mut hasher: Option<SimHasher> = None;
-        let mut buckets: HashMap<(u32, u64), Vec<u32>> = HashMap::new();
         let mut indexed = 0usize;
+        let mut ids: Vec<u32> = Vec::new();
+        let mut refs: Vec<&Vector> = Vec::new();
         for (id, vector) in vectors.into_iter().enumerate() {
             assert!(id <= u32::MAX as usize, "ANN index capacity exceeded");
             indexed = id + 1;
-            if vector.dim() == 0 {
-                continue;
-            }
-            let hasher =
-                hasher.get_or_insert_with(|| SimHasher::new(params.signature_bits(), vector.dim()));
-            for (band, bucket) in
-                hasher.band_buckets(vector, params.band_bits).into_iter().enumerate()
-            {
-                buckets.entry((band as u32, bucket)).or_default().push(id as u32);
+            // Zero-dimensional vectors keep their id but are inert.
+            if vector.dim() > 0 {
+                ids.push(id as u32);
+                refs.push(vector);
             }
         }
-        AnnIndex { params, hasher, buckets, indexed }
+        if refs.is_empty() {
+            return AnnIndex { params, hasher: None, buckets: BucketStore::empty(), indexed };
+        }
+        let slab = QuantizedSlab::from_vectors(&refs);
+        let mut index = AnnIndex::build_from_slab(params, &slab);
+        index.indexed = indexed;
+        // Slab slots equal original ids unless zero-dimensional gaps shifted
+        // them; remap only in that (test-only) case.
+        if ids.iter().enumerate().any(|(slot, &id)| slot as u32 != id) {
+            index.buckets.for_each_id_mut(|slot| *slot = ids[*slot as usize]);
+        }
+        index
+    }
+
+    /// Indexes every row of a pre-packed slab (ids are row indices).  This
+    /// is the batch fast path: signatures come from one slab-resident sweep
+    /// ([`SimHasher::slab_signatures_into`]) with zero per-vector
+    /// allocations, and the slab can be shared with the exact re-scoring
+    /// kernel instead of being quantized twice.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`AnnParams`] and when the slab holds more than
+    /// `u32::MAX` rows.
+    pub fn build_from_slab(params: AnnParams, slab: &QuantizedSlab) -> Self {
+        params.validate();
+        assert!(slab.len() <= u32::MAX as usize, "ANN index capacity exceeded");
+        if slab.is_empty() || slab.dim() == 0 {
+            return AnnIndex {
+                params,
+                hasher: None,
+                buckets: BucketStore::empty(),
+                indexed: slab.len(),
+            };
+        }
+        let hasher = SimHasher::new(params.signature_bits(), slab.dim());
+        let mut signatures = Vec::new();
+        hasher.slab_signatures_into(slab, &mut signatures);
+        let mask = if params.band_bits >= 64 { u64::MAX } else { (1u64 << params.band_bits) - 1 };
+        // Narrow bands direct-index a flat CSR table (two counting passes,
+        // ids ascending per bucket exactly like map insertion order); wide
+        // bands fall back to the identity-hashed map.
+        let dense_slots = params
+            .bands
+            .checked_shl(params.band_bits.min(u32::MAX as usize) as u32)
+            .filter(|&slots| slots <= MAX_DENSE_SLOTS);
+        let buckets = match dense_slots {
+            Some(slots) => {
+                let mut offsets = vec![0u32; slots + 1];
+                for &signature in &signatures {
+                    for band in 0..params.bands {
+                        let bucket = (signature >> (band * params.band_bits)) & mask;
+                        let slot = packed_band_key(band, params.band_bits, bucket) as usize;
+                        offsets[slot + 1] += 1;
+                    }
+                }
+                for slot in 1..offsets.len() {
+                    offsets[slot] += offsets[slot - 1];
+                }
+                let mut cursor: Vec<u32> = offsets.clone();
+                let mut ids = vec![0u32; signatures.len() * params.bands];
+                for (id, &signature) in signatures.iter().enumerate() {
+                    for band in 0..params.bands {
+                        let bucket = (signature >> (band * params.band_bits)) & mask;
+                        let slot = packed_band_key(band, params.band_bits, bucket) as usize;
+                        ids[cursor[slot] as usize] = id as u32;
+                        cursor[slot] += 1;
+                    }
+                }
+                BucketStore::Dense { offsets, ids }
+            }
+            None => {
+                let mut map: PackedKeyMap<Vec<u32>> = PackedKeyMap::default();
+                for (id, &signature) in signatures.iter().enumerate() {
+                    for band in 0..params.bands {
+                        let bucket = (signature >> (band * params.band_bits)) & mask;
+                        map.entry(packed_band_key(band, params.band_bits, bucket))
+                            .or_default()
+                            .push(id as u32);
+                    }
+                }
+                BucketStore::Sparse(map)
+            }
+        };
+        AnnIndex { params, hasher: Some(hasher), buckets, indexed: slab.len() }
     }
 
     /// The configuration the index was built with.
@@ -206,44 +380,74 @@ impl AnnIndex {
     }
 
     /// As [`candidates`](Self::candidates), reusing `out` (cleared first) so
-    /// per-query allocation amortises away in fold loops.
+    /// per-query allocation amortises away in fold loops.  Convenience
+    /// wrapper over [`candidates_with`](Self::candidates_with) that pays a
+    /// fresh scratch per call.
     pub fn candidates_into(&self, query: &Vector, out: &mut Vec<u32>) {
+        self.candidates_with(query, &mut AnnScratch::default(), out);
+    }
+
+    /// The fully amortised query path: as
+    /// [`candidates_into`](Self::candidates_into) but drawing every probe
+    /// buffer from `scratch`, so a fold loop performs zero allocations per
+    /// query after warm-up.
+    pub fn candidates_with(&self, query: &Vector, scratch: &mut AnnScratch, out: &mut Vec<u32>) {
         out.clear();
         let Some(hasher) = &self.hasher else { return };
         if query.dim() == 0 {
             return;
         }
-        for (band, probe_buckets) in hasher
-            .probe_band_buckets(query, self.params.band_bits, self.params.effective_probes())
-            .into_iter()
-            .enumerate()
-        {
-            for bucket in probe_buckets {
-                if let Some(ids) = self.buckets.get(&(band as u32, bucket)) {
-                    out.extend_from_slice(ids);
+        hasher.probe_packed_keys_into(
+            query.components(),
+            self.params.band_bits,
+            self.params.effective_probes(),
+            &mut scratch.probe,
+            &mut scratch.keys,
+        );
+        // An id occurs at most once per band (each vector is indexed under
+        // exactly one bucket per band), so its occurrence count across the
+        // probed buckets is its distinct-band hit count.  Counting into a
+        // scratch array filters against the AND floor without sorting the
+        // full probe multiset.  The bucket sizes are known up front, so the
+        // query picks its filtering strategy before counting: a query that
+        // touches a large fraction of the index counts branch-free and
+        // sweeps the counters sequentially (ids come out ascending for
+        // free); a sparse query tracks the touched ids and sorts only the
+        // survivors.  Both emit the identical sorted candidate list.
+        scratch.counts.resize(self.indexed, 0);
+        let min_hits = self.params.min_band_hits as u32;
+        let occurrences: usize = scratch.keys.iter().map(|&key| self.buckets.get(key).len()).sum();
+        if occurrences * 2 >= self.indexed {
+            for &key in &scratch.keys {
+                for &id in self.buckets.get(key) {
+                    scratch.counts[id as usize] += 1;
                 }
             }
-        }
-        out.sort_unstable();
-        // An id occurs at most once per band (each vector is indexed under
-        // exactly one bucket per band), so its multiplicity in `out` is its
-        // distinct-band hit count — run-length filter against the AND floor.
-        let min_hits = self.params.min_band_hits;
-        let mut write = 0usize;
-        let mut read = 0usize;
-        while read < out.len() {
-            let id = out[read];
-            let mut run = read + 1;
-            while run < out.len() && out[run] == id {
-                run += 1;
+            for (id, count) in scratch.counts.iter_mut().enumerate() {
+                if *count >= min_hits {
+                    out.push(id as u32);
+                }
+                *count = 0;
             }
-            if run - read >= min_hits {
-                out[write] = id;
-                write += 1;
+        } else {
+            scratch.touched.clear();
+            for &key in &scratch.keys {
+                for &id in self.buckets.get(key) {
+                    let count = &mut scratch.counts[id as usize];
+                    if *count == 0 {
+                        scratch.touched.push(id);
+                    }
+                    *count += 1;
+                }
             }
-            read = run;
+            for &id in &scratch.touched {
+                if scratch.counts[id as usize] >= min_hits {
+                    out.push(id);
+                }
+                scratch.counts[id as usize] = 0;
+            }
+            out.sort_unstable();
         }
-        out.truncate(write);
     }
 }
 
@@ -368,6 +572,57 @@ mod tests {
             // A vector always lands in its own bucket in every band.
             assert!(index.candidates(&indexed[0]).contains(&0));
             assert!(index.candidates(&indexed[1]).contains(&1));
+        }
+    }
+
+    #[test]
+    fn slab_build_matches_iterator_build() {
+        let indexed = embeddings(&["Berlin", "Toronto", "Barcelona", "Quito", "Lima"]);
+        let refs: Vec<&Vector> = indexed.iter().collect();
+        let slab = crate::vector::QuantizedSlab::from_vectors(&refs);
+        let from_iter = AnnIndex::build(AnnParams::default(), indexed.iter());
+        let from_slab = AnnIndex::build_from_slab(AnnParams::default(), &slab);
+        assert_eq!(from_iter.len(), from_slab.len());
+        let mut scratch = AnnScratch::default();
+        let mut scratched = Vec::new();
+        for query in embeddings(&["Berlinn", "Torontoo", "Lagos", ""]) {
+            let expected = from_iter.candidates(&query);
+            assert_eq!(from_slab.candidates(&query), expected);
+            from_slab.candidates_with(&query, &mut scratch, &mut scratched);
+            assert_eq!(scratched, expected, "scratch path diverged");
+        }
+    }
+
+    #[test]
+    fn wide_band_key_spaces_fall_back_to_the_sparse_store() {
+        // 2 bands × 2³⁰ buckets blow past MAX_DENSE_SLOTS, so this shape must
+        // take the Sparse store — and retrieval semantics must not change:
+        // self-collision, iterator/slab build parity and the scratch path all
+        // behave exactly as they do under the dense table.
+        let params = AnnParams { bands: 2, band_bits: 30, probes: 2, min_band_hits: 1 };
+        let indexed = embeddings(&["Berlin", "Toronto", "Barcelona", "Quito", "Lima"]);
+        let refs: Vec<&Vector> = indexed.iter().collect();
+        let slab = crate::vector::QuantizedSlab::from_vectors(&refs);
+        let index = AnnIndex::build_from_slab(params, &slab);
+        assert!(
+            matches!(index.buckets, BucketStore::Sparse(_)),
+            "a 2³¹-slot key space must not allocate a dense table"
+        );
+        for (id, vector) in indexed.iter().enumerate() {
+            assert!(
+                index.candidates(vector).contains(&(id as u32)),
+                "vector {id} no longer collides with itself in the sparse store"
+            );
+        }
+        let from_iter = AnnIndex::build(params, indexed.iter());
+        let mut scratch = AnnScratch::default();
+        let mut out = Vec::new();
+        for query in embeddings(&["Berlinn", "Torontoo", ""]) {
+            let expected = from_iter.candidates(&query);
+            assert_eq!(index.candidates(&query), expected);
+            index.candidates_with(&query, &mut scratch, &mut out);
+            assert_eq!(out, expected, "scratch path diverged in the sparse store");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "candidates must stay sorted unique");
         }
     }
 

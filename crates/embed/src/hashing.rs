@@ -21,7 +21,27 @@
 use lake_text::{padded_char_ngrams, words};
 
 use crate::embedder::{fnv1a, seeded_direction, Embedder};
-use crate::vector::Vector;
+use crate::vector::{QuantizedSlab, Vector};
+
+/// Packs one SimHash band collision key into a `u64`: band id in the high
+/// bits, band signature (bucket) in the low `band_bits` bits.  This is the
+/// allocation-free twin of the `sh<band>:<bucket>` strings of
+/// [`SimHasher::band_keys`] — identity-hashed bucket maps key on it directly,
+/// so the hot paths never materialise a `String` per band per vector.
+///
+/// Distinct `(band, bucket)` inputs map to distinct keys by construction
+/// (the bucket occupies exactly `band_bits` bits, the band the bits above).
+#[inline]
+pub fn packed_band_key(band: usize, band_bits: usize, bucket: u64) -> u64 {
+    debug_assert!(band_bits > 0 && band_bits <= 64);
+    debug_assert!(band_bits == 64 || bucket < (1u64 << band_bits));
+    if band_bits >= 64 {
+        // A 64-bit band is the whole signature: only band 0 exists.
+        bucket
+    } else {
+        ((band as u64) << band_bits) | bucket
+    }
+}
 
 /// Configuration and state of the hashing n-gram embedder.
 #[derive(Debug, Clone)]
@@ -153,6 +173,106 @@ impl SimHasher {
         signature
     }
 
+    /// The SimHash signature of a raw component slice.  The accumulation
+    /// order is identical to [`signature`](Self::signature) over a
+    /// [`Vector`] with the same components, so a [`QuantizedSlab`] row
+    /// hashes bit-identically to its source vector.
+    ///
+    /// # Panics
+    /// Panics when the slice length differs from the hasher's dimension.
+    pub fn signature_of(&self, components: &[f32]) -> u64 {
+        let mut signature = 0u64;
+        for (bit, direction) in self.directions.iter().enumerate() {
+            if dot_slice(components, direction.components()) >= 0.0 {
+                signature |= 1 << bit;
+            }
+        }
+        signature
+    }
+
+    /// Batch form of [`signature`](Self::signature): one signature per slab
+    /// row, appended to `out` (which is cleared first).  The slab keeps all
+    /// rows contiguous in a single resident allocation, so the batch is one
+    /// matrix sweep with zero per-vector allocations; every signature is
+    /// bit-identical to `signature(&v)` of the row's source vector.
+    ///
+    /// # Panics
+    /// Panics when the slab is non-empty and its dimension differs from the
+    /// hasher's.
+    pub fn slab_signatures_into(&self, slab: &QuantizedSlab, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(slab.len());
+        for i in 0..slab.len() {
+            out.push(self.signature_of(slab.row(i)));
+        }
+    }
+
+    /// As [`projections`](Self::projections) but over a raw component slice
+    /// and into a caller-provided buffer (cleared first) — the
+    /// allocation-free form probing loops reuse.
+    ///
+    /// # Panics
+    /// Panics when the slice length differs from the hasher's dimension.
+    pub fn projections_into(&self, components: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.directions.len());
+        for direction in &self.directions {
+            out.push(dot_slice(components, direction.components()));
+        }
+    }
+
+    /// Query-directed multi-probe **packed** keys: the flattening of
+    /// [`probe_band_buckets`](Self::probe_band_buckets) through
+    /// [`packed_band_key`], emitted into `out` (cleared first) with every
+    /// intermediate buffer drawn from `scratch`.  Key `band * probes' + p`
+    /// (with `probes'` the per-band probe count) is exactly
+    /// `packed_band_key(band, band_bits, probe_band_buckets(..)[band][p])`,
+    /// so callers can bucket on identity-hashed `u64`s with zero per-vector
+    /// allocations.
+    ///
+    /// # Panics
+    /// Panics if `probes == 0`, if `band_bits` is `0` or does not divide
+    /// [`bits`](Self::bits), or if the slice length differs from the
+    /// hasher's dimension.
+    pub fn probe_packed_keys_into(
+        &self,
+        components: &[f32],
+        band_bits: usize,
+        probes: usize,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<u64>,
+    ) {
+        assert!(probes > 0, "at least one probe per band is required");
+        assert!(
+            band_bits > 0 && self.bits().is_multiple_of(band_bits),
+            "band width must divide the signature width"
+        );
+        out.clear();
+        self.projections_into(components, &mut scratch.projections);
+        let mask = if band_bits == 64 { u64::MAX } else { (1u64 << band_bits) - 1 };
+        let mut signature = 0u64;
+        for (bit, &projection) in scratch.projections.iter().enumerate() {
+            if projection >= 0.0 {
+                signature |= 1 << bit;
+            }
+        }
+        for band in 0..self.bits() / band_bits {
+            let base = (signature >> (band * band_bits)) & mask;
+            out.push(packed_band_key(band, band_bits, base));
+            let margins = &scratch.projections[band * band_bits..(band + 1) * band_bits];
+            perturbation_sequence_into(
+                margins,
+                probes - 1,
+                &mut scratch.order,
+                &mut scratch.heap,
+                &mut scratch.flips,
+            );
+            for &flips in scratch.flips.iter() {
+                out.push(packed_band_key(band, band_bits, base ^ flips));
+            }
+        }
+    }
+
     /// The raw hyperplane projections behind [`signature`](Self::signature):
     /// bit *i* of the signature is set iff `projections(v)[i] >= 0`.  The
     /// magnitude `|projections(v)[i]|` is the *margin* of bit *i* — how far
@@ -259,10 +379,32 @@ impl SimHasher {
     }
 }
 
+// Sequential dot product over raw slices, in exactly the accumulation order
+// of `Vector::dot`, so slab rows and their source vectors project (and
+// therefore hash) bit-identically.
+#[inline]
+fn dot_slice(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector dimensions differ");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Reusable buffers for
+/// [`probe_packed_keys_into`](SimHasher::probe_packed_keys_into).  One
+/// instance per probing loop amortises every allocation the per-call API
+/// ([`probe_band_buckets`](SimHasher::probe_band_buckets)) pays per vector.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    projections: Vec<f32>,
+    order: Vec<usize>,
+    heap: Vec<Perturbation>,
+    flips: Vec<u64>,
+}
+
 /// One candidate perturbation during best-first enumeration: `xor` is the
 /// flip mask over the band's bits (in margin-sorted index space mapped back
 /// to real bit positions), `score` the total flipped margin, `last` the
 /// largest margin-sorted index in the set (the expansion frontier).
+#[derive(Debug)]
 struct Perturbation {
     score: f32,
     last: usize,
@@ -277,18 +419,36 @@ struct Perturbation {
 /// frontier bit with the next-ranked one), which enumerates subsets in
 /// exactly nondecreasing score order.
 fn perturbation_sequence(margins: &[f32], count: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    perturbation_sequence_into(margins, count, &mut Vec::new(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// Scratch-buffer core of [`perturbation_sequence`]: identical enumeration,
+/// but `order`/`heap` come from the caller and the flip masks land in `out`
+/// (cleared first), so a probing loop performs zero allocations per band
+/// after warm-up.
+fn perturbation_sequence_into(
+    margins: &[f32],
+    count: usize,
+    order: &mut Vec<usize>,
+    heap: &mut Vec<Perturbation>,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
     let bits = margins.len();
     let count = count.min((1usize << bits.min(20)) - 1);
     if count == 0 || bits == 0 {
-        return Vec::new();
+        return;
     }
     // Rank the band's bits by |margin|, cheapest flip first.
-    let mut order: Vec<usize> = (0..bits).collect();
+    order.clear();
+    order.extend(0..bits);
     order.sort_by(|&a, &b| margins[a].abs().total_cmp(&margins[b].abs()).then_with(|| a.cmp(&b)));
     let cost = |rank: usize| margins[order[rank]].abs();
 
-    let mut heap: Vec<Perturbation> =
-        vec![Perturbation { score: cost(0), last: 0, xor: 1u64 << order[0] }];
+    heap.clear();
+    heap.push(Perturbation { score: cost(0), last: 0, xor: 1u64 << order[0] });
     let pop_min = |heap: &mut Vec<Perturbation>| -> Perturbation {
         let mut best = 0;
         for (i, p) in heap.iter().enumerate().skip(1) {
@@ -301,12 +461,12 @@ fn perturbation_sequence(margins: &[f32], count: usize) -> Vec<u64> {
         heap.swap_remove(best)
     };
 
-    let mut out = Vec::with_capacity(count);
+    out.reserve(count);
     while out.len() < count {
         if heap.is_empty() {
             break;
         }
-        let next = pop_min(&mut heap);
+        let next = pop_min(heap);
         out.push(next.xor);
         if next.last + 1 < bits {
             // Expand: add the next-ranked bit to the set.
@@ -323,7 +483,6 @@ fn perturbation_sequence(margins: &[f32], count: usize) -> Vec<u64> {
             });
         }
     }
-    out
 }
 
 impl Default for HashingNgramEmbedder {
@@ -465,5 +624,79 @@ mod tests {
     #[should_panic(expected = "signature width")]
     fn zero_bits_rejected() {
         SimHasher::new(0, 8);
+    }
+
+    #[test]
+    fn packed_band_keys_are_injective_over_band_and_bucket() {
+        let mut seen = std::collections::HashSet::new();
+        for band in 0..8 {
+            for bucket in 0..(1u64 << 8) {
+                assert!(seen.insert(packed_band_key(band, 8, bucket)));
+            }
+        }
+        // A 64-bit band is the whole signature: the key is the bucket itself.
+        assert_eq!(packed_band_key(0, 64, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn slab_signatures_match_per_vector_signatures() {
+        let e = HashingNgramEmbedder::new();
+        let hasher = SimHasher::new(64, e.dim());
+        let vectors: Vec<Vector> =
+            ["Berlin", "Barcelona", "Toronto", "", "83%"].iter().map(|s| e.embed(s)).collect();
+        let refs: Vec<&Vector> = vectors.iter().collect();
+        let slab = QuantizedSlab::from_vectors(&refs);
+        let mut batch = Vec::new();
+        hasher.slab_signatures_into(&slab, &mut batch);
+        assert_eq!(batch.len(), vectors.len());
+        for (vector, &signature) in vectors.iter().zip(&batch) {
+            assert_eq!(signature, hasher.signature(vector));
+            assert_eq!(signature, hasher.signature_of(vector.components()));
+        }
+    }
+
+    #[test]
+    fn projections_into_matches_allocating_projections() {
+        let e = HashingNgramEmbedder::new();
+        let hasher = SimHasher::new(32, e.dim());
+        let v = e.embed("New Delhi");
+        let mut buffer = vec![1.0f32; 3]; // stale content must be cleared
+        hasher.projections_into(v.components(), &mut buffer);
+        assert_eq!(buffer, hasher.projections(&v));
+    }
+
+    #[test]
+    fn probe_packed_keys_flatten_probe_band_buckets() {
+        let e = HashingNgramEmbedder::new();
+        let hasher = SimHasher::new(32, e.dim());
+        let mut scratch = ProbeScratch::default();
+        let mut packed = Vec::new();
+        for value in ["Berlin", "Barcelona", "Toronto"] {
+            let v = e.embed(value);
+            hasher.probe_packed_keys_into(v.components(), 8, 5, &mut scratch, &mut packed);
+            let reference: Vec<u64> = hasher
+                .probe_band_buckets(&v, 8, 5)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(band, buckets)| {
+                    buckets.into_iter().map(move |bucket| packed_band_key(band, 8, bucket))
+                })
+                .collect();
+            assert_eq!(packed, reference, "scratch probing diverged for {value:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn packed_probing_rejects_zero_probes() {
+        let hasher = SimHasher::new(32, 8);
+        let v = Vector::zeros(8);
+        hasher.probe_packed_keys_into(
+            v.components(),
+            4,
+            0,
+            &mut ProbeScratch::default(),
+            &mut Vec::new(),
+        );
     }
 }

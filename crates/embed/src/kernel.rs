@@ -1146,6 +1146,87 @@ pub fn distance_below(
     }
 }
 
+/// Classifies one row against a batch of candidate columns, invoking `keep`
+/// with `(c, d)` for every column whose dense f32 distance `d` is strictly
+/// below `cutoff` — bit-identical to calling [`distance_below`] once per
+/// column (same classification, same distances, same [`KernelStats`]
+/// counters), with the parameter derivation, SIMD dispatch and row-side
+/// loads hoisted out of the loop.  This is what the escalated planner feeds
+/// its per-row candidate runs through: candidate lists arrive grouped by row
+/// (the probe emits them that way), so the amortization is free.
+///
+/// `keep` observes columns in the order `candidates` yields them.
+pub fn row_distances_below(
+    rows: &QuantizedSlab,
+    r: usize,
+    cols: &QuantizedSlab,
+    candidates: impl IntoIterator<Item = usize>,
+    cutoff: f32,
+    stats: &mut KernelStats,
+    keep: impl FnMut(usize, f32),
+) {
+    let na = rows.norm(r);
+    let p = SweepParams::new(rows, cols, cutoff);
+    // `inv` factors exactly as `distance_below` computes it — the row-side
+    // division hoists, the column-side reciprocal stays per pair, and the
+    // product rounds identically.
+    let inv_row = p.scale_product / na as f64;
+    #[allow(clippy::too_many_arguments)] // private monomorphised core; mirrors the sweep's state
+    fn run<D: DotKind>(
+        p: &SweepParams,
+        rows: &QuantizedSlab,
+        r: usize,
+        na: f32,
+        inv_row: f64,
+        cols: &QuantizedSlab,
+        candidates: impl IntoIterator<Item = usize>,
+        stats: &mut KernelStats,
+        mut keep: impl FnMut(usize, f32),
+    ) {
+        let qa = rows.quant_row(r);
+        let qsa = rows.qsum(r);
+        let ea = rows.rel_error_bound(r);
+        for c in candidates {
+            let nb = cols.norm(c);
+            debug_assert!(
+                rows.dim() == cols.dim() || na == 0.0 || nb == 0.0,
+                "slab dimension mismatch: {} vs {}",
+                rows.dim(),
+                cols.dim()
+            );
+            let inv = inv_row * (1.0 / nb as f64);
+            let kept = classify_pair::<D>(
+                p,
+                qa,
+                na,
+                qsa,
+                ea,
+                cols.quant_row(c),
+                nb,
+                cols.qsum(c),
+                cols.rel_error_bound(c),
+                inv,
+                || exact_distance(rows.row(r), cols.row(c), na, nb),
+                stats,
+            );
+            if let Some(d) = kept {
+                keep(c, d);
+            }
+        }
+    }
+    match detect_dot() {
+        DotImpl::Portable => {
+            run::<PortableDot>(&p, rows, r, na, inv_row, cols, candidates, stats, keep)
+        }
+        #[cfg(target_arch = "x86_64")]
+        DotImpl::Avx2 => run::<Avx2Dot>(&p, rows, r, na, inv_row, cols, candidates, stats, keep),
+        #[cfg(target_arch = "x86_64")]
+        DotImpl::Avx512 | DotImpl::Avx512Vnni => {
+            run::<Avx512Dot>(&p, rows, r, na, inv_row, cols, candidates, stats, keep)
+        }
+    }
+}
+
 /// The dense f32 reference sweep the kernel must reproduce bit for bit: one
 /// [`Vector::cosine_distance_given_norms`] per pair, row-major, keeping
 /// strict sub-cutoff pairs with their distances.  This is the seed

@@ -35,10 +35,10 @@ pub mod models;
 pub mod simlm;
 pub mod vector;
 
-pub use ann::{AnnIndex, AnnParams};
+pub use ann::{AnnIndex, AnnParams, AnnScratch};
 pub use cache::EmbeddingCache;
 pub use embedder::{cosine_distance_between, Embedder};
-pub use hashing::{HashingNgramEmbedder, SimHasher};
+pub use hashing::{packed_band_key, HashingNgramEmbedder, ProbeScratch, SimHasher};
 pub use kernel::KernelStats;
 pub use knowledge::KnowledgeBase;
 pub use models::{EmbeddingModel, ALL_MODELS};

@@ -14,4 +14,4 @@ pub mod timing;
 pub use confusion::{ConfusionCounts, PrecisionRecall};
 pub use matching::{pair_key, PairSet};
 pub use report::{format_table, ReportRow};
-pub use timing::{format_duration, Stopwatch};
+pub use timing::{format_duration, PhaseTimings, Stopwatch};

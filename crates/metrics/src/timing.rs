@@ -50,6 +50,84 @@ pub fn format_duration(d: Duration) -> String {
     format!("{:.3}s", d.as_secs_f64())
 }
 
+/// Wall-clock attribution of one candidate-planning round, phase by phase.
+///
+/// The fuzzy value matcher's escalation planner threads one of these through
+/// its blocking statistics so a slow fold is *localizable*: each field is the
+/// accumulated wall time of one pipeline phase, measured with
+/// [`Stopwatch::time`] around contiguous single-purpose code.  Because the
+/// phases are disjoint intervals of the same planning pass, their sum never
+/// exceeds [`total`](Self::total) (up to the few instructions between
+/// measurements), which the planner regression test pins.
+///
+/// All fields accumulate: merging fold-level timings into a report-level
+/// accumulator is plain saturating addition ([`merge`](Self::merge)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Signature/key hashing: quantized-slab packing, slab-batched SimHash
+    /// signatures, ANN index construction and surface-key (re)hashing.
+    pub hash: Duration,
+    /// Multi-probe candidate retrieval from the ANN index.
+    pub probe: Duration,
+    /// Candidate-pair materialization: key-bucket expansion and
+    /// connected-component assembly.
+    pub pairs: Duration,
+    /// Pair canonicalization (radix sort + duplicate elimination).
+    pub dedup: Duration,
+    /// Exact re-scoring of candidate pairs through the quantized kernel.
+    pub score: Duration,
+    /// Exhaustive fallback sweeps for participants without a matchable
+    /// candidate.
+    pub fallback: Duration,
+    /// Assignment solving over the planned blocks (sparse or dense).
+    pub assign: Duration,
+    /// Wall time of everything measured above, including the unattributed
+    /// glue between phases.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// Folds another round's timings into this accumulator (saturating).
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        self.hash = self.hash.saturating_add(other.hash);
+        self.probe = self.probe.saturating_add(other.probe);
+        self.pairs = self.pairs.saturating_add(other.pairs);
+        self.dedup = self.dedup.saturating_add(other.dedup);
+        self.score = self.score.saturating_add(other.score);
+        self.fallback = self.fallback.saturating_add(other.fallback);
+        self.assign = self.assign.saturating_add(other.assign);
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// Sum of the attributed phases (everything except
+    /// [`total`](Self::total)); at most `total` plus measurement glue.
+    pub fn phase_sum(&self) -> Duration {
+        self.hash
+            .saturating_add(self.probe)
+            .saturating_add(self.pairs)
+            .saturating_add(self.dedup)
+            .saturating_add(self.score)
+            .saturating_add(self.fallback)
+            .saturating_add(self.assign)
+    }
+
+    /// `(name, duration)` view over every phase field, in declaration order —
+    /// the single source wire encoders and reports iterate instead of
+    /// hand-listing fields.
+    pub fn named(&self) -> [(&'static str, Duration); 8] {
+        [
+            ("hash", self.hash),
+            ("probe", self.probe),
+            ("pairs", self.pairs),
+            ("dedup", self.dedup),
+            ("score", self.score),
+            ("fallback", self.fallback),
+            ("assign", self.assign),
+            ("total", self.total),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +155,53 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(format_duration(Duration::from_millis(1234)), "1.234s");
         assert_eq!(format_duration(Duration::from_secs(0)), "0.000s");
+    }
+
+    #[test]
+    fn phase_timings_merge_and_sum() {
+        let mut acc = PhaseTimings::default();
+        assert_eq!(acc.phase_sum(), Duration::ZERO);
+        let round = PhaseTimings {
+            hash: Duration::from_millis(2),
+            probe: Duration::from_millis(3),
+            pairs: Duration::from_millis(5),
+            dedup: Duration::from_millis(7),
+            score: Duration::from_millis(11),
+            fallback: Duration::from_millis(13),
+            assign: Duration::from_millis(17),
+            total: Duration::from_millis(60),
+        };
+        acc.merge(&round);
+        acc.merge(&round);
+        assert_eq!(acc.phase_sum(), Duration::from_millis(2 * (2 + 3 + 5 + 7 + 11 + 13 + 17)));
+        assert_eq!(acc.total, Duration::from_millis(120));
+        assert!(acc.phase_sum() <= acc.total);
+    }
+
+    #[test]
+    fn phase_timings_merge_saturates() {
+        let mut acc = PhaseTimings { total: Duration::MAX, ..PhaseTimings::default() };
+        acc.merge(&PhaseTimings { total: Duration::from_secs(1), ..PhaseTimings::default() });
+        assert_eq!(acc.total, Duration::MAX);
+    }
+
+    #[test]
+    fn phase_timings_named_covers_every_field() {
+        let round = PhaseTimings {
+            hash: Duration::from_nanos(1),
+            probe: Duration::from_nanos(2),
+            pairs: Duration::from_nanos(3),
+            dedup: Duration::from_nanos(4),
+            score: Duration::from_nanos(5),
+            fallback: Duration::from_nanos(6),
+            assign: Duration::from_nanos(7),
+            total: Duration::from_nanos(28),
+        };
+        let named = round.named();
+        assert_eq!(named.len(), 8);
+        assert_eq!(named[0], ("hash", Duration::from_nanos(1)));
+        assert_eq!(named[7], ("total", Duration::from_nanos(28)));
+        let sum: Duration = named.iter().take(7).map(|(_, d)| *d).sum();
+        assert_eq!(sum, round.phase_sum());
     }
 }

@@ -365,6 +365,7 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
     let mut total_tables = 0u64;
     let mut total_tuples = 0u64;
     let mut runtime = lake_runtime::RuntimeStats::default();
+    let mut phases = fuzzy_fd_core::PhaseTimings::default();
     let mut durable = lake_store::StoreStatus::default();
     let mut durable_shards = 0u64;
     let shards: Vec<Content> = statuses
@@ -379,6 +380,8 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
             total_tuples += status.snapshot.outcome.table.len() as u64;
             let last_runtime = status.snapshot.outcome.report.runtime();
             runtime.merge(&last_runtime);
+            let last_phases = &status.snapshot.outcome.report.blocking.phase;
+            phases.merge(last_phases);
             if let Some(store) = &status.durability {
                 durable_shards += 1;
                 durable.appends += store.appends;
@@ -425,6 +428,7 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
                         ),
                     ]),
                 ),
+                ("planner_phases".into(), phase_content(last_phases)),
                 (
                     "caches".into(),
                     Content::Map(vec![
@@ -458,6 +462,7 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
                 ("sequential_batches".into(), Content::U64(runtime.sequential_batches)),
             ]),
         ),
+        ("planner_phases".into(), phase_content(&phases)),
     ];
     if durable_shards > 0 {
         totals.push(("durable_shards".into(), Content::U64(durable_shards)));
@@ -476,6 +481,22 @@ pub fn stats_body(policy: &ServePolicy, statuses: &[ShardStatus]) -> String {
         ("shards".into(), Content::Seq(shards)),
         ("totals".into(), Content::Map(totals)),
     ]))
+}
+
+/// Planner phase-timing attribution as a `/stats` JSON object: one
+/// `<phase>_nanos` entry per phase (hash/probe/pairs/dedup/score/fallback/
+/// assign/total), so operators can see where the planning wall clock of the
+/// latest integration went (see docs/OPERATIONS.md).
+fn phase_content(phase: &fuzzy_fd_core::PhaseTimings) -> Content {
+    Content::Map(
+        phase
+            .named()
+            .iter()
+            .map(|(name, duration)| {
+                (format!("{name}_nanos"), Content::U64(duration.as_nanos() as u64))
+            })
+            .collect(),
+    )
 }
 
 /// One store's durability counters as a `/stats` JSON object.

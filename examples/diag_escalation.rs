@@ -84,6 +84,17 @@ fn main() {
                 recovered(&groups),
                 fold.gold.len(),
             );
+            // Phase attribution of the planning + solving wall clock.
+            let named = stats.phase.named();
+            let line: Vec<String> = named.iter().map(|(n, d)| format!("{n}={d:.1?}")).collect();
+            println!("            phases: {}", line.join(" "));
+            println!(
+                "            kernel: cand={} int8={} skipped={} rescored={}",
+                stats.candidate_pairs,
+                stats.kernel.int8_scored,
+                stats.kernel.skipped,
+                stats.kernel.rescored,
+            );
         }
     }
 }
