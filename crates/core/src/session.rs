@@ -300,6 +300,7 @@ impl IntegrationSession {
         let alignment = align_by_headers(&self.tables);
         let matcher = ValueMatcher::new(&self.embedder, self.config);
 
+        // lint:allow(wallclock-in-replay): observability only — the elapsed time feeds IncrementalStats phase attribution and never flows into integrated state, so replay stays deterministic
         let matching_start = Instant::now();
         let mut incremental =
             IncrementalStats { appended_tables: new_tables.len(), ..IncrementalStats::default() };
@@ -398,6 +399,7 @@ impl IntegrationSession {
             apply_substitutions(&self.tables, &substitutions)?;
         let matching_time = matching_start.elapsed();
 
+        // lint:allow(wallclock-in-replay): observability only — phase timing for stats, not replayed state
         let fd_start = Instant::now();
         let schema = IntegrationSchema::from_aligned_sets(&rewritten_tables, alignment.groups());
         let (table, fd_stats) = if self.policy.reuse_fd_components {

@@ -43,4 +43,4 @@ pub use kernel::KernelStats;
 pub use knowledge::KnowledgeBase;
 pub use models::{EmbeddingModel, ALL_MODELS};
 pub use simlm::SimulatedLmEmbedder;
-pub use vector::{QuantizedSlab, Vector, DISTANCE_EPSILON, SLAB_LANE};
+pub use vector::{approx_eq, approx_eq_within, QuantizedSlab, Vector, DISTANCE_EPSILON, SLAB_LANE};

@@ -15,6 +15,24 @@
 /// re-score band is at least this wide.
 pub const DISTANCE_EPSILON: f32 = 1e-5;
 
+/// Whether two distances are equal within [`DISTANCE_EPSILON`].
+///
+/// This module is the workspace's designated home for float comparison
+/// (the `float-eq` lint points every bare `== <literal>` here): comparing
+/// a computed distance to a non-zero constant with `==` silently depends
+/// on rounding, so such checks must go through this helper.  Comparisons
+/// against literal `0.0` stay exempt — zero is exactly representable and
+/// `norm == 0.0` is the idiomatic divide-by-zero guard.
+pub fn approx_eq(a: f32, b: f32) -> bool {
+    (a - b).abs() <= DISTANCE_EPSILON
+}
+
+/// [`approx_eq`] with a caller-chosen tolerance, for tiers that derive a
+/// wider band from [`DISTANCE_EPSILON`] (e.g. the kernel's re-score slop).
+pub fn approx_eq_within(a: f32, b: f32, tolerance: f32) -> bool {
+    (a - b).abs() <= tolerance
+}
+
 /// Every [`QuantizedSlab`] row is padded to a multiple of this many
 /// components so the kernel's inner loops run over fixed-width chunks with no
 /// per-pair bounds checks or remainder handling.

@@ -1,0 +1,295 @@
+//! Per-file analysis context handed to every rule.
+//!
+//! A [`FileContext`] is built once per source file (or once per fixture
+//! string in tests) and bundles everything a rule may ask: the lossless
+//! token stream, line/column mapping, `use`-alias resolution, the byte
+//! ranges of `#[cfg(test)]` / `#[test]` code, and the file's
+//! `// lint:allow(…)` pragmas.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::resolve::{analyze, PathOccurrence, UseBinding};
+
+/// An allow pragma: `// lint:allow(<rule-id>): <justification>`.
+///
+/// A pragma suppresses diagnostics of `rule_id` on its own line and on the
+/// line immediately below, so both trailing and preceding placements work:
+///
+/// ```text
+/// foo.unwrap(); // lint:allow(serve-panic-path): reason …
+/// // lint:allow(serve-panic-path): reason …
+/// foo.unwrap();
+/// ```
+///
+/// An *empty* justification is itself a diagnostic
+/// ([`crate::engine::EMPTY_JUSTIFICATION`]): every exception must say why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule being allowed.
+    pub rule_id: String,
+    /// The text after the closing `):`, trimmed.  Empty when missing.
+    pub justification: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// Byte offset of the pragma inside the comment (for diagnostics).
+    pub offset: usize,
+}
+
+/// Everything rules can see about one file.
+#[derive(Debug)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/serve/src/shard.rs`).
+    pub path: String,
+    /// The raw source text.
+    pub text: String,
+    /// Lossless token stream (see [`crate::lexer`]).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the significant (non-trivia) tokens.
+    sig: Vec<usize>,
+    /// Byte offsets where each line starts.
+    line_starts: Vec<usize>,
+    /// `use` bindings (imported name → full path).
+    pub bindings: Vec<UseBinding>,
+    /// Every `a::b::…` chain, alias-normalised.
+    pub paths: Vec<PathOccurrence>,
+    /// Byte ranges of `#[cfg(test)]` modules and `#[test]` functions.
+    test_ranges: Vec<(usize, usize)>,
+    /// Allow pragmas, in file order.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl FileContext {
+    /// Builds the context for one file.  `path` should be workspace-relative
+    /// with `/` separators — rules scope on it.
+    pub fn from_source(path: impl Into<String>, text: impl Into<String>) -> Self {
+        let path = path.into();
+        let text = text.into();
+        let tokens = lex(&text);
+        let sig: Vec<usize> =
+            tokens.iter().enumerate().filter(|(_, t)| t.is_significant()).map(|(i, _)| i).collect();
+        let mut line_starts = vec![0usize];
+        line_starts
+            .extend(text.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i + 1));
+        let (bindings, paths) = analyze(&text, &tokens, &sig);
+        let test_ranges = find_test_ranges(&text, &tokens, &sig);
+        let pragmas = parse_pragmas(&text, &tokens, &line_starts);
+        FileContext { path, text, tokens, sig, line_starts, bindings, paths, test_ranges, pragmas }
+    }
+
+    /// 1-based `(line, column)` of a byte offset (column counts bytes).
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        ((line + 1) as u32, (offset - self.line_starts[line] + 1) as u32)
+    }
+
+    /// The significant tokens, in order.
+    pub fn significant(&self) -> impl Iterator<Item = &Token> {
+        self.sig.iter().map(|&i| &self.tokens[i])
+    }
+
+    /// The `i`-th significant token, if any.
+    pub fn sig_token(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// The token's text.
+    pub fn text_of(&self, token: &Token) -> &str {
+        token.text(&self.text)
+    }
+
+    /// Whether `offset` falls inside `#[cfg(test)]` / `#[test]` code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_ranges.iter().any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// Whether the whole file is test code by location: directly under a
+    /// `tests/` directory (integration tests, fixtures).
+    pub fn is_test_file(&self) -> bool {
+        self.path.starts_with("tests/") || self.path.contains("/tests/")
+    }
+}
+
+/// Finds the byte ranges of test-only code: a `#[cfg(test)]` attribute
+/// followed (possibly after more attributes) by an item with a braced body,
+/// and `#[test]` functions.
+fn find_test_ranges(source: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let text = |i: usize| tokens[sig[i]].text(source);
+    let kind = |i: usize| tokens[sig[i]].kind;
+    let mut i = 0;
+    while i + 3 < sig.len() {
+        // `#[cfg(test)]` → # [ cfg ( test ) ]   or  `#[test]` → # [ test ]
+        let is_attr_start = kind(i) == TokenKind::Punct
+            && text(i) == "#"
+            && kind(i + 1) == TokenKind::Punct
+            && text(i + 1) == "[";
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let cfg_test = i + 6 < sig.len()
+            && text(i + 2) == "cfg"
+            && text(i + 3) == "("
+            && text(i + 4) == "test"
+            && text(i + 5) == ")"
+            && text(i + 6) == "]";
+        let plain_test = text(i + 2) == "test" && text(i + 3) == "]";
+        if !cfg_test && !plain_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + if cfg_test { 7 } else { 4 };
+        // Skip any further attributes between the test attribute and the item.
+        while j + 1 < sig.len() && text(j) == "#" && text(j + 1) == "[" {
+            let mut depth = 0usize;
+            j += 1;
+            while j < sig.len() {
+                match text(j) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Find the item's braced body (stop at `;` — `mod name;` has none).
+        let body_open = loop {
+            let Some(&ti) = sig.get(j) else { break None };
+            let t = tokens[ti].text(source);
+            if t == "{" {
+                break Some(j);
+            }
+            if t == ";" {
+                break None;
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j;
+            continue;
+        };
+        // Match braces to the end of the body.
+        let mut depth = 0usize;
+        let mut k = open;
+        let mut end = source.len();
+        while k < sig.len() {
+            match text(k) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = tokens[sig[k]].end;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        ranges.push((tokens[sig[i]].start, end));
+        i = k + 1;
+    }
+    ranges
+}
+
+/// Extracts `lint:allow(<rule>): <justification>` pragmas from line
+/// comments.
+fn parse_pragmas(source: &str, tokens: &[Token], line_starts: &[usize]) -> Vec<Pragma> {
+    const MARKER: &str = "lint:allow(";
+    let mut pragmas = Vec::new();
+    for token in tokens {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let comment = token.text(source);
+        // A pragma is the comment's whole purpose: the comment must *start*
+        // with the marker (`// lint:allow(..): why`).  This keeps prose
+        // that merely mentions the syntax — doc comments, this very
+        // comment — from being parsed as a pragma.
+        let body = comment.strip_prefix("//").unwrap_or(comment);
+        if !body.trim_start().starts_with(MARKER) {
+            continue;
+        }
+        let pos = comment.find(MARKER).expect("starts_with checked above");
+        let after = &comment[pos + MARKER.len()..];
+        let Some(close) = after.find(')') else { continue };
+        let rule_id = after[..close].trim().to_string();
+        let rest = &after[close + 1..];
+        let justification = rest.strip_prefix(':').unwrap_or(rest).trim().to_string();
+        let offset = token.start + pos;
+        let line = match line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        pragmas.push(Pragma { rule_id, justification, line: (line + 1) as u32, offset });
+    }
+    pragmas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let ctx = FileContext::from_source("x.rs", "ab\ncd\n");
+        assert_eq!(ctx.line_col(0), (1, 1));
+        assert_eq!(ctx.line_col(1), (1, 2));
+        assert_eq!(ctx.line_col(3), (2, 1));
+        assert_eq!(ctx.line_col(4), (2, 2));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_test_ranges() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let ctx = FileContext::from_source("x.rs", src);
+        let t_pos = src.find("fn t").expect("present");
+        let live_pos = src.find("fn live").expect("present");
+        let after_pos = src.find("fn after").expect("present");
+        assert!(ctx.in_test_code(t_pos));
+        assert!(!ctx.in_test_code(live_pos));
+        assert!(!ctx.in_test_code(after_pos));
+    }
+
+    #[test]
+    fn test_attribute_functions_are_test_ranges() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { panic!(\"x\") }\nfn live() {}\n";
+        let ctx = FileContext::from_source("x.rs", src);
+        assert!(ctx.in_test_code(src.find("panic!").expect("present")));
+        assert!(!ctx.in_test_code(src.find("fn live").expect("present")));
+    }
+
+    #[test]
+    fn pragmas_parse_with_and_without_justification() {
+        let src = "// lint:allow(raw-threads): the runtime owns this\nx();\n// lint:allow(float-eq)\ny();\n";
+        let ctx = FileContext::from_source("x.rs", src);
+        assert_eq!(ctx.pragmas.len(), 2);
+        assert_eq!(ctx.pragmas[0].rule_id, "raw-threads");
+        assert_eq!(ctx.pragmas[0].justification, "the runtime owns this");
+        assert_eq!(ctx.pragmas[0].line, 1);
+        assert_eq!(ctx.pragmas[1].rule_id, "float-eq");
+        assert_eq!(ctx.pragmas[1].justification, "");
+        assert_eq!(ctx.pragmas[1].line, 3);
+    }
+
+    #[test]
+    fn pragma_in_a_string_is_not_a_pragma() {
+        let src = "let s = \"// lint:allow(raw-threads): nope\";\n";
+        let ctx = FileContext::from_source("x.rs", src);
+        assert!(ctx.pragmas.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// How bad a finding is.  CI fails on any [`Error`](Severity::Error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, never fails the run.
+    Warning,
+    /// Gate: the CLI exits 1 when at least one is present.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, pointing at the exact token that violates a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (e.g. `raw-threads`); pragma targets use this.
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based byte column of the offending token.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    /// `path:line:col: severity[rule]: message` — the clickable single-line
+    /// form the CLI prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}]: {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.name(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as a JSON object (hand-rolled — the linter is
+    /// dependency-free by design, see the crate docs).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            json_string(self.rule),
+            json_string(self.severity.name()),
+            json_string(&self.path),
+            self.line,
+            self.col,
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "raw-threads",
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "raw `std::thread` use".into(),
+        }
+    }
+
+    #[test]
+    fn display_is_clickable() {
+        assert_eq!(
+            sample().to_string(),
+            "crates/x/src/lib.rs:3:7: error[raw-threads]: raw `std::thread` use"
+        );
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let json = sample().to_json();
+        assert!(json.contains("\"rule\":\"raw-threads\""));
+        assert!(json.contains("\"line\":3"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The lint engine: workspace walk, rule dispatch, pragma application.
+//!
+//! Two invariants distinguish this from a grep loop:
+//!
+//! 1. **No silent skips.**  An unreadable directory or file is a hard
+//!    [`EngineError::Io`], never a `continue`.  A linter that skips what it
+//!    cannot read reports "clean" on exactly the runs where it saw the
+//!    least.
+//! 2. **A sanity floor.**  A run that found [`MIN_SOURCES`] or fewer files
+//!    is a broken walk (wrong root, renamed directory), not a clean
+//!    workspace, and fails with [`EngineError::TooFewSources`].
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::context::FileContext;
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::{all_rule_ids, default_rules, LintRule};
+
+/// Directory roots scanned under the workspace root, mirroring the
+/// pre-engine grep tests.
+pub const SCANNED_ROOTS: [&str; 5] = ["src", "crates", "tests", "examples", "vendor"];
+
+/// Sanity floor: a walk that finds this many `.rs` files or fewer is
+/// considered broken and hard-errors instead of reporting clean.
+pub const MIN_SOURCES: usize = 50;
+
+/// Engine-level rule id for a pragma whose justification is empty.
+pub const EMPTY_JUSTIFICATION: &str = "empty-allow-justification";
+
+/// Engine-level rule id for a pragma naming a rule that does not exist.
+pub const UNKNOWN_RULE: &str = "unknown-lint-rule";
+
+/// A failure of the run itself (distinct from findings *in* the code).
+#[derive(Debug)]
+pub enum EngineError {
+    /// A directory or file could not be read.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The walk found suspiciously few sources — see [`MIN_SOURCES`].
+    TooFewSources {
+        /// How many `.rs` files the walk found.
+        found: usize,
+    },
+    /// `--rule` (or [`Engine::run_rule`]) named a rule that is not
+    /// registered.
+    UnknownRule(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            EngineError::TooFewSources { found } => write!(
+                f,
+                "walk found only {found} source files (floor is {}) — wrong root or broken \
+                 layout, refusing to report clean",
+                MIN_SOURCES + 1
+            ),
+            EngineError::UnknownRule(id) => write!(f, "unknown rule `{id}`"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a successful run (the *run* succeeded; the *code* may
+/// still have findings).
+#[derive(Debug)]
+pub struct LintReport {
+    /// How many `.rs` files were analysed.
+    pub sources: usize,
+    /// All findings, sorted by path, line, column, rule.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Findings with [`Severity::Error`].
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Whether the run produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// The analyzer: a workspace root plus a set of rules.
+pub struct Engine {
+    root: PathBuf,
+    rules: Vec<Box<dyn LintRule>>,
+}
+
+impl Engine {
+    /// An engine over `root` with the default rule registry.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Engine { root: root.into(), rules: default_rules() }
+    }
+
+    /// An engine with an explicit rule set (tests, `--rule` filtering).
+    pub fn with_rules(root: impl Into<PathBuf>, rules: Vec<Box<dyn LintRule>>) -> Self {
+        Engine { root: root.into(), rules }
+    }
+
+    /// The registered rule ids, in registry order.
+    pub fn rule_ids(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.id()).collect()
+    }
+
+    /// Runs every registered rule over the workspace.
+    pub fn run(&self) -> Result<LintReport, EngineError> {
+        let sources = self.collect_sources()?;
+        if sources.len() <= MIN_SOURCES {
+            return Err(EngineError::TooFewSources { found: sources.len() });
+        }
+        let mut diagnostics = Vec::new();
+        for path in &sources {
+            let text = fs::read_to_string(path)
+                .map_err(|source| EngineError::Io { path: path.clone(), source })?;
+            let rel = relative_path(&self.root, path);
+            let ctx = FileContext::from_source(rel, text);
+            diagnostics.extend(check_context(&ctx, &self.rules));
+        }
+        diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        Ok(LintReport { sources: sources.len(), diagnostics })
+    }
+
+    /// Runs exactly one rule over the workspace, by id.  Pragma
+    /// self-diagnostics are filtered out so callers see only `id`'s
+    /// findings — this is what the migrated regression tests use.
+    pub fn run_rule(&self, id: &str) -> Result<LintReport, EngineError> {
+        if !self.rule_ids().contains(&id) {
+            return Err(EngineError::UnknownRule(id.to_string()));
+        }
+        let mut report = self.run()?;
+        report.diagnostics.retain(|d| d.rule == id);
+        Ok(report)
+    }
+
+    /// Walks [`SCANNED_ROOTS`], collecting every `.rs` file.  Any
+    /// unreadable directory or entry is a hard error.
+    fn collect_sources(&self) -> Result<Vec<PathBuf>, EngineError> {
+        let mut sources = Vec::new();
+        for scanned in SCANNED_ROOTS {
+            let dir = self.root.join(scanned);
+            if !dir.is_dir() {
+                // Roots are part of the workspace contract; a missing one
+                // means the engine is pointed at the wrong directory.
+                return Err(EngineError::Io {
+                    path: dir,
+                    source: io::Error::new(io::ErrorKind::NotFound, "scanned root missing"),
+                });
+            }
+            walk(&dir, &mut sources)?;
+        }
+        sources.sort();
+        Ok(sources)
+    }
+}
+
+/// Recursive directory walk.  Unreadable anything → hard error.
+fn walk(dir: &Path, sources: &mut Vec<PathBuf>) -> Result<(), EngineError> {
+    let entries =
+        fs::read_dir(dir).map_err(|source| EngineError::Io { path: dir.to_path_buf(), source })?;
+    for entry in entries {
+        let entry = entry.map_err(|source| EngineError::Io { path: dir.to_path_buf(), source })?;
+        let path = entry.path();
+        let kind =
+            entry.file_type().map_err(|source| EngineError::Io { path: path.clone(), source })?;
+        if kind.is_dir() {
+            // Build output may appear under vendored crates when they are
+            // built standalone; it is generated, not source.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, sources)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            sources.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated (diagnostics are stable across
+/// platforms).
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Runs `rules` over one prepared context, applies allow pragmas, and
+/// emits the pragma self-diagnostics.  Public within the crate so fixture
+/// tests can exercise the exact CI semantics on inline sources.
+pub fn check_context(ctx: &FileContext, rules: &[Box<dyn LintRule>]) -> Vec<Diagnostic> {
+    let mut diagnostics: Vec<Diagnostic> = rules.iter().flat_map(|r| r.check(ctx)).collect();
+
+    // A pragma covers its own line and the line immediately below, so both
+    // trailing (`stmt; // lint:allow(..): why`) and preceding placements
+    // work.
+    diagnostics.retain(|d| {
+        !ctx.pragmas
+            .iter()
+            .any(|p| p.rule_id == d.rule && (p.line == d.line || p.line + 1 == d.line))
+    });
+
+    // Pragmas are themselves linted: naming an unknown rule is an error
+    // (likely a typo silently allowing nothing), and an empty
+    // justification is an error (every exception must say why).
+    let known = all_rule_ids();
+    for pragma in &ctx.pragmas {
+        let (line, col) = ctx.line_col(pragma.offset);
+        if !known.contains(&pragma.rule_id.as_str()) {
+            diagnostics.push(Diagnostic {
+                rule: UNKNOWN_RULE,
+                severity: Severity::Error,
+                path: ctx.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "lint:allow names unknown rule `{}` — known rules: {}",
+                    pragma.rule_id,
+                    known.join(", ")
+                ),
+            });
+        } else if pragma.justification.is_empty() {
+            diagnostics.push(Diagnostic {
+                rule: EMPTY_JUSTIFICATION,
+                severity: Severity::Error,
+                path: ctx.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "lint:allow({}) without a justification — write `// lint:allow({}): <why>`",
+                    pragma.rule_id, pragma.rule_id
+                ),
+            });
+        }
+    }
+    diagnostics
+}
+
+/// Checks a single in-memory source with the default rules — the fixture
+/// entry point used by the crate's tests.
+pub fn check_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    check_context(&FileContext::from_source(path, text), &default_rules())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_root_is_a_hard_error() {
+        let engine = Engine::new("/nonexistent-lint-root");
+        match engine.run() {
+            Err(EngineError::Io { path, .. }) => {
+                assert!(path.starts_with("/nonexistent-lint-root"));
+            }
+            other => panic!("expected Io error, got {:?}", other.map(|r| r.sources)),
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let engine = Engine::new(".");
+        match engine.run_rule("no-such-rule") {
+            Err(EngineError::UnknownRule(id)) => assert_eq!(id, "no-such-rule"),
+            other => panic!("expected UnknownRule, got {:?}", other.map(|r| r.sources)),
+        }
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let src = "\
+use std::thread; // lint:allow(raw-threads): doc example
+// lint:allow(raw-threads): below
+use std::thread as t;
+";
+        let diags = check_source("crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "expected clean, got {diags:?}");
+    }
+
+    #[test]
+    fn empty_justification_and_unknown_rule_are_findings() {
+        let src =
+            "// lint:allow(raw-threads)\nuse std::thread;\n// lint:allow(ray-threads): typo\n";
+        let diags = check_source("crates/x/src/lib.rs", src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&EMPTY_JUSTIFICATION), "got {rules:?}");
+        assert!(rules.contains(&UNKNOWN_RULE), "got {rules:?}");
+        // The empty-justification pragma still suppresses the finding.
+        assert!(!rules.contains(&"raw-threads"), "got {rules:?}");
+    }
+}

@@ -1,0 +1,576 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The whole point of `lake-lint` over the grep tests it replaced is that
+//! rules see *code*: a forbidden pattern inside a line comment, a nested
+//! block comment, a raw string `r#"…"#` or a char literal must never fire.
+//! The lexer therefore classifies every byte of the source into exactly one
+//! token — comments and literals included — and rules work on the token
+//! stream instead of the raw text.
+//!
+//! Losslessness is a hard invariant: concatenating the byte ranges of the
+//! emitted tokens reproduces the input exactly (asserted by
+//! [`lex`] in debug builds and by the fixture tests).  Unterminated
+//! constructs (a block comment or string running to EOF) are tolerated —
+//! the remainder becomes one token — so the lexer never fails; a file the
+//! compiler would reject still lints deterministically.
+
+/// What a [`Token`] is.  Granularity is chosen for rule-writing, not for
+/// parsing: keywords are just [`Ident`](TokenKind::Ident)s, and punctuation
+/// is emitted one character at a time (rules that care about `::` or `==`
+/// check byte adjacency of neighbouring `Punct` tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` including doc comments `///` and `//!` (to end of line).
+    LineComment,
+    /// `/* … */`, nested per Rust rules.
+    BlockComment,
+    /// `#!/usr/bin/env …` on the very first line (not `#![…]`).
+    Shebang,
+    /// Identifiers and keywords, including raw identifiers `r#ident`.
+    Ident,
+    /// `'label` / `'a` (no closing quote).
+    Lifetime,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`.
+    Char,
+    /// `b'x'`.
+    Byte,
+    /// `"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#` with any number of hashes.
+    RawStr,
+    /// `b"…"`.
+    ByteStr,
+    /// `br"…"`, `br#"…"#`.
+    RawByteStr,
+    /// Integer or float literal, prefix/suffix included (`0xFF`, `1_000u64`,
+    /// `2.5e-3f32`).
+    Number,
+    /// A single punctuation character.
+    Punct,
+    /// Anything else (stray non-ASCII outside an identifier, `\r` alone…).
+    Unknown,
+}
+
+/// One lexed token: a kind plus the byte range it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `source` (the string it was lexed from).
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+
+    /// Whether the token is code rather than trivia: not whitespace, not a
+    /// comment, not a shebang.
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace
+                | TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::Shebang
+        )
+    }
+}
+
+/// Lexes `source` completely.  Never fails; see the module docs for how
+/// malformed input degrades.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lexer = Lexer { src: source, pos: 0 };
+    let mut tokens = Vec::new();
+    while lexer.pos < lexer.src.len() {
+        let start = lexer.pos;
+        let kind = lexer.next_kind(start == 0);
+        debug_assert!(lexer.pos > start, "lexer made no progress at byte {start}");
+        tokens.push(Token { kind, start, end: lexer.pos });
+    }
+    debug_assert!(
+        tokens.iter().all(|t| source.get(t.start..t.end).is_some())
+            && tokens.windows(2).all(|w| w[0].end == w[1].start)
+            && tokens.first().is_none_or(|t| t.start == 0)
+            && tokens.last().is_none_or(|t| t.end == source.len()),
+        "lexer lost bytes"
+    );
+    tokens
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn bytes(&self) -> &[u8] {
+        self.src.as_bytes()
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes().get(self.pos + ahead).copied()
+    }
+
+    /// Advances past the (UTF-8) character at the current position.
+    fn bump_char(&mut self) {
+        let mut next = self.pos + 1;
+        while next < self.src.len() && !self.src.is_char_boundary(next) {
+            next += 1;
+        }
+        self.pos = next;
+    }
+
+    fn next_kind(&mut self, at_file_start: bool) -> TokenKind {
+        let b = self.peek(0).expect("next_kind called at EOF");
+        match b {
+            b'#' if at_file_start && self.peek(1) == Some(b'!') && self.peek(2) != Some(b'[') => {
+                self.consume_until_newline();
+                TokenKind::Shebang
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                self.consume_until_newline();
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' => self.raw_or_ident(),
+            b'b' => self.byte_prefixed_or_ident(),
+            b'\'' => self.lifetime_or_char(),
+            b'"' => {
+                self.quoted_string();
+                TokenKind::Str
+            }
+            b'0'..=b'9' => self.number(),
+            _ if is_ident_start(b) => {
+                self.consume_ident();
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_whitespace() => {
+                while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+                    self.pos += 1;
+                }
+                TokenKind::Whitespace
+            }
+            _ if b.is_ascii() => {
+                self.pos += 1;
+                TokenKind::Punct
+            }
+            _ => {
+                // A non-ASCII character: identifier if it starts one
+                // (Rust allows Unicode identifiers), otherwise unknown.
+                let ch = self.src[self.pos..].chars().next().expect("checked non-empty");
+                self.bump_char();
+                if ch.is_alphabetic() {
+                    self.consume_ident();
+                    TokenKind::Ident
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+        }
+    }
+
+    fn consume_until_newline(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.pos += 1;
+            } else if !b.is_ascii() {
+                let ch = self.src[self.pos..].chars().next().expect("checked non-empty");
+                if ch.is_alphanumeric() {
+                    self.bump_char();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // /*
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break, // unterminated: comment runs to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// At `r`: raw string `r"…"` / `r#"…"#`, raw identifier `r#ident`, or a
+    /// plain identifier starting with `r`.
+    fn raw_or_ident(&mut self) -> TokenKind {
+        let mut hashes = 0;
+        while self.peek(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(1 + hashes) {
+            Some(b'"') => {
+                self.pos += 1;
+                self.raw_string_body(hashes);
+                TokenKind::RawStr
+            }
+            Some(b) if hashes == 1 && is_ident_start(b) => {
+                self.pos += 2; // r#
+                self.consume_ident();
+                TokenKind::Ident
+            }
+            _ => {
+                self.consume_ident();
+                TokenKind::Ident
+            }
+        }
+    }
+
+    /// At `b`: `b'x'`, `b"…"`, `br#"…"#`, or an identifier starting with `b`.
+    fn byte_prefixed_or_ident(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\'') => {
+                self.pos += 1;
+                self.char_body();
+                TokenKind::Byte
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                self.quoted_string();
+                TokenKind::ByteStr
+            }
+            Some(b'r') => {
+                let mut hashes = 0;
+                while self.peek(2 + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some(b'"') {
+                    self.pos += 2;
+                    self.raw_string_body(hashes);
+                    TokenKind::RawByteStr
+                } else {
+                    self.consume_ident();
+                    TokenKind::Ident
+                }
+            }
+            _ => {
+                self.consume_ident();
+                TokenKind::Ident
+            }
+        }
+    }
+
+    /// At the `#`s (if any) preceding the opening quote of a raw string:
+    /// consumes `#…#"…"#…#`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.pos += hashes + 1; // #…#"
+        loop {
+            match self.peek(0) {
+                None => return, // unterminated
+                Some(b'"') => {
+                    let closed = (0..hashes).all(|i| self.peek(1 + i) == Some(b'#'));
+                    if closed {
+                        self.pos += 1 + hashes;
+                        return;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.bump_char(),
+            }
+        }
+    }
+
+    /// At the opening `"`: consumes a (cooked) string with escapes.
+    fn quoted_string(&mut self) {
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                None => return, // unterminated
+                Some(b'"') => {
+                    self.pos += 1;
+                    return;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    if self.peek(0).is_some() {
+                        self.bump_char();
+                    }
+                }
+                Some(_) => self.bump_char(),
+            }
+        }
+    }
+
+    /// At `'`: a lifetime (`'a`, `'static`) or a char literal (`'x'`,
+    /// `'\n'`).  Disambiguation mirrors rustc: an identifier after the
+    /// quote is a char literal only if a closing quote follows it.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.pos += 1;
+                self.char_body();
+                TokenKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                let mut len = 1;
+                while self.peek(1 + len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(1 + len) == Some(b'\'') {
+                    self.pos += 2 + len; // 'ident'
+                    TokenKind::Char
+                } else {
+                    self.pos += 1 + len; // 'ident
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // `''` — not valid Rust; consume both quotes as one token.
+                self.pos += 2;
+                TokenKind::Char
+            }
+            Some(_) => {
+                self.pos += 1;
+                self.char_body();
+                TokenKind::Char
+            }
+            None => {
+                self.pos += 1;
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// At the opening `'` of a char/byte literal: consumes through the
+    /// closing quote (bounded, so a stray quote cannot swallow the file).
+    fn char_body(&mut self) {
+        self.pos += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.pos += 1;
+                // The escape body: `\n`, `\x41`, `\u{…}`.
+                if self.peek(0) == Some(b'u') && self.peek(1) == Some(b'{') {
+                    self.pos += 2;
+                    while self.peek(0).is_some_and(|b| b != b'}' && b != b'\'') {
+                        self.pos += 1;
+                    }
+                    if self.peek(0) == Some(b'}') {
+                        self.pos += 1;
+                    }
+                } else if self.peek(0).is_some() {
+                    self.bump_char();
+                    // Hex escapes (`\x41`) carry trailing digits.
+                    while self.peek(0).is_some_and(|b| b.is_ascii_hexdigit()) {
+                        self.pos += 1;
+                    }
+                }
+            }
+            Some(_) => self.bump_char(),
+            None => return,
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    /// At a digit: integer or float, prefixes, underscores, exponent and
+    /// type suffix included.
+    fn number(&mut self) -> TokenKind {
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.pos += 2;
+            while self.peek(0).is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_') {
+                self.pos += 1;
+            }
+            return TokenKind::Number;
+        }
+        self.consume_digits();
+        // Fractional part: `1.5` yes; `1..2` (range) and `1.foo()` (method
+        // call on a literal) no; a trailing `1.` yes.
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b'0'..=b'9') => {
+                    self.pos += 1;
+                    self.consume_digits();
+                }
+                Some(b) if b == b'.' || is_ident_start(b) => {}
+                _ => self.pos += 1, // trailing `1.`
+            }
+        }
+        // Exponent: `1e9`, `2.5E-3`.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+            if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1 + sign;
+                self.consume_digits();
+            }
+        }
+        // Type suffix: `u64`, `f32`, `usize`…
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+
+    fn consume_digits(&mut self) {
+        while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            self.pos += 1;
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether a [`TokenKind::Number`] literal is a *float* literal: a decimal
+/// point, a decimal exponent, or an `f32`/`f64` suffix (hex/octal/binary
+/// literals are never floats).
+pub fn number_is_float(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    if bytes.len() >= 2
+        && bytes[0] == b'0'
+        && matches!(bytes[1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+    {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().any(|b| matches!(b, b'e' | b'E'))
+}
+
+/// The numeric value of a float literal, when it parses after stripping
+/// underscores and any `f32`/`f64` suffix.  Used by the `float-eq` rule to
+/// exempt comparisons against exact zero.
+pub fn float_value(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let cleaned =
+        cleaned.strip_suffix("f32").or_else(|| cleaned.strip_suffix("f64")).unwrap_or(&cleaned);
+    cleaned.parse::<f64>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, &str)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text(source))).collect()
+    }
+
+    fn significant(source: &str) -> Vec<(TokenKind, &str)> {
+        kinds(source).into_iter().filter(|(k, _)| !matches!(k, TokenKind::Whitespace)).collect()
+    }
+
+    #[test]
+    fn lexing_is_lossless() {
+        let source = r##"
+            #![allow(dead_code)]
+            /* outer /* nested */ still comment */
+            fn main() { // trailing
+                let s = r#"raw "quoted" body"#;
+                let b = b"bytes";
+                let c = 'x'; let nl = '\n'; let u = '\u{1F600}';
+                let l: &'static str = "lit";
+                let n = 1_000.5e-3f64 + 0xFF + 1..2;
+            }
+        "##;
+        let tokens = lex(source);
+        let rebuilt: String = tokens.iter().map(|t| t.text(source)).collect();
+        assert_eq!(rebuilt, source);
+    }
+
+    #[test]
+    fn comments_nest_and_end() {
+        let toks = significant("/* a /* b */ c */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r###"let s = r#"contains "quotes" and // not a comment"#;"###;
+        let toks = kinds(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::RawStr).expect("raw string lexed");
+        assert!(raw.1.contains("not a comment"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = significant("'a 'static 'x' '\\n' b'z'");
+        let expect = [
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Lifetime, "'static"),
+            (TokenKind::Char, "'x'"),
+            (TokenKind::Char, "'\\n'"),
+            (TokenKind::Byte, "b'z'"),
+        ];
+        assert_eq!(toks, expect);
+    }
+
+    #[test]
+    fn shebang_only_at_file_start() {
+        let toks = kinds("#!/usr/bin/env rust\nfn x() {}");
+        assert_eq!(toks[0].0, TokenKind::Shebang);
+        let toks = kinds("#![allow(x)]");
+        assert_eq!(toks[0], (TokenKind::Punct, "#"));
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        for float in ["1.5", "2.", "1e9", "2.5E-3", "1_000.0", "3f32", "0.0f64"] {
+            assert!(number_is_float(float), "{float} should be a float literal");
+        }
+        for int in ["17", "0xFF", "1_000u64", "0b101", "0o17", "0xE1"] {
+            assert!(!number_is_float(int), "{int} should not be a float literal");
+        }
+        assert_eq!(float_value("0.0"), Some(0.0));
+        assert_eq!(float_value("1_0.5f32"), Some(10.5));
+    }
+
+    #[test]
+    fn range_and_method_dots_are_not_fractions() {
+        let toks = significant("1..2");
+        assert_eq!(toks[0], (TokenKind::Number, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        let toks = significant("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Number, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Ident, "max"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        let toks = significant("r#type r#match normal");
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Ident));
+        assert_eq!(toks[0].1, "r#type");
+    }
+}

@@ -1,0 +1,48 @@
+//! lake-lint: the workspace invariant checker.
+//!
+//! The workspace carries invariants the Rust compiler cannot see: threads
+//! must route through `lake-runtime`, the planner hot path must never
+//! rebuild `String` band keys, `lake-serve` request paths must not panic,
+//! replay code must not read the wall clock.  Before this crate they were
+//! guarded by grep loops inside integration tests — evadable by a rename
+//! (`use std::thread as t;`), blind to comments vs. code, and silently
+//! skipping unreadable files.
+//!
+//! lake-lint replaces the greps with a real (dependency-free) analysis
+//! pipeline:
+//!
+//! * [`lexer`] — a lossless Rust lexer: every byte of the input belongs to
+//!   exactly one token, so rules can tell a call in code from the same
+//!   text in a comment or string literal, and report exact `line:col`
+//!   spans.
+//! * [`resolve`] — per-file `use`-alias resolution, so `use std::thread as
+//!   t; t::spawn(..)` is seen as `std::thread::spawn`.
+//! * [`rules`] — the [`LintRule`] registry with the six
+//!   seeded rules (catalog: `docs/LINTS.md`).
+//! * [`engine`] — the workspace walk (hard errors on unreadable input, a
+//!   sanity floor on file count), pragma application
+//!   (`// lint:allow(<rule>): <why>`), and report assembly.
+//! * [`diag`] — diagnostics with `path:line:col` spans, human and JSON
+//!   rendering.
+//!
+//! The CLI (`cargo run -p lake-lint`) gates CI; the old regression tests
+//! are now thin wrappers over [`engine::Engine::run_rule`].
+//!
+//! The crate is deliberately **dependency-free** (std only): it lints the
+//! vendored dependencies too, so it must not create a cycle by depending
+//! on them.
+
+pub mod context;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod resolve;
+pub mod rules;
+
+pub use context::{FileContext, Pragma};
+pub use diag::{Diagnostic, Severity};
+pub use engine::{
+    check_context, check_source, Engine, EngineError, LintReport, EMPTY_JUSTIFICATION, MIN_SOURCES,
+    SCANNED_ROOTS, UNKNOWN_RULE,
+};
+pub use rules::{all_rule_ids, default_rules, LintRule};

@@ -1,0 +1,166 @@
+//! The lake-lint CLI.
+//!
+//! ```text
+//! cargo run -q -p lake-lint                  # human output, exit 1 on errors
+//! cargo run -q -p lake-lint -- --format json # machine output (CI artifact)
+//! cargo run -q -p lake-lint -- --rule float-eq
+//! cargo run -q -p lake-lint -- --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` at least one error-severity finding, `2` the
+//! run itself failed (unreadable input, broken walk, bad arguments).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lake_lint::{default_rules, diag::json_string, Engine, LintReport, Severity};
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    rule: Option<String>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("lake-lint: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.list_rules {
+        for rule in default_rules() {
+            println!("{:<22} {}", rule.id(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match options.root.clone().map_or_else(discover_root, Ok) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("lake-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = Engine::new(&root);
+    let result = match &options.rule {
+        Some(id) => engine.run_rule(id),
+        None => engine.run(),
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("lake-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match options.format {
+        Format::Human => print_human(&report),
+        Format::Json => print_json(&root, &engine, &report),
+    }
+
+    if report.error_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "\
+usage: lake-lint [--root <dir>] [--format human|json] [--rule <id>] [--list-rules]
+  --root <dir>     workspace root (default: walk up from cwd to [workspace])
+  --format <fmt>   output format: human (default) or json
+  --rule <id>      run a single rule instead of the full registry
+  --list-rules     print the rule registry and exit";
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options { root: None, format: Format::Human, rule: None, list_rules: false };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = args.next().ok_or("--root needs a directory argument")?;
+                options.root = Some(PathBuf::from(value));
+            }
+            "--format" => {
+                let value = args.next().ok_or("--format needs an argument")?;
+                options.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--rule" => {
+                options.rule = Some(args.next().ok_or("--rule needs a rule id argument")?);
+            }
+            "--list-rules" => options.list_rules = true,
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]` — so the binary works from any crate dir.
+fn discover_root() -> Result<PathBuf, String> {
+    let mut dir = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory — pass --root"
+                .to_string());
+        }
+    }
+}
+
+fn print_human(report: &LintReport) {
+    for diagnostic in &report.diagnostics {
+        println!("{diagnostic}");
+    }
+    let errors = report.error_count();
+    let warnings = report.diagnostics.len() - errors;
+    if report.is_clean() {
+        println!("lake-lint: clean — {} sources analysed", report.sources);
+    } else {
+        println!(
+            "lake-lint: {errors} error(s), {warnings} warning(s) across {} sources",
+            report.sources
+        );
+    }
+}
+
+fn print_json(root: &std::path::Path, engine: &Engine, report: &LintReport) {
+    let rules: Vec<String> = engine.rule_ids().iter().map(|id| json_string(id)).collect();
+    let findings: Vec<String> = report.diagnostics.iter().map(|d| d.to_json()).collect();
+    let errors = report.error_count();
+    let warnings = report.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count();
+    println!(
+        "{{\n  \"root\": {},\n  \"sources\": {},\n  \"rules\": [{}],\n  \"errors\": {},\n  \
+         \"warnings\": {},\n  \"findings\": [\n    {}\n  ]\n}}",
+        json_string(&root.display().to_string()),
+        report.sources,
+        rules.join(", "),
+        errors,
+        warnings,
+        findings.join(",\n    ")
+    );
+}

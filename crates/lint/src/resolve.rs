@@ -1,0 +1,337 @@
+//! Per-file `use`-alias resolution.
+//!
+//! Path-based rules must not be evadable by renaming: `use std::thread as
+//! t; t::spawn(...)` is exactly as much of a raw thread primitive as
+//! `std::thread::spawn(...)`.  This module walks the significant token
+//! stream, parses every `use` declaration (groups, nesting, `as` renames,
+//! `self` re-exports) into *bindings* — imported name → full path — and
+//! then extracts every path *chain* (`a::b::c`) from the file, normalising
+//! each chain's head through the binding table.
+//!
+//! Resolution is deliberately file-local and one level deep: a lint that
+//! needed whole-program name resolution would be a compiler, not a linter.
+//! The trade-off is documented per rule in `docs/LINTS.md`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One name a `use` declaration brings into scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    /// The in-scope name (the alias after `as`, or the last path segment).
+    pub name: String,
+    /// The full imported path, e.g. `["std", "thread", "spawn"]`.
+    pub path: Vec<String>,
+    /// Byte offset of the binding's defining token (for diagnostics).
+    pub offset: usize,
+}
+
+/// A `seg::seg::…` chain as it appears in the source, with its normalised
+/// form after expanding the leading segment through the file's bindings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathOccurrence {
+    /// The segments exactly as written.
+    pub written: Vec<String>,
+    /// The segments after alias expansion (identical to `written` when the
+    /// head is not an imported name).
+    pub resolved: Vec<String>,
+    /// Byte offset of the first segment.
+    pub offset: usize,
+}
+
+impl PathOccurrence {
+    /// Whether the resolved path starts with `prefix`.
+    pub fn starts_with(&self, prefix: &[&str]) -> bool {
+        self.resolved.len() >= prefix.len()
+            && self.resolved.iter().zip(prefix).all(|(seg, want)| seg == want)
+    }
+
+    /// Whether the resolved path contains `a` immediately followed by `b`
+    /// (e.g. `Instant`, `now` matches both `Instant::now` and
+    /// `std::time::Instant::now`).
+    pub fn contains_pair(&self, a: &str, b: &str) -> bool {
+        self.resolved.windows(2).any(|w| w[0] == a && w[1] == b)
+    }
+}
+
+/// Keywords that introduce a *definition* of the following identifier; a
+/// chain must not start right after one (`fn spawn(...)` defines `spawn`,
+/// it does not call an imported `spawn`; `use … as t` defines `t`).
+const DEFINERS: [&str; 8] = ["fn", "mod", "struct", "enum", "trait", "type", "let", "as"];
+
+/// Parses all `use` bindings and extracts all path chains from a token
+/// stream.  `sig` must hold the indices of significant tokens in `tokens`.
+pub fn analyze(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+) -> (Vec<UseBinding>, Vec<PathOccurrence>) {
+    let bindings = parse_bindings(source, tokens, sig);
+    let chains = extract_chains(source, tokens, sig, &bindings);
+    (bindings, chains)
+}
+
+fn parse_bindings(source: &str, tokens: &[Token], sig: &[usize]) -> Vec<UseBinding> {
+    let mut bindings = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        let tok = tokens[sig[i]];
+        if tok.kind == TokenKind::Ident && tok.text(source) == "use" {
+            i = parse_use_decl(source, tokens, sig, i + 1, &mut bindings);
+        } else {
+            i += 1;
+        }
+    }
+    bindings
+}
+
+/// Parses one `use` declaration starting at significant index `start`
+/// (just past the `use` keyword); returns the index past the closing `;`.
+fn parse_use_decl(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    start: usize,
+    bindings: &mut Vec<UseBinding>,
+) -> usize {
+    let mut i = start;
+    parse_use_tree(source, tokens, sig, &mut i, Vec::new(), bindings);
+    // Consume through the terminating `;` (tolerating malformed input).
+    while i < sig.len() {
+        let tok = tokens[sig[i]];
+        i += 1;
+        if tok.kind == TokenKind::Punct && tok.text(source) == ";" {
+            break;
+        }
+    }
+    i
+}
+
+/// Recursive descent over a use tree: `prefix::seg::…`, `prefix::{a, b}`,
+/// `prefix::*`, `… as alias`.  Appends completed bindings.
+fn parse_use_tree(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    i: &mut usize,
+    mut prefix: Vec<String>,
+    bindings: &mut Vec<UseBinding>,
+) {
+    let mut last_offset = 0;
+    loop {
+        let Some(&ti) = sig.get(*i) else { return };
+        let tok = tokens[ti];
+        let text = tok.text(source);
+        match tok.kind {
+            TokenKind::Ident if text == "as" => {
+                // `path as alias`
+                *i += 1;
+                if let Some(&ai) = sig.get(*i) {
+                    let alias = tokens[ai];
+                    if alias.kind == TokenKind::Ident {
+                        bindings.push(UseBinding {
+                            name: alias.text(source).to_string(),
+                            path: prefix.clone(),
+                            offset: alias.start,
+                        });
+                        *i += 1;
+                    }
+                }
+                return;
+            }
+            TokenKind::Ident if text == "self" && !prefix.is_empty() => {
+                // `parent::{self, …}` binds the parent's own name.
+                bindings.push(UseBinding {
+                    name: prefix.last().expect("non-empty prefix").clone(),
+                    path: prefix.clone(),
+                    offset: tok.start,
+                });
+                *i += 1;
+            }
+            TokenKind::Ident => {
+                prefix.push(text.to_string());
+                last_offset = tok.start;
+                *i += 1;
+            }
+            TokenKind::Punct => match text {
+                ":" => *i += 1, // each `:` of a `::` separator
+                "{" => {
+                    *i += 1;
+                    loop {
+                        parse_use_tree(source, tokens, sig, i, prefix.clone(), bindings);
+                        let Some(&ni) = sig.get(*i) else { return };
+                        let next = tokens[ni].text(source);
+                        if next == "," {
+                            *i += 1;
+                        } else {
+                            if next == "}" {
+                                *i += 1;
+                            }
+                            break;
+                        }
+                    }
+                    return;
+                }
+                "*" => {
+                    // Glob: individual names are unresolvable, but the
+                    // prefix itself was still a written path chain, which
+                    // `extract_chains` reports independently.
+                    *i += 1;
+                    return;
+                }
+                "," | "}" | ";" => {
+                    // End of this tree: bind the final segment by name.
+                    if !prefix.is_empty() {
+                        bindings.push(UseBinding {
+                            name: prefix.last().expect("non-empty prefix").clone(),
+                            path: prefix,
+                            offset: last_offset,
+                        });
+                    }
+                    return;
+                }
+                _ => *i += 1, // `pub(crate) use`, attributes… skip
+            },
+            _ => *i += 1,
+        }
+    }
+}
+
+fn extract_chains(
+    source: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    bindings: &[UseBinding],
+) -> Vec<PathOccurrence> {
+    let mut chains = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        let tok = tokens[sig[i]];
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // A chain must start fresh: not a field/method name after `.`, not
+        // the continuation of a longer chain after `::`, and not the name
+        // being *defined* by `fn`/`mod`/`let`/….
+        if let Some(prev) = i.checked_sub(1).map(|p| tokens[sig[p]]) {
+            let prev_text = prev.text(source);
+            let dot = prev.kind == TokenKind::Punct && prev_text == ".";
+            let sep = prev.kind == TokenKind::Punct
+                && prev_text == ":"
+                && i >= 2
+                && is_path_sep(source, tokens[sig[i - 2]], prev);
+            let defines = prev.kind == TokenKind::Ident && DEFINERS.contains(&prev_text);
+            if dot || sep || defines {
+                i += 1;
+                continue;
+            }
+        }
+        let offset = tok.start;
+        let mut written = vec![tok.text(source).to_string()];
+        let mut j = i + 1;
+        while let Some((&c1, &c2)) = sig.get(j).zip(sig.get(j + 1)) {
+            if !is_path_sep(source, tokens[c1], tokens[c2]) {
+                break;
+            }
+            let Some(&ni) = sig.get(j + 2) else { break };
+            let next = tokens[ni];
+            if next.kind != TokenKind::Ident {
+                break;
+            }
+            written.push(next.text(source).to_string());
+            j += 3;
+        }
+        let resolved = resolve(&written, bindings);
+        chains.push(PathOccurrence { written, resolved, offset });
+        i = j;
+    }
+    chains
+}
+
+/// Whether two consecutive tokens form a `::` path separator: both `:`
+/// puncts, byte-adjacent.
+fn is_path_sep(source: &str, a: Token, b: Token) -> bool {
+    a.kind == TokenKind::Punct
+        && b.kind == TokenKind::Punct
+        && a.text(source) == ":"
+        && b.text(source) == ":"
+        && a.end == b.start
+}
+
+/// Expands the head segment of `written` through the binding table.
+fn resolve(written: &[String], bindings: &[UseBinding]) -> Vec<String> {
+    let Some(head) = written.first() else { return Vec::new() };
+    // Last binding wins, matching shadowing semantics closely enough.
+    for binding in bindings.iter().rev() {
+        if &binding.name == head {
+            let mut resolved = binding.path.clone();
+            resolved.extend(written[1..].iter().cloned());
+            return resolved;
+        }
+    }
+    written.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn analyze_source(source: &str) -> (Vec<UseBinding>, Vec<PathOccurrence>) {
+        let tokens = lex(source);
+        let sig: Vec<usize> =
+            tokens.iter().enumerate().filter(|(_, t)| t.is_significant()).map(|(i, _)| i).collect();
+        analyze(source, &tokens, &sig)
+    }
+
+    fn binding(bindings: &[UseBinding], name: &str) -> Vec<String> {
+        bindings.iter().rev().find(|b| b.name == name).map(|b| b.path.clone()).unwrap_or_default()
+    }
+
+    #[test]
+    fn plain_and_aliased_imports_bind() {
+        let (bindings, _) = analyze_source("use std::thread;\nuse std::thread as t;");
+        assert_eq!(binding(&bindings, "thread"), ["std", "thread"]);
+        assert_eq!(binding(&bindings, "t"), ["std", "thread"]);
+    }
+
+    #[test]
+    fn groups_nest_and_self_binds_the_parent() {
+        let (bindings, _) =
+            analyze_source("use std::{thread::{self, spawn as go}, time::Instant};");
+        assert_eq!(binding(&bindings, "thread"), ["std", "thread"]);
+        assert_eq!(binding(&bindings, "go"), ["std", "thread", "spawn"]);
+        assert_eq!(binding(&bindings, "Instant"), ["std", "time", "Instant"]);
+    }
+
+    #[test]
+    fn chains_resolve_through_aliases() {
+        let (_, chains) = analyze_source("use std::thread as t;\nfn main() { t::spawn(|| {}); }");
+        assert!(chains.iter().any(|c| c.resolved == ["std", "thread", "spawn"]));
+    }
+
+    #[test]
+    fn field_access_and_definitions_do_not_start_chains() {
+        let (_, chains) =
+            analyze_source("use std::thread;\nfn thread() {}\nfn f(x: X) { x.thread; }");
+        // The only `std::thread`-resolved chain is inside the use decl.
+        let hits: Vec<_> = chains.iter().filter(|c| c.starts_with(&["std", "thread"])).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].written, ["std", "thread"]);
+    }
+
+    #[test]
+    fn spaced_colons_are_not_separators() {
+        let (_, chains) = analyze_source("fn f(a: A) { b(a: :c) }");
+        assert!(chains.iter().all(|c| c.written.len() == 1));
+    }
+
+    #[test]
+    fn pair_matching_sees_type_and_method() {
+        let (_, chains) =
+            analyze_source("use std::time::Instant;\nfn f() { let t = Instant::now(); }");
+        assert!(chains.iter().any(|c| c.contains_pair("Instant", "now")));
+        let (_, chains) = analyze_source("fn f() { std::time::Instant::now(); }");
+        assert!(chains.iter().any(|c| c.contains_pair("Instant", "now")));
+    }
+}

@@ -127,7 +127,7 @@ pub struct LakeServer;
 impl LakeServer {
     /// Starts a server on an OS-assigned loopback port.
     pub fn start(policy: ServePolicy) -> Result<ServerHandle, ServeError> {
-        LakeServer::start_on(policy, "127.0.0.1:0".parse().expect("loopback literal"))
+        LakeServer::start_on(policy, SocketAddr::from(([127, 0, 0, 1], 0)))
     }
 
     /// Starts a server bound to `addr`.
@@ -142,11 +142,7 @@ impl LakeServer {
         policy: ServePolicy,
         durability: DurabilityPolicy,
     ) -> Result<ServerHandle, ServeError> {
-        LakeServer::start_durable_on(
-            policy,
-            durability,
-            "127.0.0.1:0".parse().expect("loopback literal"),
-        )
+        LakeServer::start_durable_on(policy, durability, SocketAddr::from(([127, 0, 0, 1], 0)))
     }
 
     /// Starts a durable server bound to `addr`.
@@ -173,7 +169,7 @@ impl LakeServer {
             (0..policy.shards)
                 .map(|id| {
                     let empty = IntegrationSession::begin(policy.integration, &[])
-                        .expect("policy validated above");
+                        .map_err(|err| ServeError::InvalidPolicy(err.to_string()))?;
                     let initial = ShardSnapshot::from_session(0, &empty);
                     let shard = match &durability {
                         Some(durability) => {
@@ -280,6 +276,14 @@ impl ServerHandle {
         self.shards.iter().map(|s| s.status()).collect()
     }
 
+    /// Deliberately poisons shard `id`'s queue mutex.  Test-only hook for
+    /// the degraded-shard regression tests (see
+    /// [`Shard::poison_queue_for_test`]); panics on an out-of-range id.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, id: usize) {
+        self.shards[id].poison_queue_for_test();
+    }
+
     /// Stops the server: no new connections, readers joined, every shard
     /// queue drained and applied, writers joined.  Propagates a panic from
     /// any service thread.
@@ -339,7 +343,11 @@ fn reader_loop(
     policy: ServePolicy,
 ) {
     loop {
-        let conn = { conn_rx.lock().expect("connection channel poisoned").recv() };
+        // Recover from a poisoned receiver lock: the receiver is plain
+        // channel state, and one panicking reader must not wedge the
+        // whole pool (every surviving reader would otherwise panic here
+        // and the server would stop accepting work while still listening).
+        let conn = { conn_rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv() };
         let Ok(mut stream) = conn else { return };
         let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
         let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
@@ -395,6 +403,13 @@ fn handle_ingest(request: &Request, shards: &[Arc<Shard>], policy: &ServePolicy)
         Err(IngestReject::Wal(msg)) => {
             Response::json(500, wire::error_body(&format!("durable log append failed: {msg}")))
         }
+        // A thread panicked while holding this shard's queue lock.  Reads
+        // keep serving the last published snapshot, but new appends are
+        // refused rather than promised by a wounded shard.
+        Err(IngestReject::Poisoned) => Response::json(
+            500,
+            wire::error_body("shard queue poisoned by an earlier panic; ingest refused"),
+        ),
     }
 }
 
@@ -431,8 +446,9 @@ fn handle_query(request: &Request, shards: &[Arc<Shard>]) -> Response {
 /// cannot happen in `start_inner`.  New ingests admitted during replay
 /// simply queue behind it; log order stays apply order.
 fn writer_loop(shard: Arc<Shard>, policy: ServePolicy) {
-    let mut session =
-        IntegrationSession::begin(policy.integration, &[]).expect("policy validated at start");
+    let session = IntegrationSession::begin(policy.integration, &[]);
+    // lint:allow(serve-panic-path): unreachable — start_inner already built a session from this exact policy and surfaced any error as ServeError before spawning this writer
+    let mut session = session.expect("policy validated in start_inner");
     let mut version = 0u64;
 
     if shard.is_durable() {

@@ -1,67 +1,27 @@
-//! Executor discipline, grep-enforced: every parallel site must route
+//! Executor discipline, lint-enforced: every parallel site must route
 //! through `lake_runtime::run_scope`.  Raw std `thread` primitives (spawn,
 //! scope, Builder) outside `crates/runtime` reintroduce exactly the
 //! per-site ad-hoc pools the shared executor replaced (and escape its
-//! ordering, panic and diagnostics guarantees), so the workspace sources
-//! are scanned for them.
+//! ordering, panic and diagnostics guarantees).
+//!
+//! This used to be a grep loop in this file.  It is now a thin wrapper
+//! over `lake-lint`'s `raw-threads` rule, which lexes instead of grepping:
+//! it cannot be evaded by `use std::thread as t;`, does not fire on the
+//! pattern appearing in comments or strings, hard-errors on unreadable
+//! sources instead of skipping them, and reports exact `file:line:col`
+//! spans.  See `docs/LINTS.md`.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// The source trees that make up the workspace (vendored stubs included:
-/// stand-ins must not quietly grow thread pools either).
-const SCANNED: [&str; 5] = ["src", "crates", "tests", "examples", "vendor"];
-
-fn rust_sources(root: &Path) -> Vec<PathBuf> {
-    let runtime_crate = root.join("crates").join("runtime");
-    let mut stack: Vec<PathBuf> = SCANNED.iter().map(|dir| root.join(dir)).collect();
-    let mut sources = Vec::new();
-    while let Some(dir) = stack.pop() {
-        if dir == runtime_crate {
-            continue; // the one crate allowed to own thread primitives
-        }
-        let Ok(entries) = fs::read_dir(&dir) else { continue };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|ext| ext == "rs") {
-                sources.push(path);
-            }
-        }
-    }
-    sources
-}
+use lake_lint::Engine;
 
 #[test]
 fn no_raw_thread_primitives_outside_the_runtime_crate() {
-    // Assembled at runtime so this file does not flag itself.  The blanket
-    // std-thread-module pattern also catches Builder-based spawns and
-    // direct `use`-imports that the two call patterns would miss.
-    let forbidden = [
-        format!("thread::{}", "spawn"),
-        format!("thread::{}", "scope"),
-        format!("std::{}", "thread"),
-    ];
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let sources = rust_sources(root);
+    let report = Engine::new(env!("CARGO_MANIFEST_DIR"))
+        .run_rule("raw-threads")
+        .expect("the workspace walk must succeed (unreadable sources are a failure, not a skip)");
     assert!(
-        sources.len() > 50,
-        "the scan looks broken: only {} Rust sources found under {root:?}",
-        sources.len()
-    );
-
-    let mut offenders = Vec::new();
-    for path in sources {
-        let content = fs::read_to_string(&path)
-            .unwrap_or_else(|err| panic!("unreadable source {path:?}: {err}"));
-        if forbidden.iter().any(|needle| content.contains(needle)) {
-            offenders.push(path);
-        }
-    }
-    assert!(
-        offenders.is_empty(),
+        report.diagnostics.is_empty(),
         "raw std thread primitives outside crates/runtime — route through \
-         lake_runtime::run_scope instead: {offenders:#?}"
+         lake_runtime::run_scope instead:\n{}",
+        report.diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
     );
 }

@@ -1,5 +1,5 @@
 //! Planner fast-path regression harness: deterministic counter invariants
-//! plus a grep-enforced ban on String band keys in the planning hot path.
+//! plus a lint-enforced ban on String band keys in the planning hot path.
 //!
 //! PR "escalation-planner fast path" replaced per-vector `Vec<String>` band
 //! keys with packed `u64` keys, the triplicated sort+dedup pair
@@ -12,8 +12,6 @@
 //! benchmark regression.
 
 use std::collections::BTreeSet;
-use std::fs;
-use std::path::Path;
 use std::time::Duration;
 
 use datalake_fuzzy_fd::benchdata::{generate_escalation_fold, EscalationFoldConfig};
@@ -105,39 +103,25 @@ fn escalated_fold_phase_timings_are_attributed_and_bounded() {
     );
 }
 
-/// Grep ban: the planner hot path must never build String band keys.  The
+/// Lint ban: the planner hot path must never build String band keys.  The
 /// packed-u64 representation (`packed_band_key`) exists precisely so the
 /// per-vector `Vec<String>` churn cannot come back; `SimHasher::band_keys`
 /// stays available for diagnostics and doctests, but the planning files may
 /// not call it, nor format the `sh{band}:{bucket}` key shape themselves.
+///
+/// Formerly a grep loop in this file; now a thin wrapper over `lake-lint`'s
+/// `string-band-keys` rule (token-level, so comments cannot false-positive
+/// and unreadable sources hard-error instead of skipping).  The hot-path
+/// file list lives with the rule; see `docs/LINTS.md`.
 #[test]
 fn no_string_band_keys_in_the_planner_hot_path() {
-    // The files on the planning hot path: candidate planning, block solving
-    // and the ANN index they drive.
-    let hot_path = [
-        "crates/core/src/blocking.rs",
-        "crates/core/src/value_match.rs",
-        "crates/embed/src/ann.rs",
-    ];
-    // Assembled at runtime so this file does not flag itself.
-    let forbidden = [format!(".band_keys{}", "("), format!("format!(\"sh{}", "{")];
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-
-    let mut offenders = Vec::new();
-    for relative in hot_path {
-        let path = root.join(relative);
-        let content = fs::read_to_string(&path)
-            .unwrap_or_else(|err| panic!("unreadable hot-path source {path:?}: {err}"));
-        assert!(!content.is_empty(), "hot-path source {path:?} vanished");
-        for needle in &forbidden {
-            if content.contains(needle.as_str()) {
-                offenders.push((relative, needle.clone()));
-            }
-        }
-    }
+    let report = lake_lint::Engine::new(env!("CARGO_MANIFEST_DIR"))
+        .run_rule("string-band-keys")
+        .expect("the workspace walk must succeed (unreadable sources are a failure, not a skip)");
     assert!(
-        offenders.is_empty(),
+        report.diagnostics.is_empty(),
         "String band keys reintroduced on the planner hot path — use \
-         packed_band_key / signature shifts instead: {offenders:#?}"
+         packed_band_key / signature shifts instead:\n{}",
+        report.diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
     );
 }

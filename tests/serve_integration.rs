@@ -353,3 +353,53 @@ fn raw_request(
 ) -> datalake_fuzzy_fd::serve::Reply {
     client.raw(method, target, body).expect("raw request")
 }
+
+/// Regression: a poisoned shard must degrade, not panic the reader pool.
+///
+/// Before the panic-path triage, a thread that panicked while holding a
+/// shard's queue lock left every later request to that shard hitting
+/// `.lock().expect(..)` inside a reader thread: the reader died, the
+/// connection closed with *no response bytes*, and the pool shrank by one
+/// reader per request.  Now ingest answers `500` on the wire
+/// (`IngestReject::Poisoned` — no durability promise from a wounded
+/// shard), while reads recover the plain-data locks and keep serving.
+#[test]
+fn poisoned_shard_returns_500_on_the_wire_and_readers_survive() {
+    let policy = ServePolicy { shards: 1, ..ServePolicy::default() };
+    let server = LakeServer::start(policy).expect("server starts");
+    let client = ServeClient::new(server.addr());
+
+    // A healthy ingest first, so the snapshot has real content to keep
+    // serving after the shard is wounded.
+    let trace = generate_serving_trace(small_trace());
+    let arrival = &trace.arrivals[0];
+    assert_eq!(client.ingest(&arrival.tenant, &arrival.table).expect("ingest").status, 202);
+    assert!(client.wait_idle(IDLE_TIMEOUT).expect("stats"), "queue did not drain");
+
+    server.poison_shard_for_test(0);
+
+    // The wounded shard refuses ingest with a real HTTP response — over a
+    // raw socket, so a panicked-and-dropped connection (the old failure
+    // mode: zero response bytes) cannot masquerade as a pass.
+    let body = wire::ingest_body(&arrival.tenant, &arrival.table);
+    let request = format!(
+        "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let response = raw_socket(server.addr(), request.as_bytes());
+    assert!(response.starts_with("HTTP/1.1 500"), "expected a 500 status line, got: {response:?}");
+    assert!(response.contains("poisoned"), "the body should say why: {response:?}");
+
+    // The reader pool survived: health, stats and queries still serve
+    // (each on a fresh connection — readers handle one request per
+    // connection, so these would hang or reset if readers had died).
+    for _ in 0..3 {
+        assert_eq!(client.health().expect("health").status, 200);
+    }
+    let reply = client.query(QueryTarget::Shard(0), "table").expect("query");
+    assert_eq!(reply.status, 200, "reads must keep serving: {}", reply.body);
+    assert_eq!(client.stats().expect("stats").status, 200);
+
+    server.shutdown();
+}
